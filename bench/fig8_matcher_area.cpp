@@ -1,0 +1,44 @@
+// Experiment F8 — reproduces Fig. 8: "Comparison of matcher circuits area
+// cost in terms of logic (FPGA LUTs) for different word lengths".
+//
+// Area is reported two ways: gate equivalents (NAND2 = 1) and an
+// estimated 4-input LUT count from greedy cone packing — the latter is
+// the axis the paper's FPGA measurement used. Expected shape: ripple
+// cheapest, standard look-ahead growing quadratically and dominating at
+// wide words, select & look-ahead paying a moderate premium for its
+// duplicated blocks.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "matcher/circuit.hpp"
+
+using namespace wfqs;
+using namespace wfqs::matcher;
+
+int main() {
+    const std::vector<unsigned> widths = {4, 8, 16, 32, 64, 128};
+
+    std::printf("== Fig. 8: matcher area vs word width ==\n\n");
+
+    for (const char* metric : {"LUT4 estimate", "gate equivalents"}) {
+        std::vector<std::string> headers = {"word width"};
+        for (const MatcherKind kind : all_matcher_kinds())
+            headers.push_back(matcher_kind_name(kind));
+        TextTable table(headers);
+        for (const unsigned w : widths) {
+            std::vector<std::string> row = {TextTable::num(std::uint64_t{w})};
+            for (const MatcherKind kind : all_matcher_kinds()) {
+                const MatcherCircuit c = build_matcher(kind, w);
+                const bool luts = metric[0] == 'L';
+                row.push_back(
+                    luts ? TextTable::num(static_cast<std::uint64_t>(
+                               c.netlist().lut4_estimate()))
+                         : TextTable::num(c.netlist().area_gate_equivalents(), 0));
+            }
+            table.add_row(row);
+        }
+        std::printf("-- %s --\n%s\n", metric, table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+// Experiment P1 — the §IV performance claim: "a throughput of over 35.8
+// million packets per second is possible. Based on a conservative
+// estimate for an average IP packet size of 140 bytes, the circuit can
+// operate at line speeds of 40 Gb/s."
+//
+// The chain has two halves:
+//   1. cycle-accurate: measure cycles per operation through the simulated
+//      circuit (tree+translation stage and list stage both 4 cycles =
+//      pipelined initiation interval 4);
+//   2. analytic clock: the synthesis model's 130-nm clock estimate.
+// Mpps = clock / II; Gb/s = Mpps * 140 B * 8. The bench also sweeps the
+// average packet size to show where 40 Gb/s holds.
+#include <cstdio>
+
+#include "analysis/throughput.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/synthesis_model.hpp"
+#include "core/tag_sorter.hpp"
+#include "hw/simulation.hpp"
+
+using namespace wfqs;
+using namespace wfqs::core;
+
+int main() {
+    std::printf("== P1: line-rate claim (35.8 Mpps -> 40 Gb/s at 140 B) ==\n\n");
+
+    // --- cycle-accurate half -------------------------------------------
+    hw::Simulation sim;
+    TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
+    Rng rng(1);
+
+    // Steady-state combined insert+serve stream (the sustained line-rate
+    // pattern: one tag in, one tag out per packet).
+    sorter.insert(0, 0);
+    const std::uint64_t c0 = sim.clock().now();
+    constexpr int kOps = 100000;
+    for (int i = 0; i < kOps; ++i)
+        sorter.insert_and_pop(sorter.peek_min()->tag + rng.next_below(60), 0);
+    const double cycles_per_op =
+        static_cast<double>(sim.clock().now() - c0) / kOps;
+
+    std::printf("cycle-accurate sorter, %d combined ops:\n", kOps);
+    std::printf("  sequential cycles/op : %.2f (tree+translation stage then list stage)\n",
+                cycles_per_op);
+    std::printf("  pipelined II         : 4 cycles (stages overlap; both exactly 4)\n");
+    std::printf("  worst-case op        : %llu cycles\n\n",
+                static_cast<unsigned long long>(sorter.stats().worst_insert_cycles));
+
+    // --- analytic clock half -------------------------------------------
+    const SynthesisReport model =
+        synthesize({tree::TreeGeometry::paper(), std::size_t{1} << 20, 24},
+                   matcher::MatcherKind::SelectLookahead);
+    std::printf("130-nm clock model: %.1f MHz\n", model.clock_mhz);
+
+    TextTable table({"cycles/tag", "Mpps", "Gb/s @140B", "Gb/s @64B", "Gb/s @1500B"});
+    for (const double cycles : {4.0, cycles_per_op}) {
+        const double mpps = analysis::circuit_mpps(model.clock_mhz, cycles);
+        table.add_row({TextTable::num(cycles, 2), TextTable::num(mpps, 1),
+                       TextTable::num(analysis::line_rate_gbps(mpps, 140.0), 1),
+                       TextTable::num(analysis::line_rate_gbps(mpps, 64.0), 1),
+                       TextTable::num(analysis::line_rate_gbps(mpps, 1500.0), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper: 35.8 Mpps and 40 Gb/s at the 4-cycle pipelined rate;\n");
+    std::printf("the sequential (unpipelined) row is the conservative floor.\n\n");
+
+    // --- scalability claims --------------------------------------------
+    std::printf("scalability (§IV): tag storage in external SRAM bounds capacity,\n");
+    std::printf("not the sorter: a 2^25-entry list stores ~30M packets; sessions are\n");
+    std::printf("bounded by the tag computation state, scalable to 8M (ref [8]).\n");
+    std::printf("Here: list capacity is a constructor parameter (tested to 2^20),\n");
+    std::printf("tree+translation cost is independent of it (Table I: O(W/k)).\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+// Host-side microbenchmarks (google-benchmark): wall-clock cost of the
+// simulated circuit's operations and of the baseline structures. These
+// measure the *simulator*, not the silicon — cycle-level performance is
+// covered by line_rate / table2 — but they document that the library is
+// fast enough to drive large experiments.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/factory.hpp"
+#include "common/rng.hpp"
+#include "core/tag_sorter.hpp"
+#include "hw/simulation.hpp"
+#include "matcher/circuit.hpp"
+#include "wfq/virtual_clock.hpp"
+
+using namespace wfqs;
+
+static void BM_SorterCombinedOp(benchmark::State& state) {
+    hw::Simulation sim;
+    core::TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
+    Rng rng(1);
+    sorter.insert(0, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sorter.insert_and_pop(sorter.peek_min()->tag + rng.next_below(50), 0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SorterCombinedOp);
+
+static void BM_QueueInsertPop(benchmark::State& state) {
+    const auto kind = static_cast<baselines::QueueKind>(state.range(0));
+    auto q = baselines::make_tag_queue(kind, {12, 8192});
+    Rng rng(2);
+    std::uint64_t min_live = 0;
+    state.SetLabel(q->name());
+    for (auto _ : state) {
+        if (q->size() < 256) {
+            q->insert(std::min<std::uint64_t>(min_live + rng.next_below(500), 4095), 0);
+        } else {
+            const auto e = q->pop_min();
+            if (e) min_live = std::max(min_live, e->tag);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueInsertPop)
+    ->Arg(static_cast<int>(baselines::QueueKind::MultibitTree))
+    ->Arg(static_cast<int>(baselines::QueueKind::Heap))
+    ->Arg(static_cast<int>(baselines::QueueKind::Skiplist))
+    ->Arg(static_cast<int>(baselines::QueueKind::Calendar))
+    ->Arg(static_cast<int>(baselines::QueueKind::Veb));
+
+static void BM_MatcherNetlistEval(benchmark::State& state) {
+    const auto circuit = matcher::build_matcher(
+        matcher::MatcherKind::SelectLookahead, static_cast<unsigned>(state.range(0)));
+    Rng rng(3);
+    const unsigned w = circuit.width();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            circuit.match(rng.next_u64() & low_mask(w),
+                          static_cast<unsigned>(rng.next_below(w))));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatcherNetlistEval)->Arg(16)->Arg(64);
+
+static void BM_WfqTagComputation(benchmark::State& state) {
+    auto fresh = [] {
+        auto vt = std::make_unique<wfq::WfqVirtualTime>(40'000'000'000ULL);
+        for (int i = 0; i < 64; ++i) vt->add_flow(1 + i % 7);
+        return vt;
+    };
+    auto vt = fresh();
+    Rng rng(4);
+    wfq::TimeNs t = 0;
+    std::uint64_t since_reset = 0;
+    for (auto _ : state) {
+        t += rng.next_below(1000);
+        benchmark::DoNotOptimize(vt->on_arrival(1 + rng.next_below(60), t, 1120));
+        // Virtual time is Q32.32: re-anchor well before the 2^32 integer
+        // ceiling (a real scheduler wraps tags, see TagSorter).
+        if (++since_reset == 4'000'000) {
+            vt = fresh();
+            t = 0;
+            since_reset = 0;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WfqTagComputation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Experiment T1 — reproduces Table I: "Comparing lookup methods
+// available".
+//
+// The paper tabulates worst-case cost per lookup for software structures
+// (O-notation) and hardware options (memory accesses). Here every
+// structure runs the *same* fair-queueing-shaped workload (tags within a
+// bounded window above the moving minimum, heavy duplicates) and we
+// report the measured worst/average accesses per insert and per serve
+// next to the analytic column. The shape to check against the paper:
+//
+//   - search-model structures (binning, CAMs) pay on the serving path;
+//   - binary CAM worst case explodes with the value range;
+//   - TCAM ~ W probes; binary tree ~ W; multi-bit tree ~ W/k — the
+//     smallest worst case of all hardware options;
+//   - software structures scale with N (or log N), not the word width.
+#include <cstdio>
+
+#include "baselines/factory.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+using namespace wfqs;
+using namespace wfqs::baselines;
+
+int main() {
+    std::printf("== Table I: comparing lookup methods ==\n");
+    std::printf("Workload: 12-bit tags, 40k ops, window <= 600 above the minimum,\n");
+    std::printf("~55%% inserts, occupancy up to 512 tags (seed 2024).\n\n");
+
+    TextTable table({"method", "model", "analytic", "worst ins", "worst pop",
+                     "avg/op", "exact"});
+
+    for (const QueueKind kind : all_queue_kinds()) {
+        auto q = make_tag_queue(kind, {12, 4096});
+        Rng rng(2024);
+        std::uint64_t min_live = 0;
+        for (int i = 0; i < 40000; ++i) {
+            if (q->size() < 512 && (q->empty() || rng.next_bool(0.55))) {
+                const std::uint64_t tag =
+                    std::min<std::uint64_t>(min_live + rng.next_below(600), 4095);
+                q->insert(tag, 0);
+            } else if (const auto e = q->pop_min()) {
+                min_live = std::max(min_live, e->tag);
+            }
+        }
+        table.add_row({q->name(), q->model(), q->complexity(),
+                       TextTable::num(q->stats().worst_insert_accesses),
+                       TextTable::num(q->stats().worst_pop_accesses),
+                       TextTable::num(q->stats().avg_accesses_per_op(), 2),
+                       q->exact() ? "yes" : "NO"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Paper's verdict (§II-D): the multi-bit tree has the lowest\n");
+    std::printf("worst-case lookup complexity of all options and conforms to the\n");
+    std::printf("sort model, so serving the minimum never waits on a search.\n");
+    return 0;
+}

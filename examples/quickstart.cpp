@@ -1,0 +1,59 @@
+// Quickstart: the tag sort/retrieve circuit as a priority queue.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The TagSorter is the paper's circuit of Fig. 3: a multi-bit search
+// tree finds each incoming tag's predecessor, the translation table maps
+// it to a linked-list slot, and the list keeps every tag in sorted order
+// so the minimum is always one register read away. Everything runs on a
+// cycle-level hardware simulation: the clock and SRAM traffic you see
+// below are the circuit's, not the host's.
+#include <cstdio>
+
+#include "core/tag_sorter.hpp"
+#include "hw/simulation.hpp"
+
+int main() {
+    wfqs::hw::Simulation sim;
+
+    // The paper's silicon geometry: 3 levels x 4-bit literals = 12-bit
+    // tags, 16-way branching; a 4096-slot external tag store.
+    wfqs::core::TagSorter sorter(
+        {wfqs::tree::TreeGeometry::paper(), /*capacity=*/4096, /*payload_bits=*/24},
+        sim);
+
+    // Insert a few finishing tags (payload = packet-buffer pointer).
+    std::printf("inserting tags 50, 90, 60, 85, 70, 60...\n");
+    sorter.insert(50, 1001);
+    sorter.insert(90, 1002);
+    sorter.insert(60, 1003);
+    sorter.insert(85, 1004);
+    sorter.insert(70, 1005);
+    sorter.insert(60, 1006);  // duplicate value: FIFO within the tag
+
+    // The smallest tag is always known (head register, zero cycles).
+    const auto min = sorter.peek_min();
+    std::printf("smallest tag: %llu (packet %u)\n",
+                static_cast<unsigned long long>(min->tag), min->payload);
+
+    // Serve everything in tag order.
+    std::printf("service order:");
+    while (const auto t = sorter.pop_min())
+        std::printf(" %llu/p%u", static_cast<unsigned long long>(t->tag), t->payload);
+    std::printf("\n");
+
+    // The cycle-level accounting underneath.
+    std::printf("\nsimulated clock cycles  : %llu\n",
+                static_cast<unsigned long long>(sim.clock().now()));
+    std::printf("SRAM accesses (total)   : %llu\n",
+                static_cast<unsigned long long>(sim.total_memory_stats().total()));
+    std::printf("worst insert cycles     : %llu (4 tree/translation + 4 list)\n",
+                static_cast<unsigned long long>(sorter.stats().worst_insert_cycles));
+    for (const auto& mem : sim.memories())
+        std::printf("  %-18s %6llu words x %2u bits\n", mem->name().c_str(),
+                    static_cast<unsigned long long>(mem->num_words()),
+                    mem->word_bits());
+    return 0;
+}

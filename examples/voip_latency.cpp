@@ -1,0 +1,91 @@
+// VoIP latency study: how the choice of tag queue inside the WFQ
+// scheduler affects voice delay — the paper's sorter vs the inexact
+// binning technique it criticises (§II-B), plus the fair-queueing
+// algorithm family (WFQ / WF2Q+ / SCFQ) on the same sorter.
+//
+//   ./build/examples/voip_latency
+#include <cstdio>
+
+#include "analysis/delay_stats.hpp"
+#include "baselines/factory.hpp"
+#include "common/table.hpp"
+#include "net/sim_driver.hpp"
+#include "net/traffic_gen.hpp"
+#include "scheduler/wfq_scheduler.hpp"
+
+using namespace wfqs;
+
+namespace {
+
+constexpr net::TimeNs kSecond = 1'000'000'000;
+constexpr std::uint64_t kRate = 20'000'000;
+constexpr std::size_t kVoipFlows = 6;
+
+struct Outcome {
+    double p99_ms;
+    double max_ms;
+};
+
+Outcome run(scheduler::FairQueueingScheduler& sched) {
+    std::vector<net::FlowSpec> flows;
+    for (std::size_t i = 0; i < kVoipFlows; ++i)
+        flows.push_back({std::make_unique<net::VoipSource>(2 * kSecond, 30 + i), 8});
+    for (int i = 0; i < 5; ++i)
+        flows.push_back({std::make_unique<net::OnOffParetoSource>(
+                             20'000'000, 1500, 0.2, 0.1, 1.5, 2 * kSecond, 50 + i),
+                         1});
+    net::SimDriver driver(kRate);
+    const auto result = driver.run(sched, flows);
+    const auto reports = analysis::per_flow_delays(result.records, flows.size());
+    Outcome out{0.0, 0.0};
+    for (std::size_t f = 0; f < kVoipFlows; ++f) {
+        out.p99_ms = std::max(out.p99_ms, reports[f].p99_delay_us / 1e3);
+        out.max_ms = std::max(out.max_ms, reports[f].max_delay_us / 1e3);
+    }
+    return out;
+}
+
+scheduler::FairQueueingScheduler::Config base_config(wfq::FairQueueingKind kind) {
+    scheduler::FairQueueingScheduler::Config cfg;
+    cfg.link_rate_bps = kRate;
+    cfg.tag_granularity_bits = -6;
+    cfg.algorithm = kind;
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("VoIP latency: 6 voice flows (w=8) vs 5 saturating bursty flows "
+                "(w=1), 20 Mb/s\n\n");
+    TextTable table({"configuration", "worst VoIP p99 (ms)", "worst VoIP max (ms)"});
+
+    struct Case {
+        const char* label;
+        wfq::FairQueueingKind alg;
+        baselines::QueueKind queue;
+    };
+    const Case cases[] = {
+        {"WFQ + multi-bit tree", wfq::FairQueueingKind::Wfq,
+         baselines::QueueKind::MultibitTree},
+        {"WF2Q+ + multi-bit tree", wfq::FairQueueingKind::Wf2qPlus,
+         baselines::QueueKind::MultibitTree},
+        {"SCFQ + multi-bit tree", wfq::FairQueueingKind::Scfq,
+         baselines::QueueKind::MultibitTree},
+        {"FBFQ + multi-bit tree", wfq::FairQueueingKind::Fbfq,
+         baselines::QueueKind::MultibitTree},
+        {"WFQ + binning (inexact)", wfq::FairQueueingKind::Wfq,
+         baselines::QueueKind::Binning},
+    };
+    for (const auto& c : cases) {
+        scheduler::FairQueueingScheduler sched(
+            base_config(c.alg), baselines::make_tag_queue(c.queue, {20, 1 << 16}));
+        const Outcome o = run(sched);
+        table.add_row({c.label, TextTable::num(o.p99_ms, 2), TextTable::num(o.max_ms, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Exact sorting keeps voice near the GPS ideal; binning trades the\n");
+    std::printf("sorted order away inside each bin and voice pays for it; SCFQ's\n");
+    std::printf("looser virtual clock shows up as extra tail latency.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+#include "analysis/delay_stats.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wfqs::analysis {
+
+std::vector<FlowDelayReport> per_flow_delays(
+    const std::vector<net::PacketRecord>& records, std::size_t flow_count) {
+    std::vector<RunningStats> delay(flow_count);
+    std::vector<Quantiles> quantiles(flow_count);
+    std::vector<std::uint64_t> bytes(flow_count, 0);
+    net::TimeNs first = ~net::TimeNs{0};
+    net::TimeNs last = 0;
+    for (const auto& r : records) {
+        WFQS_ASSERT_MSG(r.packet.flow < flow_count, "record references unknown flow");
+        const double d_us = static_cast<double>(r.delay_ns()) / 1e3;
+        delay[r.packet.flow].add(d_us);
+        quantiles[r.packet.flow].add(d_us);
+        bytes[r.packet.flow] += r.packet.size_bytes;
+        first = std::min(first, r.packet.arrival_ns);
+        last = std::max(last, r.departure_ns);
+    }
+    const double span_s =
+        records.empty() ? 0.0 : static_cast<double>(last - first) / 1e9;
+
+    std::vector<FlowDelayReport> out(flow_count);
+    for (std::size_t f = 0; f < flow_count; ++f) {
+        out[f].flow = static_cast<net::FlowId>(f);
+        out[f].packets = delay[f].count();
+        out[f].bytes = bytes[f];
+        if (delay[f].count() > 0) {
+            out[f].mean_delay_us = delay[f].mean();
+            out[f].p99_delay_us = quantiles[f].quantile(0.99);
+            out[f].max_delay_us = delay[f].max();
+            out[f].jitter_us = delay[f].stddev();
+            if (span_s > 0)
+                out[f].throughput_bps = static_cast<double>(bytes[f]) * 8.0 / span_s;
+        }
+    }
+    return out;
+}
+
+AggregateDelayReport aggregate_delays(const std::vector<net::PacketRecord>& records) {
+    AggregateDelayReport out;
+    RunningStats stats;
+    Quantiles quantiles;
+    for (const auto& r : records) {
+        const double d_us = static_cast<double>(r.delay_ns()) / 1e3;
+        stats.add(d_us);
+        quantiles.add(d_us);
+    }
+    out.packets = stats.count();
+    if (out.packets > 0) {
+        out.mean_delay_us = stats.mean();
+        out.p50_delay_us = quantiles.quantile(0.5);
+        out.p99_delay_us = quantiles.quantile(0.99);
+        out.max_delay_us = stats.max();
+    }
+    return out;
+}
+
+}  // namespace wfqs::analysis

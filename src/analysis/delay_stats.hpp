@@ -1,0 +1,39 @@
+// Per-flow delay/jitter/throughput statistics over a simulation run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/packet.hpp"
+
+namespace wfqs::analysis {
+
+struct FlowDelayReport {
+    net::FlowId flow = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    double mean_delay_us = 0.0;
+    double p99_delay_us = 0.0;
+    double max_delay_us = 0.0;
+    double jitter_us = 0.0;       ///< stddev of delay
+    double throughput_bps = 0.0;  ///< over the measured interval
+};
+
+/// Build per-flow reports from completed packet records. `flow_count`
+/// must cover every flow id appearing in the records.
+std::vector<FlowDelayReport> per_flow_delays(const std::vector<net::PacketRecord>& records,
+                                             std::size_t flow_count);
+
+/// Aggregate delay distribution across all flows.
+struct AggregateDelayReport {
+    std::uint64_t packets = 0;
+    double mean_delay_us = 0.0;
+    double p50_delay_us = 0.0;
+    double p99_delay_us = 0.0;
+    double max_delay_us = 0.0;
+};
+AggregateDelayReport aggregate_delays(const std::vector<net::PacketRecord>& records);
+
+}  // namespace wfqs::analysis

@@ -1,0 +1,94 @@
+#include "analysis/fairness.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+#include "wfq/gps_fluid.hpp"
+
+namespace wfqs::analysis {
+
+GpsComparison compare_with_gps(const std::vector<net::PacketRecord>& records,
+                               const std::vector<std::uint32_t>& weights,
+                               std::uint64_t link_rate_bps) {
+    GpsComparison out;
+    if (records.empty()) return out;
+
+    // GPS must see arrivals in time order; records are in departure order.
+    std::vector<const net::PacketRecord*> by_arrival;
+    by_arrival.reserve(records.size());
+    std::uint32_t max_bytes = 0;
+    for (const auto& r : records) {
+        by_arrival.push_back(&r);
+        max_bytes = std::max(max_bytes, r.packet.size_bytes);
+    }
+    std::stable_sort(by_arrival.begin(), by_arrival.end(),
+                     [](const net::PacketRecord* a, const net::PacketRecord* b) {
+                         return a->packet.arrival_ns < b->packet.arrival_ns;
+                     });
+
+    wfq::GpsFluidSim gps(static_cast<double>(link_rate_bps));
+    for (const std::uint32_t w : weights) gps.add_flow(static_cast<double>(w));
+    std::map<std::uint64_t, int> gps_id_of_packet;
+    for (const auto* r : by_arrival) {
+        const int id = gps.arrive(static_cast<int>(r->packet.flow),
+                                  static_cast<double>(r->packet.arrival_ns) / 1e9,
+                                  static_cast<double>(r->packet.size_bits()));
+        gps_id_of_packet[r->packet.id] = id;
+    }
+    std::vector<double> gps_finish(records.size(), 0.0);
+    for (const auto& dep : gps.drain()) {
+        // departures indexed by GPS packet id -> map back below
+        if (static_cast<std::size_t>(dep.packet) >= gps_finish.size())
+            gps_finish.resize(dep.packet + 1, 0.0);
+        gps_finish[static_cast<std::size_t>(dep.packet)] = dep.finish_time;
+    }
+
+    out.bound_s = static_cast<double>(max_bytes) * 8.0 /
+                  static_cast<double>(link_rate_bps);
+    std::uint64_t within = 0;
+    double lag_sum = 0.0;
+    for (const auto& r : records) {
+        const double depart_s = static_cast<double>(r.departure_ns) / 1e9;
+        const double finish_s = gps_finish[static_cast<std::size_t>(
+            gps_id_of_packet.at(r.packet.id))];
+        const double lag = depart_s - finish_s;
+        out.worst_lag_s = std::max(out.worst_lag_s, lag);
+        lag_sum += std::max(lag, 0.0);
+        if (lag <= out.bound_s + 1e-9) ++within;
+    }
+    out.packets = records.size();
+    out.mean_lag_s = lag_sum / static_cast<double>(records.size());
+    out.within_bound_fraction =
+        static_cast<double>(within) / static_cast<double>(records.size());
+    return out;
+}
+
+double jain_fairness_index(const std::vector<double>& normalized_service) {
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t n = 0;
+    for (const double x : normalized_service) {
+        if (x <= 0.0) continue;  // flows with no service don't participate
+        sum += x;
+        sum_sq += x * x;
+        ++n;
+    }
+    if (n == 0) return 1.0;
+    return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+std::vector<double> normalized_service(const std::vector<net::PacketRecord>& records,
+                                       const std::vector<std::uint32_t>& weights,
+                                       net::TimeNs from_ns, net::TimeNs to_ns) {
+    std::vector<double> service(weights.size(), 0.0);
+    for (const auto& r : records) {
+        if (r.departure_ns < from_ns || r.departure_ns >= to_ns) continue;
+        WFQS_ASSERT(r.packet.flow < weights.size());
+        service[r.packet.flow] += static_cast<double>(r.packet.size_bytes);
+    }
+    for (std::size_t f = 0; f < weights.size(); ++f)
+        service[f] /= static_cast<double>(weights[f]);
+    return service;
+}
+
+}  // namespace wfqs::analysis

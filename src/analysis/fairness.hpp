@@ -1,0 +1,45 @@
+// Fairness analysis against the GPS ideal.
+//
+// WFQ's defining property (§I-B) is that it "approximates GPS within one
+// packet transmission time regardless of the arrival patterns": every
+// packet's real departure under WFQ is bounded by its GPS fluid finish
+// time plus L_max/r. This module replays a run's accepted arrivals
+// through the GPS fluid simulator and measures exactly that gap, plus
+// bandwidth-share fairness (Jain index over weight-normalised service).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace wfqs::analysis {
+
+struct GpsComparison {
+    std::uint64_t packets = 0;
+    /// max over packets of (scheduler departure − GPS finish), seconds.
+    double worst_lag_s = 0.0;
+    double mean_lag_s = 0.0;
+    /// The WFQ delay bound for this run: L_max / r.
+    double bound_s = 0.0;
+    /// Fraction of packets departing within GPS finish + L_max/r.
+    double within_bound_fraction = 0.0;
+};
+
+/// Replay `records` through GPS (same weights, same link rate) and
+/// compare real departures with fluid finish times.
+GpsComparison compare_with_gps(const std::vector<net::PacketRecord>& records,
+                               const std::vector<std::uint32_t>& weights,
+                               std::uint64_t link_rate_bps);
+
+/// Jain fairness index over weight-normalised service received by the
+/// flows that were continuously backlogged. 1.0 = perfectly fair.
+double jain_fairness_index(const std::vector<double>& normalized_service);
+
+/// Per-flow weight-normalised bytes served (service/weight), the input to
+/// the Jain index, measured over [from_ns, to_ns).
+std::vector<double> normalized_service(const std::vector<net::PacketRecord>& records,
+                                       const std::vector<std::uint32_t>& weights,
+                                       net::TimeNs from_ns, net::TimeNs to_ns);
+
+}  // namespace wfqs::analysis

@@ -1,0 +1,29 @@
+#include "analysis/throughput.hpp"
+
+#include <algorithm>
+
+namespace wfqs::analysis {
+
+ThroughputReport measure_throughput(const std::vector<net::PacketRecord>& records,
+                                    std::uint64_t link_rate_bps) {
+    ThroughputReport out;
+    if (records.empty()) return out;
+    net::TimeNs first = ~net::TimeNs{0};
+    net::TimeNs last = 0;
+    for (const auto& r : records) {
+        out.bytes += r.packet.size_bytes;
+        first = std::min(first, r.service_start_ns);
+        last = std::max(last, r.departure_ns);
+    }
+    out.packets = records.size();
+    out.duration_s = static_cast<double>(last - first) / 1e9;
+    if (out.duration_s > 0) {
+        out.pps = static_cast<double>(out.packets) / out.duration_s;
+        out.gbps = static_cast<double>(out.bytes) * 8.0 / out.duration_s / 1e9;
+        out.utilization = static_cast<double>(out.bytes) * 8.0 / out.duration_s /
+                          static_cast<double>(link_rate_bps);
+    }
+    return out;
+}
+
+}  // namespace wfqs::analysis

@@ -1,0 +1,35 @@
+// Throughput / line-rate conversions for the §IV performance claims.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace wfqs::analysis {
+
+/// Packets-per-second of a pipelined circuit: clock / cycles-per-packet.
+constexpr double circuit_mpps(double clock_mhz, double cycles_per_packet) {
+    return clock_mhz / cycles_per_packet;
+}
+
+/// Line rate in Gb/s for a packet rate and average packet size (the paper
+/// uses a "conservative estimate for an average IP packet size of 140
+/// bytes").
+constexpr double line_rate_gbps(double mpps, double avg_packet_bytes) {
+    return mpps * 1e6 * avg_packet_bytes * 8.0 / 1e9;
+}
+
+struct ThroughputReport {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    double duration_s = 0.0;
+    double pps = 0.0;
+    double gbps = 0.0;
+    double utilization = 0.0;  ///< vs. the link rate
+};
+
+ThroughputReport measure_throughput(const std::vector<net::PacketRecord>& records,
+                                    std::uint64_t link_rate_bps);
+
+}  // namespace wfqs::analysis

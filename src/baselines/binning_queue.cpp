@@ -1,0 +1,46 @@
+#include "baselines/binning_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace wfqs::baselines {
+
+BinningQueue::BinningQueue(unsigned range_bits, std::size_t bins) {
+    WFQS_REQUIRE(range_bits >= 1 && range_bits <= 32, "binning range 1..32 bits");
+    WFQS_REQUIRE(bins >= 1, "need at least one bin");
+    range_ = std::uint64_t{1} << range_bits;
+    WFQS_REQUIRE(bins <= range_, "more bins than tag values");
+    bin_width_ = range_ / bins;
+    bins_.assign(bins, {});
+}
+
+void BinningQueue::insert(std::uint64_t tag, std::uint32_t payload) {
+    WFQS_REQUIRE(tag < range_, "binning tag exceeds the bounded universe");
+    OpScope op(*this, OpScope::Kind::Insert);
+    bins_[static_cast<std::size_t>(tag / bin_width_)].push_back(QueueEntry{tag, payload});
+    touch();
+    ++size_;
+}
+
+std::optional<QueueEntry> BinningQueue::pop_min() {
+    if (size_ == 0) return std::nullopt;
+    OpScope op(*this, OpScope::Kind::Pop);
+    for (auto& bin : bins_) {
+        touch();
+        if (!bin.empty()) {
+            const QueueEntry e = bin.front();  // FIFO head, not the bin min!
+            bin.pop_front();
+            --size_;
+            return e;
+        }
+    }
+    WFQS_ASSERT_MSG(false, "binning size out of sync");
+    return std::nullopt;
+}
+
+std::optional<QueueEntry> BinningQueue::peek_min() {
+    for (const auto& bin : bins_)
+        if (!bin.empty()) return bin.front();
+    return std::nullopt;
+}
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,43 @@
+// The "binning" technique from the CBFQ hardware implementation [12] —
+// the paper's §II-B verdict: "this method is unsatisfactory because it
+// aggregates values together in groups and is inherently inaccurate."
+//
+// K bins partition the tag range; each bin is a FIFO. Serving takes the
+// FIFO head of the first non-empty bin, which is generally *not* the
+// smallest tag in that bin — the inaccuracy the A3 bench quantifies.
+//
+// Tags must be < range (bounded-universe structure).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "baselines/tag_queue.hpp"
+
+namespace wfqs::baselines {
+
+class BinningQueue final : public TagQueue {
+public:
+    BinningQueue(unsigned range_bits = 12, std::size_t bins = 64);
+
+    void insert(std::uint64_t tag, std::uint32_t payload) override;
+    std::optional<QueueEntry> pop_min() override;
+    std::optional<QueueEntry> peek_min() override;
+
+    std::size_t size() const override { return size_; }
+    std::string name() const override { return "binning (CBFQ)"; }
+    std::string model() const override { return "search"; }
+    std::string complexity() const override { return "O(K bins)"; }
+    bool exact() const override { return false; }
+
+    std::size_t bin_count() const { return bins_.size(); }
+
+private:
+    std::uint64_t range_;
+    std::uint64_t bin_width_;
+    std::vector<std::deque<QueueEntry>> bins_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace wfqs::baselines

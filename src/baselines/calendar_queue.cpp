@@ -1,0 +1,129 @@
+#include "baselines/calendar_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wfqs::baselines {
+
+CalendarQueue::CalendarQueue(std::size_t initial_buckets, std::uint64_t initial_width)
+    : buckets_(initial_buckets), width_(initial_width) {
+    WFQS_REQUIRE(initial_buckets >= 2, "calendar needs at least two buckets");
+    WFQS_REQUIRE(initial_width >= 1, "bucket width must be positive");
+}
+
+void CalendarQueue::insert_into_bucket(std::uint64_t tag, std::uint32_t payload) {
+    auto& bucket = buckets_[bucket_of(tag)];
+    auto it = bucket.begin();
+    while (it != bucket.end()) {
+        touch();
+        if (it->tag > tag) break;
+        ++it;
+    }
+    bucket.insert(it, QueueEntry{tag, payload});
+    touch();
+}
+
+void CalendarQueue::insert(std::uint64_t tag, std::uint32_t payload) {
+    {
+        OpScope op(*this, OpScope::Kind::Insert);
+        insert_into_bucket(tag, payload);
+        ++size_;
+        if (size_ == 1) {
+            // Re-anchor the calendar on the sole entry.
+            cursor_ = bucket_of(tag);
+            day_start_ = tag / width_ * width_;
+        } else if (tag < day_start_) {
+            // An earlier tag re-anchors the serving position backwards.
+            cursor_ = bucket_of(tag);
+            day_start_ = tag / width_ * width_;
+        }
+    }
+    maybe_resize();
+}
+
+void CalendarQueue::maybe_resize() {
+    const std::size_t n = buckets_.size();
+    if (size_ > 2 * n || (size_ < n / 2 && n > 8)) {
+        ++resizes_;
+        // Re-estimate the bucket width from the current spread and rebuild
+        // (Brown's copy operation) — every entry is touched.
+        std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+        std::vector<QueueEntry> all;
+        all.reserve(size_);
+        for (auto& b : buckets_) {
+            for (const auto& e : b) {
+                lo = std::min(lo, e.tag);
+                hi = std::max(hi, e.tag);
+                all.push_back(e);
+                touch();
+            }
+            b.clear();
+        }
+        const std::size_t new_n = std::max<std::size_t>(8, size_);
+        width_ = std::max<std::uint64_t>(1, (hi - lo) / new_n + 1);
+        buckets_.assign(new_n, {});
+        for (const auto& e : all) insert_into_bucket(e.tag, e.payload);
+        cursor_ = all.empty() ? 0 : bucket_of(lo);
+        day_start_ = all.empty() ? 0 : lo / width_ * width_;
+    }
+}
+
+std::optional<QueueEntry> CalendarQueue::direct_search_pop() {
+    // Slow path: scan every bucket head for the global minimum.
+    std::size_t best_bucket = buckets_.size();
+    std::uint64_t best_tag = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        touch();
+        if (!buckets_[i].empty() && buckets_[i].front().tag < best_tag) {
+            best_tag = buckets_[i].front().tag;
+            best_bucket = i;
+        }
+    }
+    WFQS_ASSERT(best_bucket < buckets_.size());
+    const QueueEntry e = buckets_[best_bucket].front();
+    buckets_[best_bucket].pop_front();
+    touch();
+    --size_;
+    cursor_ = best_bucket;
+    day_start_ = e.tag / width_ * width_;
+    return e;
+}
+
+std::optional<QueueEntry> CalendarQueue::pop_min() {
+    if (size_ == 0) return std::nullopt;
+    OpScope op(*this, OpScope::Kind::Pop);
+    // Walk the calendar: for each day, serve the cursor bucket if its head
+    // falls inside the day; after a whole empty year, fall back to direct
+    // search.
+    for (std::size_t steps = 0; steps < buckets_.size(); ++steps) {
+        auto& bucket = buckets_[cursor_];
+        touch();
+        if (!bucket.empty() && bucket.front().tag < day_start_ + width_) {
+            const QueueEntry e = bucket.front();
+            bucket.pop_front();
+            --size_;
+            return e;
+        }
+        cursor_ = (cursor_ + 1) % buckets_.size();
+        day_start_ += width_;
+    }
+    return direct_search_pop();
+}
+
+std::optional<QueueEntry> CalendarQueue::peek_min() {
+    if (size_ == 0) return std::nullopt;
+    // Non-destructive variant of pop_min's scan (no access accounting —
+    // the paper's search-model critique applies to the serving path).
+    std::uint64_t best = ~std::uint64_t{0};
+    std::optional<QueueEntry> found;
+    for (const auto& b : buckets_) {
+        if (!b.empty() && b.front().tag < best) {
+            best = b.front().tag;
+            found = b.front();
+        }
+    }
+    return found;
+}
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,52 @@
+// Calendar queue (Brown 1988) — the classic O(1)-average event queue the
+// paper cites as having been tried for hardware fair queueing [14], [15]
+// and found "limited in size and scalability": its worst case degrades to
+// O(N) when priorities cluster, and resizing requires a full rebuild.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "baselines/tag_queue.hpp"
+
+namespace wfqs::baselines {
+
+class CalendarQueue final : public TagQueue {
+public:
+    explicit CalendarQueue(std::size_t initial_buckets = 8,
+                           std::uint64_t initial_width = 16);
+
+    void insert(std::uint64_t tag, std::uint32_t payload) override;
+    std::optional<QueueEntry> pop_min() override;
+    std::optional<QueueEntry> peek_min() override;
+
+    std::size_t size() const override { return size_; }
+    std::string name() const override { return "calendar queue"; }
+    std::string model() const override { return "sort"; }
+    std::string complexity() const override { return "O(1) avg / O(N) worst"; }
+
+    std::size_t bucket_count() const { return buckets_.size(); }
+    std::uint64_t bucket_width() const { return width_; }
+    std::uint64_t resizes() const { return resizes_; }
+
+private:
+    std::size_t bucket_of(std::uint64_t tag) const {
+        return static_cast<std::size_t>((tag / width_) % buckets_.size());
+    }
+    void insert_into_bucket(std::uint64_t tag, std::uint32_t payload);
+    void maybe_resize();
+    /// Locate the global minimum by scanning every bucket head (the
+    /// calendar's slow path after an empty year).
+    std::optional<QueueEntry> direct_search_pop();
+
+    std::vector<std::list<QueueEntry>> buckets_;
+    std::uint64_t width_;
+    std::size_t size_ = 0;
+    // Serving position: the "today" pointer of the calendar.
+    std::size_t cursor_ = 0;
+    std::uint64_t day_start_ = 0;  ///< lower tag bound of the cursor bucket
+    std::uint64_t resizes_ = 0;
+};
+
+}  // namespace wfqs::baselines

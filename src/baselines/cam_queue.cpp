@@ -1,0 +1,97 @@
+#include "baselines/cam_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace wfqs::baselines {
+
+// ------------------------------------------------------------ binary CAM
+
+BinaryCamQueue::BinaryCamQueue(unsigned range_bits) {
+    WFQS_REQUIRE(range_bits >= 1 && range_bits <= 24, "CAM range 1..24 bits");
+    range_ = std::uint64_t{1} << range_bits;
+    by_value_.assign(static_cast<std::size_t>(range_), {});
+}
+
+void BinaryCamQueue::insert(std::uint64_t tag, std::uint32_t payload) {
+    WFQS_REQUIRE(tag < range_, "CAM tag exceeds the bounded universe");
+    OpScope op(*this, OpScope::Kind::Insert);
+    by_value_[tag].push_back(payload);
+    touch();  // one CAM write
+    if (tag < sweep_hint_) sweep_hint_ = tag;
+    ++size_;
+}
+
+std::optional<QueueEntry> BinaryCamQueue::pop_min() {
+    if (size_ == 0) return std::nullopt;
+    OpScope op(*this, OpScope::Kind::Pop);
+    // Iterative probe sweep: "incrementing a search by one value at a
+    // time, which is very slow" (§II-D).
+    for (std::uint64_t v = sweep_hint_; v < range_; ++v) {
+        touch();  // one associative probe
+        if (!by_value_[v].empty()) {
+            const QueueEntry e{v, by_value_[v].front()};
+            by_value_[v].pop_front();
+            touch();  // entry invalidation write
+            sweep_hint_ = v;  // minimum cannot move below a served value
+            --size_;
+            return e;
+        }
+    }
+    WFQS_ASSERT_MSG(false, "CAM size out of sync");
+    return std::nullopt;
+}
+
+std::optional<QueueEntry> BinaryCamQueue::peek_min() {
+    for (std::uint64_t v = sweep_hint_; v < range_; ++v)
+        if (!by_value_[v].empty()) return QueueEntry{v, by_value_[v].front()};
+    return std::nullopt;
+}
+
+// ----------------------------------------------------------------- TCAM
+
+TcamQueue::TcamQueue(unsigned range_bits) : range_bits_(range_bits) {
+    WFQS_REQUIRE(range_bits >= 1 && range_bits <= 24, "TCAM range 1..24 bits");
+    range_ = std::uint64_t{1} << range_bits;
+    by_value_.assign(static_cast<std::size_t>(range_), {});
+}
+
+void TcamQueue::insert(std::uint64_t tag, std::uint32_t payload) {
+    WFQS_REQUIRE(tag < range_, "TCAM tag exceeds the bounded universe");
+    OpScope op(*this, OpScope::Kind::Insert);
+    values_.insert(tag);
+    by_value_[tag].push_back(payload);
+    touch();  // one TCAM write
+    ++size_;
+}
+
+bool TcamQueue::probe(std::uint64_t prefix, unsigned low_bits) {
+    touch();  // one masked associative probe
+    const auto it = values_.lower_bound(prefix);
+    return it != values_.end() && *it < prefix + (std::uint64_t{1} << low_bits);
+}
+
+std::optional<QueueEntry> TcamQueue::pop_min() {
+    if (size_ == 0) return std::nullopt;
+    OpScope op(*this, OpScope::Kind::Pop);
+    // Bit-wise iterative search with masked bits: descend from the MSB,
+    // trying 0 first at each position. W probes total.
+    std::uint64_t prefix = 0;
+    for (unsigned bit = range_bits_; bit-- > 0;) {
+        if (!probe(prefix, bit)) prefix |= std::uint64_t{1} << bit;
+    }
+    WFQS_ASSERT(!by_value_[prefix].empty());
+    const QueueEntry e{prefix, by_value_[prefix].front()};
+    by_value_[prefix].pop_front();
+    values_.erase(values_.find(prefix));
+    touch();  // entry invalidation write
+    --size_;
+    return e;
+}
+
+std::optional<QueueEntry> TcamQueue::peek_min() {
+    if (values_.empty()) return std::nullopt;
+    const std::uint64_t v = *values_.begin();
+    return QueueEntry{v, by_value_[v].front()};
+}
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,69 @@
+// Content-addressable memory models for Table I.
+//
+// Binary CAM: one associative probe answers "is value v stored?" in one
+// access, but finding the *minimum* needs an iterative sweep, probing
+// candidate values one at a time from the last known minimum upward —
+// "very slow" (§II-D), worst case O(R).
+//
+// TCAM: masked (ternary) probes answer "is any value with this prefix
+// stored?", enabling a bitwise binary search for the minimum: W probes
+// for W-bit tags.
+//
+// Both are search-model structures: insert is one access, the lookup
+// cost lands on the serving path. Tags must be < range.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "baselines/tag_queue.hpp"
+
+namespace wfqs::baselines {
+
+class BinaryCamQueue final : public TagQueue {
+public:
+    explicit BinaryCamQueue(unsigned range_bits = 12);
+
+    void insert(std::uint64_t tag, std::uint32_t payload) override;
+    std::optional<QueueEntry> pop_min() override;
+    std::optional<QueueEntry> peek_min() override;
+
+    std::size_t size() const override { return size_; }
+    std::string name() const override { return "binary CAM"; }
+    std::string model() const override { return "search"; }
+    std::string complexity() const override { return "O(R) probes"; }
+
+private:
+    std::uint64_t range_;
+    std::vector<std::deque<std::uint32_t>> by_value_;  ///< FIFO per tag value
+    std::uint64_t sweep_hint_ = 0;  ///< minimum can only be at or above this
+    std::size_t size_ = 0;
+};
+
+class TcamQueue final : public TagQueue {
+public:
+    explicit TcamQueue(unsigned range_bits = 12);
+
+    void insert(std::uint64_t tag, std::uint32_t payload) override;
+    std::optional<QueueEntry> pop_min() override;
+    std::optional<QueueEntry> peek_min() override;
+
+    std::size_t size() const override { return size_; }
+    std::string name() const override { return "TCAM"; }
+    std::string model() const override { return "search"; }
+    std::string complexity() const override { return "O(W) probes"; }
+
+private:
+    /// One masked probe: any stored value in [prefix, prefix + 2^bits)?
+    bool probe(std::uint64_t prefix, unsigned low_bits);
+
+    unsigned range_bits_;
+    std::uint64_t range_;
+    std::multiset<std::uint64_t> values_;  ///< probe oracle (hardware: the TCAM array)
+    std::vector<std::deque<std::uint32_t>> by_value_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,128 @@
+#include "baselines/factory.hpp"
+
+#include "baselines/binning_queue.hpp"
+#include "baselines/calendar_queue.hpp"
+#include "baselines/cam_queue.hpp"
+#include "baselines/heap_queue.hpp"
+#include "baselines/skiplist_queue.hpp"
+#include "baselines/sorted_list_queue.hpp"
+#include "baselines/tcq_queue.hpp"
+#include "baselines/veb_queue.hpp"
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include <bit>
+#include <algorithm>
+#include "core/tag_sorter.hpp"
+
+namespace wfqs::baselines {
+namespace {
+
+/// The paper's sorter behind the TagQueue interface. Memory accesses are
+/// the circuit's real SRAM traffic (tree levels in SRAM, translation
+/// table, tag store); register reads are free, as in the silicon.
+class SorterTagQueue final : public TagQueue {
+public:
+    static unsigned payload_bits_for(const tree::TreeGeometry& g, std::size_t capacity) {
+        const unsigned next_bits = static_cast<unsigned>(
+            64 - std::countl_zero(static_cast<std::uint64_t>(capacity)));
+        const unsigned avail = 64 - g.tag_bits() - next_bits;
+        WFQS_REQUIRE(avail >= 16, "tree too wide to pack payload into list entries");
+        return std::min(avail, 32u);
+    }
+
+    SorterTagQueue(tree::TreeGeometry geometry, std::size_t capacity, std::string name,
+                   std::string complexity)
+        : sorter_({geometry, capacity, payload_bits_for(geometry, capacity)}, sim_),
+          name_(std::move(name)),
+          complexity_(std::move(complexity)) {}
+
+    void insert(std::uint64_t tag, std::uint32_t payload) override {
+        OpScope op(*this, OpScope::Kind::Insert);
+        const std::uint64_t before = sim_.total_memory_stats().total();
+        sorter_.insert(tag, payload);
+        touch(sim_.total_memory_stats().total() - before);
+    }
+
+    std::optional<QueueEntry> pop_min() override {
+        if (sorter_.empty()) return std::nullopt;
+        OpScope op(*this, OpScope::Kind::Pop);
+        const std::uint64_t before = sim_.total_memory_stats().total();
+        const auto popped = sorter_.pop_min();
+        touch(sim_.total_memory_stats().total() - before);
+        return QueueEntry{popped->tag, popped->payload};
+    }
+
+    std::optional<QueueEntry> peek_min() override {
+        const auto min = sorter_.peek_min();
+        if (!min) return std::nullopt;
+        return QueueEntry{min->tag, min->payload};
+    }
+
+    std::size_t size() const override { return sorter_.size(); }
+    std::string name() const override { return name_; }
+    std::string model() const override { return "sort"; }
+    std::string complexity() const override { return complexity_; }
+
+private:
+    hw::Simulation sim_;
+    core::TagSorter sorter_;
+    std::string name_;
+    std::string complexity_;
+};
+
+tree::TreeGeometry multibit_geometry(unsigned range_bits) {
+    // 4-bit literals as in the silicon; enough levels to cover the range.
+    const unsigned levels = static_cast<unsigned>(ceil_div(range_bits, 4));
+    return tree::TreeGeometry{levels, 4};
+}
+
+}  // namespace
+
+std::unique_ptr<TagQueue> make_tag_queue(QueueKind kind, const QueueParams& params) {
+    switch (kind) {
+        case QueueKind::MultibitTree:
+            return std::make_unique<SorterTagQueue>(multibit_geometry(params.range_bits),
+                                                    params.capacity, "multi-bit tree",
+                                                    "O(W/k)");
+        case QueueKind::BinaryTree:
+            return std::make_unique<SorterTagQueue>(
+                tree::TreeGeometry::binary(params.range_bits), params.capacity,
+                "binary tree", "O(W)");
+        case QueueKind::Heap:
+            return std::make_unique<HeapTagQueue>();
+        case QueueKind::SortedList:
+            return std::make_unique<SortedListQueue>();
+        case QueueKind::Skiplist:
+            return std::make_unique<SkiplistQueue>();
+        case QueueKind::Calendar:
+            return std::make_unique<CalendarQueue>();
+        case QueueKind::Tcq:
+            return std::make_unique<TcqQueue>(params.range_bits);
+        case QueueKind::Binning:
+            return std::make_unique<BinningQueue>(params.range_bits, 64);
+        case QueueKind::BinaryCam:
+            return std::make_unique<BinaryCamQueue>(params.range_bits);
+        case QueueKind::Tcam:
+            return std::make_unique<TcamQueue>(params.range_bits);
+        case QueueKind::Veb:
+            return std::make_unique<VebQueue>(params.range_bits);
+    }
+    WFQS_ASSERT_MSG(false, "unknown queue kind");
+    return nullptr;
+}
+
+const std::vector<QueueKind>& all_queue_kinds() {
+    static const std::vector<QueueKind> kinds = {
+        QueueKind::MultibitTree, QueueKind::BinaryTree, QueueKind::Heap,
+        QueueKind::SortedList,   QueueKind::Skiplist,   QueueKind::Calendar,
+        QueueKind::Tcq,          QueueKind::Binning,    QueueKind::BinaryCam,
+        QueueKind::Tcam,         QueueKind::Veb,
+    };
+    return kinds;
+}
+
+std::string queue_kind_name(QueueKind kind) {
+    return make_tag_queue(kind, {12, 64})->name();
+}
+
+}  // namespace wfqs::baselines

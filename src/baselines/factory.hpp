@@ -1,0 +1,37 @@
+// Factory over every tag-queue structure of Table I, including the
+// paper's multi-bit tree sorter itself (wrapped behind the same
+// interface with its SRAM traffic as the access count), so benches and
+// tests can sweep all of them over identical workloads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/tag_queue.hpp"
+
+namespace wfqs::baselines {
+
+enum class QueueKind {
+    MultibitTree,  ///< the paper's sorter (src/core)
+    BinaryTree,    ///< same circuit, branching factor 2 (Table I "tree")
+    Heap,
+    SortedList,
+    Skiplist,
+    Calendar,
+    Tcq,
+    Binning,
+    BinaryCam,
+    Tcam,
+    Veb,
+};
+
+struct QueueParams {
+    unsigned range_bits = 12;     ///< tag universe for bounded structures
+    std::size_t capacity = 8192;  ///< slot budget for the sorter variants
+};
+
+std::unique_ptr<TagQueue> make_tag_queue(QueueKind kind, const QueueParams& params = {});
+const std::vector<QueueKind>& all_queue_kinds();
+std::string queue_kind_name(QueueKind kind);
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,63 @@
+#include "baselines/heap_queue.hpp"
+
+#include <utility>
+
+namespace wfqs::baselines {
+
+void HeapTagQueue::sift_up(std::size_t i) {
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        touch(2);  // read parent, read child
+        if (!(heap_[i] < heap_[parent])) break;
+        std::swap(heap_[i], heap_[parent]);
+        touch(2);  // write both
+        i = parent;
+    }
+}
+
+void HeapTagQueue::sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t smallest = i;
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = 2 * i + 2;
+        if (l < n) {
+            touch();
+            if (heap_[l] < heap_[smallest]) smallest = l;
+        }
+        if (r < n) {
+            touch();
+            if (heap_[r] < heap_[smallest]) smallest = r;
+        }
+        if (smallest == i) break;
+        std::swap(heap_[i], heap_[smallest]);
+        touch(2);
+        i = smallest;
+    }
+}
+
+void HeapTagQueue::insert(std::uint64_t tag, std::uint32_t payload) {
+    OpScope op(*this, OpScope::Kind::Insert);
+    heap_.push_back(Node{tag, next_seq_++, payload});
+    touch();  // write the new leaf
+    sift_up(heap_.size() - 1);
+}
+
+std::optional<QueueEntry> HeapTagQueue::pop_min() {
+    if (heap_.empty()) return std::nullopt;
+    OpScope op(*this, OpScope::Kind::Pop);
+    touch();  // read the root
+    const QueueEntry result{heap_.front().tag, heap_.front().payload};
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    touch();  // move the last leaf to the root
+    if (!heap_.empty()) sift_down(0);
+    return result;
+}
+
+std::optional<QueueEntry> HeapTagQueue::peek_min() {
+    if (heap_.empty()) return std::nullopt;
+    return QueueEntry{heap_.front().tag, heap_.front().payload};
+}
+
+}  // namespace wfqs::baselines

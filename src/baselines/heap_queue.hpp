@@ -1,0 +1,43 @@
+// Binary-heap priority queue — the standard software baseline of Table I
+// ("queue/heap methods ... generally limited to O(log N)").
+//
+// Stability: ties are broken by insertion sequence number so equal tags
+// serve FIFO, matching the sorter's duplicate policy and making
+// departure-order equivalence testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/tag_queue.hpp"
+
+namespace wfqs::baselines {
+
+class HeapTagQueue final : public TagQueue {
+public:
+    void insert(std::uint64_t tag, std::uint32_t payload) override;
+    std::optional<QueueEntry> pop_min() override;
+    std::optional<QueueEntry> peek_min() override;
+
+    std::size_t size() const override { return heap_.size(); }
+    std::string name() const override { return "binary heap"; }
+    std::string model() const override { return "sort"; }
+    std::string complexity() const override { return "O(log N)"; }
+
+private:
+    struct Node {
+        std::uint64_t tag;
+        std::uint64_t seq;
+        std::uint32_t payload;
+        bool operator<(const Node& o) const {
+            return tag != o.tag ? tag < o.tag : seq < o.seq;
+        }
+    };
+    void sift_up(std::size_t i);
+    void sift_down(std::size_t i);
+
+    std::vector<Node> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,71 @@
+#include "baselines/skiplist_queue.hpp"
+
+namespace wfqs::baselines {
+
+SkiplistQueue::SkiplistQueue(std::uint64_t seed) : rng_(seed) {
+    head_.next.assign(kMaxLevel, nullptr);
+}
+
+SkiplistQueue::~SkiplistQueue() {
+    Node* n = head_.next[0];
+    while (n != nullptr) {
+        Node* next = n->next[0];
+        delete n;
+        n = next;
+    }
+}
+
+int SkiplistQueue::random_level() {
+    int lvl = 1;
+    while (lvl < kMaxLevel && rng_.next_bool(0.5)) ++lvl;
+    return lvl;
+}
+
+void SkiplistQueue::insert(std::uint64_t tag, std::uint32_t payload) {
+    OpScope op(*this, OpScope::Kind::Insert);
+    std::vector<Node*> update(kMaxLevel, &head_);
+    Node* cur = &head_;
+    for (int l = level_ - 1; l >= 0; --l) {
+        // "<=" keeps FIFO order within equal tags: new duplicates land
+        // after existing ones.
+        while (cur->next[l] != nullptr) {
+            touch();
+            if (cur->next[l]->entry.tag > tag) break;
+            cur = cur->next[l];
+        }
+        update[l] = cur;
+    }
+    const int lvl = random_level();
+    if (lvl > level_) level_ = lvl;
+    auto* node = new Node{QueueEntry{tag, payload}, std::vector<Node*>(lvl, nullptr)};
+    for (int l = 0; l < lvl; ++l) {
+        node->next[l] = update[l]->next[l];
+        update[l]->next[l] = node;
+        touch(2);  // rewrite predecessor pointer + new node pointer
+    }
+    ++size_;
+}
+
+std::optional<QueueEntry> SkiplistQueue::pop_min() {
+    Node* first = head_.next[0];
+    if (first == nullptr) return std::nullopt;
+    OpScope op(*this, OpScope::Kind::Pop);
+    touch();
+    const QueueEntry e = first->entry;
+    for (int l = 0; l < level_; ++l) {
+        if (head_.next[l] == first) {
+            head_.next[l] = first->next[l];
+            touch();
+        }
+    }
+    delete first;
+    --size_;
+    return e;
+}
+
+std::optional<QueueEntry> SkiplistQueue::peek_min() {
+    if (head_.next[0] == nullptr) return std::nullopt;
+    return head_.next[0]->entry;
+}
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,42 @@
+// Skip list — the expected-O(log N) pointer-based software structure,
+// included as the stronger software sort-model baseline next to the heap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/tag_queue.hpp"
+#include "common/rng.hpp"
+
+namespace wfqs::baselines {
+
+class SkiplistQueue final : public TagQueue {
+public:
+    explicit SkiplistQueue(std::uint64_t seed = 0x5eed);
+    ~SkiplistQueue() override;
+
+    void insert(std::uint64_t tag, std::uint32_t payload) override;
+    std::optional<QueueEntry> pop_min() override;
+    std::optional<QueueEntry> peek_min() override;
+
+    std::size_t size() const override { return size_; }
+    std::string name() const override { return "skip list"; }
+    std::string model() const override { return "sort"; }
+    std::string complexity() const override { return "O(log N) expected"; }
+
+private:
+    static constexpr int kMaxLevel = 24;
+    struct Node {
+        QueueEntry entry;
+        std::vector<Node*> next;
+    };
+    int random_level();
+
+    Node head_;
+    int level_ = 1;
+    std::size_t size_ = 0;
+    Rng rng_;
+};
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,33 @@
+#include "baselines/sorted_list_queue.hpp"
+
+namespace wfqs::baselines {
+
+void SortedListQueue::insert(std::uint64_t tag, std::uint32_t payload) {
+    OpScope op(*this, OpScope::Kind::Insert);
+    // Walk from the head until the first strictly larger tag (FIFO within
+    // equal tags); every node visited is one access.
+    auto it = list_.begin();
+    while (it != list_.end()) {
+        touch();
+        if (it->tag > tag) break;
+        ++it;
+    }
+    list_.insert(it, QueueEntry{tag, payload});
+    touch();  // write the new node
+}
+
+std::optional<QueueEntry> SortedListQueue::pop_min() {
+    if (list_.empty()) return std::nullopt;
+    OpScope op(*this, OpScope::Kind::Pop);
+    touch();
+    const QueueEntry e = list_.front();
+    list_.pop_front();
+    return e;
+}
+
+std::optional<QueueEntry> SortedListQueue::peek_min() {
+    if (list_.empty()) return std::nullopt;
+    return list_.front();
+}
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,28 @@
+// Sorted linked-list insertion — the naive O(N) software sort-model
+// baseline: what the paper's linked-list storage would cost *without* the
+// tree + translation table finding the insertion point.
+#pragma once
+
+#include <cstdint>
+#include <list>
+
+#include "baselines/tag_queue.hpp"
+
+namespace wfqs::baselines {
+
+class SortedListQueue final : public TagQueue {
+public:
+    void insert(std::uint64_t tag, std::uint32_t payload) override;
+    std::optional<QueueEntry> pop_min() override;
+    std::optional<QueueEntry> peek_min() override;
+
+    std::size_t size() const override { return list_.size(); }
+    std::string name() const override { return "sorted list (no tree)"; }
+    std::string model() const override { return "sort"; }
+    std::string complexity() const override { return "O(N)"; }
+
+private:
+    std::list<QueueEntry> list_;  ///< ascending by tag; FIFO within a tag
+};
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,69 @@
+#include "baselines/tcq_queue.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace wfqs::baselines {
+
+TcqQueue::TcqQueue(unsigned range_bits) {
+    WFQS_REQUIRE(range_bits >= 2 && range_bits <= 26, "TCQ range 2..26 bits");
+    range_ = std::uint64_t{1} << range_bits;
+    // D = H = sqrt(R), split bit-wise.
+    const unsigned day_bits = range_bits / 2;
+    days_ = std::size_t{1} << day_bits;
+    slots_per_day_ = static_cast<std::size_t>(range_ / days_);
+    day_occupancy_.assign(days_, 0);
+    slots_.assign(static_cast<std::size_t>(range_), {});
+}
+
+void TcqQueue::insert(std::uint64_t tag, std::uint32_t payload) {
+    WFQS_REQUIRE(tag < range_, "TCQ tag exceeds the bounded universe");
+    OpScope op(*this, OpScope::Kind::Insert);
+    slots_[tag].push_back(payload);
+    touch();  // slot append
+    ++day_occupancy_[tag / slots_per_day_];
+    touch();  // day counter update
+    ++size_;
+}
+
+std::optional<QueueEntry> TcqQueue::pop_min() {
+    if (size_ == 0) return std::nullopt;
+    OpScope op(*this, OpScope::Kind::Pop);
+    // First level: find the earliest non-empty day.
+    std::size_t day = 0;
+    for (; day < days_; ++day) {
+        touch();
+        if (day_occupancy_[day] != 0) break;
+    }
+    WFQS_ASSERT(day < days_);
+    // Second level: find the earliest non-empty slot of that day.
+    const std::size_t base = day * slots_per_day_;
+    for (std::size_t s = 0; s < slots_per_day_; ++s) {
+        touch();
+        auto& q = slots_[base + s];
+        if (!q.empty()) {
+            const QueueEntry e{base + s, q.front()};
+            q.pop_front();
+            --day_occupancy_[day];
+            touch();
+            --size_;
+            return e;
+        }
+    }
+    WFQS_ASSERT_MSG(false, "TCQ day occupancy out of sync");
+    return std::nullopt;
+}
+
+std::optional<QueueEntry> TcqQueue::peek_min() {
+    if (size_ == 0) return std::nullopt;
+    for (std::size_t day = 0; day < days_; ++day) {
+        if (day_occupancy_[day] == 0) continue;
+        const std::size_t base = day * slots_per_day_;
+        for (std::size_t s = 0; s < slots_per_day_; ++s)
+            if (!slots_[base + s].empty())
+                return QueueEntry{base + s, slots_[base + s].front()};
+    }
+    return std::nullopt;
+}
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,43 @@
+// Two-dimensional calendar queue (TCQ, Francini & Chiussi [16]) — a
+// two-level ring over a bounded tag range: D "day" buckets, each holding
+// H per-value slots (D·H = range). Insert is O(1); serving scans at most
+// D day counters plus H slots, i.e. O(2·sqrt(R)) worst-case accesses when
+// D = H = sqrt(R). The paper notes it "produces a degradation of the
+// delay guarantees provided by the WFQ algorithm" because the tag range
+// (and hence timestamp precision) must be kept small for the scan bound.
+//
+// Tags must be < range (bounded-universe structure; see tag_queue.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "baselines/tag_queue.hpp"
+
+namespace wfqs::baselines {
+
+class TcqQueue final : public TagQueue {
+public:
+    /// `range_bits`: tag universe is [0, 2^range_bits).
+    explicit TcqQueue(unsigned range_bits = 12);
+
+    void insert(std::uint64_t tag, std::uint32_t payload) override;
+    std::optional<QueueEntry> pop_min() override;
+    std::optional<QueueEntry> peek_min() override;
+
+    std::size_t size() const override { return size_; }
+    std::string name() const override { return "2-D calendar queue (TCQ)"; }
+    std::string model() const override { return "search"; }
+    std::string complexity() const override { return "O(2*sqrt(R))"; }
+
+private:
+    std::uint64_t range_;
+    std::size_t days_;         ///< first-level buckets
+    std::size_t slots_per_day_;
+    std::vector<std::uint32_t> day_occupancy_;
+    std::vector<std::deque<std::uint32_t>> slots_;  ///< payload FIFO per value
+    std::size_t size_ = 0;
+};
+
+}  // namespace wfqs::baselines

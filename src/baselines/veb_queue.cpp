@@ -1,0 +1,125 @@
+#include "baselines/veb_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace wfqs::baselines {
+
+struct VebQueue::Node {
+    unsigned bits;           ///< universe is 2^bits
+    bool occupied = false;
+    std::uint64_t min = 0;   ///< not stored recursively (CLRS convention)
+    std::uint64_t max = 0;
+    std::unique_ptr<Node> summary;
+    std::vector<std::unique_ptr<Node>> clusters;
+
+    explicit Node(unsigned b) : bits(b) {}
+
+    unsigned high_bits() const { return bits - bits / 2; }
+    unsigned low_bits() const { return bits / 2; }
+    std::uint64_t high(std::uint64_t x) const { return x >> low_bits(); }
+    std::uint64_t low(std::uint64_t x) const {
+        return x & ((std::uint64_t{1} << low_bits()) - 1);
+    }
+    std::uint64_t index(std::uint64_t h, std::uint64_t l) const {
+        return (h << low_bits()) | l;
+    }
+    Node& cluster(std::uint64_t h) {
+        if (clusters.empty())
+            clusters.resize(std::size_t{1} << high_bits());
+        if (!clusters[h]) clusters[h] = std::make_unique<Node>(low_bits());
+        return *clusters[h];
+    }
+    Node& get_summary() {
+        if (!summary) summary = std::make_unique<Node>(high_bits());
+        return *summary;
+    }
+};
+
+VebQueue::VebQueue(unsigned range_bits) {
+    WFQS_REQUIRE(range_bits >= 1 && range_bits <= 24, "vEB range 1..24 bits");
+    range_ = std::uint64_t{1} << range_bits;
+    by_value_.assign(static_cast<std::size_t>(range_), {});
+    root_ = new Node(range_bits);
+}
+
+VebQueue::~VebQueue() { delete root_; }
+
+void VebQueue::veb_insert(Node& node, std::uint64_t x) {
+    touch();  // one structure-node visit
+    if (!node.occupied) {
+        node.occupied = true;
+        node.min = node.max = x;
+        return;
+    }
+    if (x < node.min) std::swap(x, node.min);
+    if (node.bits > 1) {
+        const std::uint64_t h = node.high(x);
+        const std::uint64_t l = node.low(x);
+        Node& c = node.cluster(h);
+        if (!c.occupied) veb_insert(node.get_summary(), h);
+        veb_insert(c, l);
+    }
+    if (x > node.max) node.max = x;
+}
+
+void VebQueue::veb_erase(Node& node, std::uint64_t x) {
+    touch();
+    if (node.min == node.max) {
+        WFQS_ASSERT(x == node.min);
+        node.occupied = false;
+        return;
+    }
+    if (node.bits == 1) {
+        node.min = node.max = (x == 0) ? 1 : 0;
+        return;
+    }
+    if (x == node.min) {
+        // Pull the successor up into min.
+        const std::uint64_t first = node.get_summary().min;
+        x = node.index(first, node.cluster(first).min);
+        node.min = x;
+    }
+    const std::uint64_t h = node.high(x);
+    Node& c = node.cluster(h);
+    veb_erase(c, node.low(x));
+    if (!c.occupied) veb_erase(node.get_summary(), h);
+    if (x == node.max) {
+        if (!node.summary || !node.summary->occupied) {
+            node.max = node.min;
+        } else {
+            const std::uint64_t last = node.summary->max;
+            node.max = node.index(last, node.cluster(last).max);
+        }
+    }
+}
+
+void VebQueue::insert(std::uint64_t tag, std::uint32_t payload) {
+    WFQS_REQUIRE(tag < range_, "vEB tag exceeds the bounded universe");
+    OpScope op(*this, OpScope::Kind::Insert);
+    if (by_value_[tag].empty()) veb_insert(*root_, tag);
+    by_value_[tag].push_back(payload);
+    touch();  // FIFO append
+    ++size_;
+}
+
+std::optional<QueueEntry> VebQueue::pop_min() {
+    if (size_ == 0) return std::nullopt;
+    OpScope op(*this, OpScope::Kind::Pop);
+    WFQS_ASSERT(root_->occupied);
+    const std::uint64_t v = root_->min;
+    touch();  // read the root min
+    const QueueEntry e{v, by_value_[v].front()};
+    by_value_[v].pop_front();
+    touch();
+    if (by_value_[v].empty()) veb_erase(*root_, v);
+    --size_;
+    return e;
+}
+
+std::optional<QueueEntry> VebQueue::peek_min() {
+    if (size_ == 0) return std::nullopt;
+    const std::uint64_t v = root_->min;
+    return QueueEntry{v, by_value_[v].front()};
+}
+
+}  // namespace wfqs::baselines

@@ -1,0 +1,45 @@
+// van Emde Boas tree — the classic O(log log R) bounded-universe priority
+// queue (the paper's ref [10]). Table I's fastest *software* option; the
+// paper notes the method "is unsuitable for implementation in hardware"
+// (deep pointer recursion, irregular memory). Each visited vEB node
+// counts as one memory access.
+//
+// Duplicates are held in per-value FIFOs; the vEB structure stores the
+// set of distinct live values. Tags must be < range.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "baselines/tag_queue.hpp"
+
+namespace wfqs::baselines {
+
+class VebQueue final : public TagQueue {
+public:
+    explicit VebQueue(unsigned range_bits = 12);
+    ~VebQueue() override;
+
+    void insert(std::uint64_t tag, std::uint32_t payload) override;
+    std::optional<QueueEntry> pop_min() override;
+    std::optional<QueueEntry> peek_min() override;
+
+    std::size_t size() const override { return size_; }
+    std::string name() const override { return "van Emde Boas"; }
+    std::string model() const override { return "sort"; }
+    std::string complexity() const override { return "O(log log R)"; }
+
+private:
+    struct Node;
+    Node* root_;
+    std::uint64_t range_;
+    std::vector<std::deque<std::uint32_t>> by_value_;
+    std::size_t size_ = 0;
+
+    void veb_insert(Node& node, std::uint64_t x);
+    void veb_erase(Node& node, std::uint64_t x);
+};
+
+}  // namespace wfqs::baselines

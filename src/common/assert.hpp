@@ -1,0 +1,42 @@
+// Contract helpers used across the library.
+//
+// WFQS_REQUIRE  — precondition on public API input; always checked, throws
+//                 std::invalid_argument so configuration errors surface to
+//                 callers as recoverable errors.
+// WFQS_ASSERT   — internal datapath invariant; aborts with a message. Cheap
+//                 enough to keep enabled in all build types: the simulated
+//                 circuits rely on these to model "impossible in hardware"
+//                 states honestly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace wfqs {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+    std::fprintf(stderr, "WFQS_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+                 msg.empty() ? "" : " — ", msg.c_str());
+    std::abort();
+}
+
+}  // namespace wfqs
+
+#define WFQS_ASSERT(expr)                                              \
+    do {                                                               \
+        if (!(expr)) ::wfqs::assert_fail(#expr, __FILE__, __LINE__, {}); \
+    } while (0)
+
+#define WFQS_ASSERT_MSG(expr, msg)                                       \
+    do {                                                                 \
+        if (!(expr)) ::wfqs::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    } while (0)
+
+#define WFQS_REQUIRE(expr, what)                                  \
+    do {                                                          \
+        if (!(expr)) throw std::invalid_argument(std::string(what) + \
+                                                 " (violated: " #expr ")"); \
+    } while (0)

@@ -1,0 +1,89 @@
+// Bit-manipulation helpers shared by the tree, matcher, and storage models.
+//
+// All node words in the multi-bit tree are manipulated through these
+// functions so that the software model and the gate-level matcher netlists
+// agree on bit numbering: bit i of a node word corresponds to literal value
+// i, with literal 0 the *smallest*.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace wfqs {
+
+/// Mask with the low `n` bits set. `n` may be 0..64.
+constexpr std::uint64_t low_mask(unsigned n) {
+    return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Extract the `bits`-wide literal at literal-index `level_from_top` of a
+/// `total_levels * bits`-wide value, where level 0 is the most significant
+/// literal (the root of the tree).
+constexpr std::uint32_t extract_literal(std::uint64_t value, unsigned level_from_top,
+                                        unsigned bits, unsigned total_levels) {
+    const unsigned shift = (total_levels - 1 - level_from_top) * bits;
+    return static_cast<std::uint32_t>((value >> shift) & low_mask(bits));
+}
+
+/// Replace the literal at `level_from_top` of `value` with `literal`.
+constexpr std::uint64_t replace_literal(std::uint64_t value, unsigned level_from_top,
+                                        unsigned bits, unsigned total_levels,
+                                        std::uint32_t literal) {
+    const unsigned shift = (total_levels - 1 - level_from_top) * bits;
+    const std::uint64_t m = low_mask(bits) << shift;
+    return (value & ~m) | (std::uint64_t{literal} << shift);
+}
+
+/// Index of the highest set bit at or below position `pos` (inclusive), or
+/// -1 if none. This is the "primary match" function of the paper's node
+/// matching circuitry: exact match or next-smallest.
+constexpr int highest_set_at_or_below(std::uint64_t word, unsigned pos) {
+    const std::uint64_t masked = word & (pos >= 63 ? ~std::uint64_t{0}
+                                                   : low_mask(pos + 1));
+    return masked == 0 ? -1 : 63 - std::countl_zero(masked);
+}
+
+/// Index of the highest set bit strictly below `pos`, or -1. This is the
+/// "backup match" (the next literal less than the primary target).
+constexpr int highest_set_below(std::uint64_t word, unsigned pos) {
+    if (pos == 0) return -1;
+    return highest_set_at_or_below(word, pos - 1);
+}
+
+/// Index of the highest set bit of `word`, or -1 if zero. Used when
+/// descending a backup path ("follow the largest literal in each node").
+constexpr int highest_set(std::uint64_t word) {
+    return word == 0 ? -1 : 63 - std::countl_zero(word);
+}
+
+/// Index of the lowest set bit, or -1 if zero.
+constexpr int lowest_set(std::uint64_t word) {
+    return word == 0 ? -1 : std::countr_zero(word);
+}
+
+constexpr bool bit_is_set(std::uint64_t word, unsigned pos) {
+    return ((word >> pos) & 1u) != 0;
+}
+
+constexpr std::uint64_t set_bit(std::uint64_t word, unsigned pos) {
+    return word | (std::uint64_t{1} << pos);
+}
+
+constexpr std::uint64_t clear_bit(std::uint64_t word, unsigned pos) {
+    return word & ~(std::uint64_t{1} << pos);
+}
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+    return (a + b - 1) / b;
+}
+
+/// Integer log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t v) {
+    WFQS_ASSERT(v != 0 && (v & (v - 1)) == 0);
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+}  // namespace wfqs

@@ -1,0 +1,81 @@
+// Fixed-point virtual time.
+//
+// WFQ virtual time and finishing tags are real numbers in the algorithmic
+// description; the hardware (and any deterministic reproduction) needs an
+// exact representation. We use unsigned 64-bit fixed point with 2^32
+// fractional resolution, matching the style of the paper's tag computation
+// circuit [8] which produces fixed-width integer tags.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace wfqs {
+
+/// Q32.32 unsigned fixed-point value. Cheap value type; arithmetic is
+/// saturating-free (asserts on overflow) because virtual time in a correctly
+/// operating scheduler never overflows 2^32 seconds-equivalent.
+class Fixed {
+public:
+    static constexpr unsigned kFracBits = 32;
+    static constexpr std::uint64_t kOne = std::uint64_t{1} << kFracBits;
+
+    constexpr Fixed() = default;
+    static constexpr Fixed from_raw(std::uint64_t raw) {
+        Fixed f;
+        f.raw_ = raw;
+        return f;
+    }
+    static constexpr Fixed from_int(std::uint64_t v) { return from_raw(v << kFracBits); }
+    static Fixed from_double(double v) {
+        WFQS_ASSERT_MSG(v >= 0.0, "Fixed is unsigned");
+        return from_raw(static_cast<std::uint64_t>(v * static_cast<double>(kOne)));
+    }
+
+    constexpr std::uint64_t raw() const { return raw_; }
+    constexpr std::uint64_t floor() const { return raw_ >> kFracBits; }
+    double to_double() const { return static_cast<double>(raw_) / static_cast<double>(kOne); }
+
+    /// ratio = numerator / denominator as fixed point, exact to 1 ulp.
+    static Fixed ratio(std::uint64_t numerator, std::uint64_t denominator) {
+        WFQS_ASSERT(denominator != 0);
+        const unsigned __int128 scaled =
+            static_cast<unsigned __int128>(numerator) << kFracBits;
+        const unsigned __int128 q = scaled / denominator;
+        WFQS_ASSERT_MSG(q <= std::numeric_limits<std::uint64_t>::max(),
+                        "Fixed::ratio overflow");
+        return from_raw(static_cast<std::uint64_t>(q));
+    }
+
+    /// this * num / den, computed in 128-bit to avoid intermediate overflow.
+    Fixed mul_ratio(std::uint64_t num, std::uint64_t den) const {
+        WFQS_ASSERT(den != 0);
+        const unsigned __int128 p = static_cast<unsigned __int128>(raw_) * num / den;
+        WFQS_ASSERT_MSG(p <= std::numeric_limits<std::uint64_t>::max(),
+                        "Fixed::mul_ratio overflow");
+        return from_raw(static_cast<std::uint64_t>(p));
+    }
+
+    friend constexpr Fixed operator+(Fixed a, Fixed b) {
+        const std::uint64_t s = a.raw_ + b.raw_;
+        WFQS_ASSERT_MSG(s >= a.raw_, "Fixed overflow");
+        return from_raw(s);
+    }
+    friend constexpr Fixed operator-(Fixed a, Fixed b) {
+        WFQS_ASSERT_MSG(a.raw_ >= b.raw_, "Fixed underflow");
+        return from_raw(a.raw_ - b.raw_);
+    }
+    friend constexpr auto operator<=>(Fixed a, Fixed b) = default;
+
+    Fixed& operator+=(Fixed b) { return *this = *this + b; }
+
+private:
+    std::uint64_t raw_ = 0;
+};
+
+inline Fixed max(Fixed a, Fixed b) { return a < b ? b : a; }
+inline Fixed min(Fixed a, Fixed b) { return a < b ? a : b; }
+
+}  // namespace wfqs

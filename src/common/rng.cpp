@@ -1,0 +1,111 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace wfqs {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64 — seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : s_) s = splitmix64(x);
+    // Avoid the (astronomically unlikely) all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+    WFQS_ASSERT(bound != 0);
+    // Lemire's rejection method for unbiased bounded generation.
+    std::uint64_t x = next_u64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            x = next_u64();
+            m = static_cast<unsigned __int128>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) {
+    WFQS_ASSERT(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+    // 53 random mantissa bits.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+double Rng::next_exponential(double mean) {
+    WFQS_ASSERT(mean > 0.0);
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+    return -mean * std::log(u);
+}
+
+double Rng::next_pareto(double alpha, double xm) {
+    WFQS_ASSERT(alpha > 0.0 && xm > 0.0);
+    double u = next_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::next_normal(double mu, double sigma) {
+    double u1 = next_double();
+    const double u2 = next_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mu + sigma * r * std::cos(2.0 * M_PI * u2);
+}
+
+std::size_t Rng::next_weighted(const std::vector<double>& weights) {
+    WFQS_ASSERT(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        WFQS_ASSERT(w >= 0.0);
+        total += w;
+    }
+    WFQS_ASSERT(total > 0.0);
+    double x = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (x < weights[i]) return i;
+        x -= weights[i];
+    }
+    return weights.size() - 1;
+}
+
+}  // namespace wfqs

@@ -1,0 +1,31 @@
+// Aligned plain-text tables for bench reports.
+//
+// Every bench binary reproduces a table or figure from the paper; this
+// formatter keeps their output uniform and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wfqs {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Append a data row; must have the same arity as the header row.
+    void add_row(std::vector<std::string> cells);
+
+    /// Formatting helpers for numeric cells.
+    static std::string num(double v, int precision = 2);
+    static std::string num(std::uint64_t v);
+    static std::string num(std::int64_t v);
+
+    std::string render() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wfqs

@@ -1,0 +1,101 @@
+#include "core/synthesis_model.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/table.hpp"
+#include "matcher/circuit.hpp"
+
+namespace wfqs::core {
+namespace {
+
+// 130-nm calibration constants (see header).
+constexpr double kGateDelayNs = 0.25;
+constexpr double kSramUm2PerBit = 3.5;
+constexpr double kLogicUm2PerGe = 5.5;
+constexpr double kSramPjPerBit = 0.05;
+constexpr double kLogicPjPerGeToggle = 0.8;
+constexpr double kActivity = 0.15;
+// Minimum SRAM random-access time at 130 nm: the clock cannot beat the
+// node memories even when the matcher is tiny.
+constexpr double kSramAccessNs = 2.0;
+constexpr double kAvgPacketBytes = 140.0;
+// Control logic (FSMs, registers, pipeline latches) on top of the
+// matchers, as a multiple of the matcher area. The paper's layout shows
+// "most of the logic ... along the right side" dwarfing the matchers.
+constexpr double kControlOverhead = 6.0;
+
+}  // namespace
+
+SynthesisReport synthesize(const TagSorter::Config& config,
+                           matcher::MatcherKind kind) {
+    SynthesisReport r;
+    const tree::TreeGeometry& g = config.geometry;
+
+    r.tree_memory_bits = g.total_memory_bits();
+    const unsigned addr_bits = static_cast<unsigned>(
+        64 - std::countl_zero(static_cast<std::uint64_t>(config.capacity)));
+    r.translation_memory_bits = g.capacity() * (addr_bits + 1);
+
+    // One matching circuit per tree level (§III-A: "three identical
+    // matching circuits are required").
+    const matcher::MatcherCircuit circuit = matcher::build_matcher(kind, g.branching());
+    r.matcher_count = g.levels;
+    r.matcher_area_ge = circuit.netlist().area_gate_equivalents();
+    r.matcher_delay_units = circuit.netlist().critical_path_delay();
+    r.logic_area_ge =
+        r.matcher_area_ge * static_cast<double>(r.matcher_count) * (1.0 + kControlOverhead);
+
+    // The clock must accommodate one node match plus node-memory access in
+    // a cycle; the matcher dominates for wide nodes, the SRAM for narrow.
+    r.clock_period_ns =
+        std::max(r.matcher_delay_units * kGateDelayNs, kSramAccessNs);
+    r.clock_mhz = 1000.0 / r.clock_period_ns;
+
+    // One tag per max(levels+1, 4) cycles: the tree walk plus write-back
+    // must not exceed the 4-cycle list FSM (the paper's 3-level tree hits
+    // exactly 4; deeper trees stretch the initiation interval).
+    r.cycles_per_tag = std::max<double>(g.levels + 1.0, 4.0);
+    r.mpps = r.clock_mhz / r.cycles_per_tag;
+    r.gbps_at_140B = r.mpps * 1e6 * kAvgPacketBytes * 8.0 / 1e9;
+
+    const double on_chip_bits =
+        static_cast<double>(r.tree_memory_bits + r.translation_memory_bits);
+    r.memory_area_mm2 = on_chip_bits * kSramUm2PerBit / 1e6;
+    r.logic_area_mm2 = r.logic_area_ge * kLogicUm2PerGe / 1e6;
+    r.total_area_mm2 = r.memory_area_mm2 + r.logic_area_mm2;
+
+    // Power at the model clock: per cycle the pipeline touches roughly one
+    // node word per level plus one translation entry.
+    const double bits_touched_per_cycle =
+        static_cast<double>(g.levels * g.branching() + addr_bits + 1);
+    r.memory_power_mw =
+        bits_touched_per_cycle * kSramPjPerBit * r.clock_mhz * 1e6 / 1e9;
+    r.logic_power_mw = r.logic_area_ge * kActivity * kLogicPjPerGeToggle *
+                       r.clock_mhz * 1e6 / 1e9;
+    r.total_power_mw = r.memory_power_mw + r.logic_power_mw;
+    return r;
+}
+
+std::string format_synthesis_report(const SynthesisReport& r) {
+    TextTable t({"metric", "value"});
+    t.add_row({"tree memory (bits)", TextTable::num(r.tree_memory_bits)});
+    t.add_row({"translation table (bits)", TextTable::num(r.translation_memory_bits)});
+    t.add_row({"matching circuits", TextTable::num(r.matcher_count)});
+    t.add_row({"matcher area (GE)", TextTable::num(r.matcher_area_ge, 0)});
+    t.add_row({"logic area (GE, incl. control)", TextTable::num(r.logic_area_ge, 0)});
+    t.add_row({"memory area (mm^2)", TextTable::num(r.memory_area_mm2, 3)});
+    t.add_row({"logic area (mm^2)", TextTable::num(r.logic_area_mm2, 3)});
+    t.add_row({"total area (mm^2)", TextTable::num(r.total_area_mm2, 3)});
+    t.add_row({"clock period (ns)", TextTable::num(r.clock_period_ns, 2)});
+    t.add_row({"clock (MHz)", TextTable::num(r.clock_mhz, 1)});
+    t.add_row({"cycles per tag", TextTable::num(r.cycles_per_tag, 0)});
+    t.add_row({"throughput (Mpps)", TextTable::num(r.mpps, 1)});
+    t.add_row({"line rate @140B (Gb/s)", TextTable::num(r.gbps_at_140B, 1)});
+    t.add_row({"memory power (mW)", TextTable::num(r.memory_power_mw, 2)});
+    t.add_row({"logic power (mW)", TextTable::num(r.logic_power_mw, 2)});
+    t.add_row({"total power (mW)", TextTable::num(r.total_power_mw, 2)});
+    return t.render();
+}
+
+}  // namespace wfqs::core

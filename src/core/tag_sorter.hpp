@@ -1,0 +1,145 @@
+// The tag sort/retrieve circuit (Fig. 3) — the paper's primary
+// contribution. Glues together the three entities of the architecture:
+//
+//   multi-bit search tree  →  translation table  →  tag storage memory
+//
+// following the sort model of §II-C: the lookup work happens at *insert*
+// time, so retrieving the smallest tag is a fixed-time register read
+// regardless of how many tags are stored.
+//
+// Tag values. Callers pass *logical* tags: monotonically non-decreasing
+// 64-bit virtual-time stamps. Internally a tag is wrapped to the tree's
+// W-bit space (the paper's WFQ policy "resets the values it allocates to
+// zero after a finite maximum value has been reached"), and the sorter
+// maintains the moving-window discipline of Fig. 6: live tags must span
+// less than the value range minus one root sector; the sector that falls
+// behind the minimum is bulk-invalidated and its value space reused.
+//
+// Correctness refinement over the paper (documented in DESIGN.md): when
+// the last stored duplicate of a value departs, its tree marker and
+// translation entry are retired immediately (one overlapped cycle).
+// Without this, a newly arriving tag equal to a just-departed value would
+// chase a translation entry pointing at a freed slot. The paper's sector
+// invalidation alone cannot prevent that, because WFQ may legally emit a
+// tag between the departed minimum and the new minimum.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "hw/simulation.hpp"
+#include "matcher/matcher.hpp"
+#include "storage/linked_tag_store.hpp"
+#include "storage/translation_table.hpp"
+#include "tree/multibit_tree.hpp"
+
+namespace wfqs::core {
+
+struct SortedTag {
+    std::uint64_t tag = 0;       ///< logical (unwrapped) tag value
+    std::uint32_t payload = 0;   ///< packet-buffer pointer
+
+    friend bool operator==(const SortedTag&, const SortedTag&) = default;
+};
+
+struct SorterStats {
+    std::uint64_t inserts = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t combined_ops = 0;
+    std::uint64_t duplicate_inserts = 0;       ///< tag value already present
+    std::uint64_t marker_retirements = 0;      ///< last-duplicate cleanups
+    std::uint64_t sector_invalidations = 0;    ///< Fig. 6 events
+    std::uint64_t wrap_fallback_searches = 0;  ///< second tree pass at the seam
+    std::uint64_t head_undercuts = 0;          ///< inserts below the minimum
+    std::uint64_t worst_insert_cycles = 0;
+    std::uint64_t worst_pop_cycles = 0;
+    std::uint64_t insert_cycles_total = 0;
+    std::uint64_t pop_cycles_total = 0;
+};
+
+class TagSorter {
+public:
+    struct Config {
+        tree::TreeGeometry geometry = tree::TreeGeometry::paper();
+        std::size_t capacity = 4096;  ///< linked-list slots (paper: external SRAM)
+        unsigned payload_bits = 24;
+        /// The paper assumes "the WFQ algorithm always produces tags
+        /// larger than, or equal to, the smallest tag already in the
+        /// system" (§III-A). Real WFQ can legally emit a tag *below* the
+        /// current minimum (a fresh high-weight flow finishes before
+        /// queued backlogged traffic — the very reason a sorter is
+        /// needed). With `strict_min_discipline` such a tag throws
+        /// (paper-exact behaviour); otherwise it becomes the new head.
+        bool strict_min_discipline = false;
+    };
+
+    /// Builds the circuit with the behavioural matcher (the cycle-level
+    /// default). All memories are registered with `sim`'s inventory.
+    TagSorter(const Config& config, hw::Simulation& sim);
+
+    /// Same, but node matching runs through a caller-supplied engine
+    /// (e.g. an elaborated select & look-ahead netlist).
+    TagSorter(const Config& config, hw::Simulation& sim,
+              matcher::MatcherEngine& matcher);
+
+    // -- datapath ----------------------------------------------------------
+
+    /// Sort `tag` into the store. Throws std::overflow_error when the tag
+    /// memory is full and std::invalid_argument when the tag violates the
+    /// window discipline (tag < current minimum, or further than one
+    /// wrap-window ahead).
+    void insert(std::uint64_t tag, std::uint32_t payload);
+
+    /// Smallest stored tag — a head-register read: zero cycles, fixed time
+    /// (the M_min feeding the scheduler's eq. (1)).
+    std::optional<SortedTag> peek_min() const;
+
+    /// Remove and return the smallest tag.
+    std::optional<SortedTag> pop_min();
+
+    /// §III-C simultaneous store + serve, four list cycles, reusing the
+    /// departing slot. Precondition: non-empty.
+    SortedTag insert_and_pop(std::uint64_t tag, std::uint32_t payload);
+
+    // -- observers ---------------------------------------------------------
+
+    std::size_t size() const { return store_.size(); }
+    bool empty() const { return store_.empty(); }
+    bool full() const { return store_.full(); }
+    std::size_t capacity() const { return store_.capacity(); }
+
+    /// Largest logical tag span the window discipline accepts.
+    std::uint64_t window_span() const;
+
+    const SorterStats& stats() const { return stats_; }
+    const tree::MultibitTree& search_tree() const { return tree_; }
+    const storage::LinkedTagStore& store() const { return store_; }
+    const storage::TranslationTable& table() const { return table_; }
+
+private:
+    std::uint64_t to_physical(std::uint64_t logical) const;
+    void validate_incoming(std::uint64_t logical) const;
+    /// Wrapped closest-match: primary pass at `physical`, fallback pass at
+    /// the top of the value space when the window wraps the seam.
+    std::optional<std::uint64_t> wrapped_search_insert(std::uint64_t physical);
+    /// Marker/translation retirement for a departing tag (overlapped).
+    void retire_if_last(std::uint64_t popped_physical, bool next_equal,
+                        bool reinserted_same_value);
+    void advance_window(std::uint64_t new_head_physical);
+
+    Config config_;
+    std::unique_ptr<matcher::BehavioralMatcher> owned_matcher_;
+    tree::MultibitTree tree_;
+    storage::TranslationTable table_;
+    storage::LinkedTagStore store_;
+    hw::Clock& clock_;
+
+    std::uint64_t range_;             ///< 2^tag_bits
+    std::uint64_t head_logical_ = 0;  ///< logical tag of the current head
+    std::uint64_t max_logical_ = 0;   ///< largest live logical tag
+    unsigned lead_sector_ = 0;        ///< root sector containing the head
+    SorterStats stats_;
+};
+
+}  // namespace wfqs::core

@@ -1,0 +1,24 @@
+// Global cycle counter shared by all simulated hardware blocks.
+//
+// The paper's circuit is synchronous: the tree + translation table pipeline
+// and the tag-storage FSM both take exactly four clock cycles per tag, and
+// the SRAM blocks allow a bounded number of accesses per cycle. Components
+// hold a Clock& and the driving FSM advances it explicitly, so cycle
+// budgets are *checked*, not assumed.
+#pragma once
+
+#include <cstdint>
+
+namespace wfqs::hw {
+
+class Clock {
+public:
+    std::uint64_t now() const { return cycle_; }
+    void advance(std::uint64_t cycles = 1) { cycle_ += cycles; }
+    void reset() { cycle_ = 0; }
+
+private:
+    std::uint64_t cycle_ = 0;
+};
+
+}  // namespace wfqs::hw

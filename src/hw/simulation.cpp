@@ -1,0 +1,32 @@
+#include "hw/simulation.hpp"
+
+namespace wfqs::hw {
+
+Sram& Simulation::make_sram(std::string name, std::size_t num_words, unsigned word_bits,
+                            unsigned ports) {
+    memories_.push_back(
+        std::make_unique<Sram>(std::move(name), num_words, word_bits, clock_, ports));
+    return *memories_.back();
+}
+
+SramStats Simulation::total_memory_stats() const {
+    SramStats total;
+    for (const auto& m : memories_) {
+        total.reads += m->stats().reads;
+        total.writes += m->stats().writes;
+        total.flash_clears += m->stats().flash_clears;
+    }
+    return total;
+}
+
+std::uint64_t Simulation::total_memory_bits() const {
+    std::uint64_t bits = 0;
+    for (const auto& m : memories_) bits += m->bit_capacity();
+    return bits;
+}
+
+void Simulation::reset_stats() {
+    for (const auto& m : memories_) m->reset_stats();
+}
+
+}  // namespace wfqs::hw

@@ -1,0 +1,42 @@
+// Simulation context: one clock plus an inventory of every memory block a
+// circuit instantiates.
+//
+// The inventory is what the Table II area/power model walks: each SRAM
+// contributes capacity-proportional area and access-proportional dynamic
+// energy, mirroring how the paper's layout is dominated by the translation
+// table blocks and the level-3 tree memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/clock.hpp"
+#include "hw/sram.hpp"
+
+namespace wfqs::hw {
+
+class Simulation {
+public:
+    Clock& clock() { return clock_; }
+    const Clock& clock() const { return clock_; }
+
+    /// Create an SRAM owned by this simulation and tracked in the inventory.
+    Sram& make_sram(std::string name, std::size_t num_words, unsigned word_bits,
+                    unsigned ports = 1);
+
+    const std::vector<std::unique_ptr<Sram>>& memories() const { return memories_; }
+
+    /// Aggregate statistics across every memory block.
+    SramStats total_memory_stats() const;
+    std::uint64_t total_memory_bits() const;
+
+    void reset_stats();
+
+private:
+    Clock clock_;
+    std::vector<std::unique_ptr<Sram>> memories_;
+};
+
+}  // namespace wfqs::hw

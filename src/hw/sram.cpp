@@ -1,0 +1,63 @@
+#include "hw/sram.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace wfqs::hw {
+
+Sram::Sram(std::string name, std::size_t num_words, unsigned word_bits, Clock& clock,
+           unsigned ports)
+    : name_(std::move(name)),
+      word_bits_(word_bits),
+      word_mask_(low_mask(word_bits)),
+      clock_(clock),
+      ports_(ports),
+      words_(num_words, 0) {
+    WFQS_REQUIRE(num_words > 0, "SRAM must have at least one word");
+    WFQS_REQUIRE(word_bits >= 1 && word_bits <= 64, "SRAM word width must be 1..64");
+    WFQS_REQUIRE(ports >= 1, "SRAM needs at least one port");
+}
+
+void Sram::charge_port() {
+    if (clock_.now() != last_cycle_) {
+        last_cycle_ = clock_.now();
+        used_this_cycle_ = 0;
+    }
+    ++used_this_cycle_;
+    peak_per_cycle_ = std::max(peak_per_cycle_, used_this_cycle_);
+    WFQS_ASSERT_MSG(used_this_cycle_ <= ports_,
+                    "SRAM port conflict on '" + name_ + "': more than " +
+                        std::to_string(ports_) + " accesses in cycle " +
+                        std::to_string(clock_.now()));
+}
+
+std::uint64_t Sram::read(std::size_t addr) {
+    WFQS_ASSERT_MSG(addr < words_.size(), "SRAM '" + name_ + "' read out of range");
+    charge_port();
+    ++stats_.reads;
+    return words_[addr];
+}
+
+void Sram::write(std::size_t addr, std::uint64_t value) {
+    WFQS_ASSERT_MSG(addr < words_.size(), "SRAM '" + name_ + "' write out of range");
+    charge_port();
+    ++stats_.writes;
+    words_[addr] = value & word_mask_;
+}
+
+void Sram::flash_clear(std::size_t addr, std::size_t count) {
+    WFQS_ASSERT_MSG(addr + count <= words_.size(),
+                    "SRAM '" + name_ + "' flash_clear out of range");
+    charge_port();
+    ++stats_.flash_clears;
+    std::fill_n(words_.begin() + static_cast<std::ptrdiff_t>(addr), count, 0);
+}
+
+std::uint64_t Sram::peek(std::size_t addr) const {
+    WFQS_ASSERT_MSG(addr < words_.size(), "SRAM '" + name_ + "' peek out of range");
+    return words_[addr];
+}
+
+}  // namespace wfqs::hw

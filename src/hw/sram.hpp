@@ -1,0 +1,75 @@
+// Behavioural SRAM model with per-cycle port accounting.
+//
+// Models the paper's on-chip SRAM blocks (tree level 3, translation table)
+// and the external SRAM holding the tag storage linked list. Reads and
+// writes complete functionally in the calling cycle; what the model
+// enforces is the *port budget*: at most `ports` accesses may occur in any
+// one clock cycle (single-port for all memories in the paper). Violations
+// abort — they would be a bus conflict in silicon.
+//
+// Access counters feed Table I ("worst-case memory accesses per lookup")
+// and the Table II area/power model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/clock.hpp"
+
+namespace wfqs::hw {
+
+struct SramStats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t flash_clears = 0;
+
+    std::uint64_t total() const { return reads + writes + flash_clears; }
+};
+
+class Sram {
+public:
+    /// `word_bits` is informational (drives the area model); words are held
+    /// in uint64 and masked on write.
+    Sram(std::string name, std::size_t num_words, unsigned word_bits, Clock& clock,
+         unsigned ports = 1);
+
+    std::uint64_t read(std::size_t addr);
+    void write(std::size_t addr, std::uint64_t value);
+
+    /// Clears `count` consecutive words in one access — models the paper's
+    /// sector invalidation where "all child nodes stemming from this bit
+    /// are isolated and deleted at the same time" (a row-clear, not a
+    /// word-by-word sweep).
+    void flash_clear(std::size_t addr, std::size_t count);
+
+    /// Inspection without touching ports or counters (for tests/analysis
+    /// only; not part of the simulated datapath).
+    std::uint64_t peek(std::size_t addr) const;
+
+    const std::string& name() const { return name_; }
+    std::size_t num_words() const { return words_.size(); }
+    unsigned word_bits() const { return word_bits_; }
+    std::uint64_t bit_capacity() const { return words_.size() * word_bits_; }
+    const SramStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+    /// Highest number of accesses observed in any single cycle (≤ ports).
+    unsigned peak_accesses_per_cycle() const { return peak_per_cycle_; }
+
+private:
+    void charge_port();
+
+    std::string name_;
+    unsigned word_bits_;
+    std::uint64_t word_mask_;
+    Clock& clock_;
+    unsigned ports_;
+    std::vector<std::uint64_t> words_;
+    SramStats stats_;
+    std::uint64_t last_cycle_ = ~std::uint64_t{0};
+    unsigned used_this_cycle_ = 0;
+    unsigned peak_per_cycle_ = 0;
+};
+
+}  // namespace wfqs::hw

@@ -1,0 +1,24 @@
+#include "matcher/matcher.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace wfqs::matcher {
+
+MatchResult behavioral_match(std::uint64_t word, unsigned target, unsigned width) {
+    WFQS_ASSERT(width >= 1 && width <= 64);
+    WFQS_ASSERT(target < width);
+    MatchResult r;
+    r.primary = highest_set_at_or_below(word & low_mask(width), target);
+    if (r.primary >= 0)
+        r.backup = highest_set_below(word & low_mask(width),
+                                     static_cast<unsigned>(r.primary));
+    return r;
+}
+
+MatchResult BehavioralMatcher::match(std::uint64_t word, unsigned target,
+                                     unsigned width) {
+    return behavioral_match(word, target, width);
+}
+
+}  // namespace wfqs::matcher

@@ -1,0 +1,29 @@
+// Block look-ahead: flat look-ahead inside fixed-size blocks, carry rippled
+// serially between blocks. Delay grows with the number of blocks (O(W/b)),
+// area stays near-linear — the middle ground between ripple and flat
+// look-ahead in Figs. 7/8.
+#include "matcher/chains.hpp"
+
+#include "common/assert.hpp"
+
+namespace wfqs::matcher::detail {
+
+Signals block_lookahead_chain(Netlist& nl, const Signals& g, const Signals& p,
+                              unsigned block) {
+    WFQS_ASSERT(block >= 1);
+    const unsigned w = static_cast<unsigned>(g.size());
+    Signals s(w);
+    GateId cin = kInvalidGate;  // highest block has chain-in 0
+    // Process blocks from the top of the word (chain head) downwards.
+    for (unsigned hi_plus = w; hi_plus > 0;) {
+        const unsigned hi = hi_plus - 1;
+        const unsigned lo = hi + 1 >= block ? hi + 1 - block : 0;
+        const Signals blk = flat_chain(nl, g, p, lo, hi, cin);
+        for (unsigned i = lo; i <= hi; ++i) s[i] = blk[i - lo];
+        cin = s[lo];  // ripples into the next (lower) block
+        hi_plus = lo;
+    }
+    return s;
+}
+
+}  // namespace wfqs::matcher::detail

@@ -1,0 +1,44 @@
+// Internal: carry-chain construction schemes shared by the five matchers.
+//
+// Both the primary-search signal s and the backup signal b are instances of
+// the same descending carry recurrence
+//
+//     s[i] = g[i] OR (p[i] AND s[i+1]),      s[W] = 0
+//
+// with per-position generate g and propagate p. The five circuits differ
+// only in how this recurrence is flattened into logic; each scheme is a
+// function from (netlist, g, p, block) to the vector of s values, so the
+// primary and backup chains of one matcher always use the same scheme —
+// mirroring the paper's statement that the secondary lookup runs alongside
+// the primary in every node.
+#pragma once
+
+#include <vector>
+
+#include "matcher/netlist.hpp"
+
+namespace wfqs::matcher::detail {
+
+/// Chain signals indexed by bit position 0..W-1 (position W-1 is the head
+/// of the descending chain and sees chain-in = 0).
+using Signals = std::vector<GateId>;
+
+Signals ripple_chain(Netlist& nl, const Signals& g, const Signals& p, unsigned block);
+Signals lookahead_chain(Netlist& nl, const Signals& g, const Signals& p, unsigned block);
+Signals block_lookahead_chain(Netlist& nl, const Signals& g, const Signals& p,
+                              unsigned block);
+Signals skip_lookahead_chain(Netlist& nl, const Signals& g, const Signals& p,
+                             unsigned block);
+Signals select_lookahead_chain(Netlist& nl, const Signals& g, const Signals& p,
+                               unsigned block);
+
+/// Flat (two-level, fan-in decomposed) lookahead over positions [lo, hi]:
+///   s[i] = OR_{j=i..hi} (g[j] AND p[i]..p[j-1]) OR (p[i]..p[hi] AND cin)
+/// Returns s for lo..hi (indexed s[i - lo]). `cin` may be kInvalidGate for
+/// chain-in = 0. Uses a shared range-AND sparse table, so depth is
+/// O(log(hi-lo)) with O((hi-lo)^2) area.
+inline constexpr GateId kInvalidGate = ~GateId{0};
+Signals flat_chain(Netlist& nl, const Signals& g, const Signals& p, unsigned lo,
+                   unsigned hi, GateId cin);
+
+}  // namespace wfqs::matcher::detail

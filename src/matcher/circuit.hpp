@@ -1,0 +1,49 @@
+// Elaborated matching circuit: a netlist plus its port bindings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matcher/matcher.hpp"
+#include "matcher/netlist.hpp"
+
+namespace wfqs::matcher {
+
+struct MatcherPorts {
+    std::vector<GateId> present;        ///< W presence-bit inputs (bit i = literal i)
+    std::vector<GateId> target_onehot;  ///< W one-hot target inputs
+    std::vector<GateId> primary_onehot; ///< W one-hot primary-match outputs
+    GateId primary_found = 0;
+    std::vector<GateId> backup_onehot;  ///< W one-hot backup-match outputs
+    GateId backup_found = 0;
+};
+
+/// A fully elaborated matcher for one word width. Structure (netlist) and
+/// behaviour (match) live together so tests can check both.
+class MatcherCircuit {
+public:
+    MatcherCircuit(MatcherKind kind, unsigned width, Netlist netlist, MatcherPorts ports);
+
+    MatcherKind kind() const { return kind_; }
+    unsigned width() const { return width_; }
+    std::string name() const { return matcher_kind_name(kind_); }
+    const Netlist& netlist() const { return netlist_; }
+
+    /// Evaluate the netlist on (word, target) and decode the one-hot
+    /// outputs. Asserts the one-hot invariants.
+    MatchResult match(std::uint64_t word, unsigned target) const;
+
+private:
+    MatcherKind kind_;
+    unsigned width_;
+    Netlist netlist_;
+    MatcherPorts ports_;
+};
+
+/// Elaborate one of the five circuits. `block` is the block size for the
+/// blocked variants; 0 picks round(sqrt(width)) (the classical optimum for
+/// skip/select chains). Ripple and flat lookahead ignore it.
+MatcherCircuit build_matcher(MatcherKind kind, unsigned width, unsigned block = 0);
+
+}  // namespace wfqs::matcher

@@ -1,0 +1,158 @@
+#include <cmath>
+#include <map>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "matcher/chains.hpp"
+#include "matcher/circuit.hpp"
+#include "matcher/matcher.hpp"
+
+namespace wfqs::matcher {
+
+const std::vector<MatcherKind>& all_matcher_kinds() {
+    static const std::vector<MatcherKind> kinds = {
+        MatcherKind::Ripple,         MatcherKind::Lookahead,
+        MatcherKind::BlockLookahead, MatcherKind::SkipLookahead,
+        MatcherKind::SelectLookahead,
+    };
+    return kinds;
+}
+
+std::string matcher_kind_name(MatcherKind kind) {
+    switch (kind) {
+        case MatcherKind::Ripple:
+            return "ripple";
+        case MatcherKind::Lookahead:
+            return "look-ahead";
+        case MatcherKind::BlockLookahead:
+            return "block look-ahead";
+        case MatcherKind::SkipLookahead:
+            return "skip & look-ahead";
+        case MatcherKind::SelectLookahead:
+            return "select & look-ahead";
+    }
+    return "?";
+}
+
+MatcherCircuit build_matcher(MatcherKind kind, unsigned width, unsigned block) {
+    WFQS_REQUIRE(width >= 2 && width <= 128,
+                 "matcher width must be 2..128 bits (the Fig. 7/8 sweep range)");
+    if (block == 0)
+        block = std::max(2u, static_cast<unsigned>(
+                                 std::lround(std::sqrt(static_cast<double>(width)))));
+
+    Netlist nl;
+    MatcherPorts ports;
+    for (unsigned i = 0; i < width; ++i) ports.present.push_back(nl.add_input());
+    for (unsigned i = 0; i < width; ++i) ports.target_onehot.push_back(nl.add_input());
+
+    // Derive the chain signals: the search token starts at the target
+    // position (generate) and keeps moving to lower positions while the
+    // next-higher presence bit is clear (propagate).
+    detail::Signals g(width), p(width);
+    const GateId zero = nl.add_const(false);
+    for (unsigned i = 0; i < width; ++i) {
+        g[i] = ports.target_onehot[i];
+        p[i] = (i + 1 < width) ? nl.add_not(ports.present[i + 1]) : zero;
+    }
+
+    auto chain = [&](const detail::Signals& gen,
+                     const detail::Signals& prop) -> detail::Signals {
+        switch (kind) {
+            case MatcherKind::Ripple:
+                return detail::ripple_chain(nl, gen, prop, block);
+            case MatcherKind::Lookahead:
+                return detail::lookahead_chain(nl, gen, prop, block);
+            case MatcherKind::BlockLookahead:
+                return detail::block_lookahead_chain(nl, gen, prop, block);
+            case MatcherKind::SkipLookahead:
+                return detail::skip_lookahead_chain(nl, gen, prop, block);
+            case MatcherKind::SelectLookahead:
+                return detail::select_lookahead_chain(nl, gen, prop, block);
+        }
+        WFQS_ASSERT_MSG(false, "unknown matcher kind");
+        return {};
+    };
+
+    const detail::Signals s = chain(g, p);
+
+    // Backup chain: generates where the primary search just matched one
+    // position above; same propagates.
+    detail::Signals h(width);
+    for (unsigned i = 0; i < width; ++i)
+        h[i] = (i + 1 < width) ? nl.add_and(s[i + 1], ports.present[i + 1]) : zero;
+    const detail::Signals b = chain(h, p);
+
+    for (unsigned i = 0; i < width; ++i) {
+        ports.primary_onehot.push_back(nl.add_and(s[i], ports.present[i]));
+        nl.mark_output(ports.primary_onehot.back());
+    }
+    for (unsigned i = 0; i < width; ++i) {
+        ports.backup_onehot.push_back(nl.add_and(b[i], ports.present[i]));
+        nl.mark_output(ports.backup_onehot.back());
+    }
+    ports.primary_found = nl.add_or_reduce(ports.primary_onehot);
+    ports.backup_found = nl.add_or_reduce(ports.backup_onehot);
+    nl.mark_output(ports.primary_found);
+    nl.mark_output(ports.backup_found);
+
+    return MatcherCircuit(kind, width, std::move(nl), std::move(ports));
+}
+
+MatcherCircuit::MatcherCircuit(MatcherKind kind, unsigned width, Netlist netlist,
+                               MatcherPorts ports)
+    : kind_(kind), width_(width), netlist_(std::move(netlist)), ports_(std::move(ports)) {}
+
+MatchResult MatcherCircuit::match(std::uint64_t word, unsigned target) const {
+    WFQS_REQUIRE(width_ <= 64, "functional evaluation is limited to 64-bit words; "
+                 "wider circuits exist for structural (delay/area) analysis only");
+    WFQS_ASSERT(target < width_);
+    std::vector<bool> inputs;
+    inputs.reserve(2 * width_);
+    for (unsigned i = 0; i < width_; ++i) inputs.push_back(bit_is_set(word, i));
+    for (unsigned i = 0; i < width_; ++i) inputs.push_back(i == target);
+
+    const std::vector<bool> values = netlist_.evaluate(inputs);
+
+    auto decode_onehot = [&](const std::vector<GateId>& bits, GateId found) -> int {
+        int idx = -1;
+        for (unsigned i = 0; i < width_; ++i) {
+            if (values[bits[i]]) {
+                WFQS_ASSERT_MSG(idx == -1, "matcher output not one-hot");
+                idx = static_cast<int>(i);
+            }
+        }
+        WFQS_ASSERT_MSG(values[found] == (idx >= 0), "found flag inconsistent");
+        return idx;
+    };
+
+    MatchResult r;
+    r.primary = decode_onehot(ports_.primary_onehot, ports_.primary_found);
+    r.backup = decode_onehot(ports_.backup_onehot, ports_.backup_found);
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// NetlistMatcher engine
+
+struct NetlistMatcher::Impl {
+    MatcherKind kind;
+    std::map<unsigned, MatcherCircuit> circuits;
+};
+
+NetlistMatcher::NetlistMatcher(MatcherKind kind) : impl_(new Impl{kind, {}}) {}
+
+NetlistMatcher::~NetlistMatcher() = default;
+
+MatchResult NetlistMatcher::match(std::uint64_t word, unsigned target, unsigned width) {
+    auto it = impl_->circuits.find(width);
+    if (it == impl_->circuits.end())
+        it = impl_->circuits.emplace(width, build_matcher(impl_->kind, width)).first;
+    return it->second.match(word, target);
+}
+
+std::string NetlistMatcher::name() const {
+    return "netlist:" + matcher_kind_name(impl_->kind);
+}
+
+}  // namespace wfqs::matcher

@@ -1,0 +1,48 @@
+// Standard (flat) look-ahead: every chain output is computed as one
+// sum-of-products over the whole word — the classic one-level
+// carry-lookahead structure. Each output owns a dedicated product chain
+// p[i], p[i]·p[i+1], ... (built serially, exactly as the textbook CLA
+// equations decompose into 2-input gates), so depth still grows with the
+// distance a carry can travel and area grows quadratically. This is why
+// the standard look-ahead deteriorates at large word widths in the
+// paper's measurements (Fig. 7) while remaining competitive at small
+// ones.
+#include "matcher/chains.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfqs::matcher::detail {
+
+Signals flat_chain(Netlist& nl, const Signals& g, const Signals& p, unsigned lo,
+                   unsigned hi, GateId cin) {
+    WFQS_ASSERT(lo <= hi && hi < g.size());
+    Signals s(hi - lo + 1);
+    for (unsigned i = lo; i <= hi; ++i) {
+        std::vector<GateId> terms;
+        terms.reserve(hi - i + 2);
+        terms.push_back(g[i]);
+        GateId prod = kInvalidGate;  // running product p[i]..p[j-1]
+        const unsigned last = cin != kInvalidGate ? hi + 1 : hi;
+        for (unsigned j = i + 1; j <= last; ++j) {
+            prod = (j == i + 1) ? p[i] : nl.add_and(prod, p[j - 1]);
+            if (j <= hi) {
+                terms.push_back(nl.add_and(g[j], prod));
+            } else if (cin != kInvalidGate) {
+                // The carry-in term belongs to the longest product, so give
+                // it a full-depth slot in the OR tree like any other term.
+                terms.insert(terms.begin(), nl.add_and(prod, cin));
+            }
+        }
+        s[i - lo] = nl.add_or_reduce(terms);
+    }
+    return s;
+}
+
+Signals lookahead_chain(Netlist& nl, const Signals& g, const Signals& p,
+                        unsigned /*block*/) {
+    return flat_chain(nl, g, p, 0, static_cast<unsigned>(g.size()) - 1, kInvalidGate);
+}
+
+}  // namespace wfqs::matcher::detail

@@ -1,0 +1,247 @@
+#include "matcher/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace wfqs::matcher {
+namespace {
+
+double base_delay(GateOp op) {
+    switch (op) {
+        case GateOp::Input:
+        case GateOp::Const0:
+        case GateOp::Const1:
+            return 0.15;  // external driver resistance: inputs also slow down under load
+        case GateOp::Buf:
+            return 0.6;
+        case GateOp::Not:
+            return 0.5;
+        case GateOp::And2:
+        case GateOp::Or2:
+            return 1.0;
+        case GateOp::Xor2:
+            return 1.5;
+    }
+    return 0.0;
+}
+
+double gate_area(GateOp op) {
+    switch (op) {
+        case GateOp::Input:
+        case GateOp::Const0:
+        case GateOp::Const1:
+            return 0.0;
+        case GateOp::Buf:
+            return 0.75;
+        case GateOp::Not:
+            return 0.5;
+        case GateOp::And2:
+        case GateOp::Or2:
+            return 1.5;
+        case GateOp::Xor2:
+            return 2.5;
+    }
+    return 0.0;
+}
+
+constexpr double kFanoutFactor = 0.15;
+
+bool is_logic(GateOp op) {
+    return op == GateOp::Buf || op == GateOp::Not || op == GateOp::And2 ||
+           op == GateOp::Or2 || op == GateOp::Xor2;
+}
+
+bool is_single_fanin(GateOp op) { return op == GateOp::Buf || op == GateOp::Not; }
+
+}  // namespace
+
+GateId Netlist::add_gate(GateOp op, GateId a, GateId b) {
+    if (is_logic(op)) {
+        WFQS_ASSERT_MSG(a < gates_.size(), "netlist fanin must precede gate");
+        if (!is_single_fanin(op))
+            WFQS_ASSERT_MSG(b < gates_.size(), "netlist fanin must precede gate");
+    }
+    gates_.push_back(Gate{op, a, b});
+    return static_cast<GateId>(gates_.size() - 1);
+}
+
+GateId Netlist::add_input() {
+    ++num_inputs_;
+    return add_gate(GateOp::Input);
+}
+
+GateId Netlist::add_const(bool value) {
+    return add_gate(value ? GateOp::Const1 : GateOp::Const0);
+}
+
+GateId Netlist::add_not(GateId a) { return add_gate(GateOp::Not, a); }
+GateId Netlist::add_buf(GateId a) { return add_gate(GateOp::Buf, a); }
+GateId Netlist::add_and(GateId a, GateId b) { return add_gate(GateOp::And2, a, b); }
+GateId Netlist::add_or(GateId a, GateId b) { return add_gate(GateOp::Or2, a, b); }
+GateId Netlist::add_xor(GateId a, GateId b) { return add_gate(GateOp::Xor2, a, b); }
+
+GateId Netlist::add_mux(GateId sel, GateId a, GateId b) {
+    const GateId nsel = add_not(sel);
+    const GateId ta = add_and(sel, a);
+    const GateId tb = add_and(nsel, b);
+    return add_or(ta, tb);
+}
+
+GateId Netlist::add_and_reduce(const std::vector<GateId>& ids) {
+    if (ids.empty()) return add_const(true);
+    std::vector<GateId> level = ids;
+    while (level.size() > 1) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(add_and(level[i], level[i + 1]));
+        if (level.size() % 2 != 0) next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+GateId Netlist::add_or_reduce(const std::vector<GateId>& ids) {
+    if (ids.empty()) return add_const(false);
+    std::vector<GateId> level = ids;
+    while (level.size() > 1) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(add_or(level[i], level[i + 1]));
+        if (level.size() % 2 != 0) next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+void Netlist::mark_output(GateId id) {
+    WFQS_ASSERT(id < gates_.size());
+    outputs_.push_back(id);
+}
+
+std::size_t Netlist::logic_gate_count() const {
+    std::size_t n = 0;
+    for (const auto& g : gates_)
+        if (is_logic(g.op)) ++n;
+    return n;
+}
+
+std::vector<bool> Netlist::evaluate(const std::vector<bool>& inputs) const {
+    WFQS_REQUIRE(inputs.size() == num_inputs_, "wrong number of netlist inputs");
+    std::vector<bool> value(gates_.size(), false);
+    std::size_t next_input = 0;
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate& g = gates_[i];
+        switch (g.op) {
+            case GateOp::Input:
+                value[i] = inputs[next_input++];
+                break;
+            case GateOp::Const0:
+                value[i] = false;
+                break;
+            case GateOp::Const1:
+                value[i] = true;
+                break;
+            case GateOp::Buf:
+                value[i] = value[g.a];
+                break;
+            case GateOp::Not:
+                value[i] = !value[g.a];
+                break;
+            case GateOp::And2:
+                value[i] = value[g.a] && value[g.b];
+                break;
+            case GateOp::Or2:
+                value[i] = value[g.a] || value[g.b];
+                break;
+            case GateOp::Xor2:
+                value[i] = value[g.a] != value[g.b];
+                break;
+        }
+    }
+    return value;
+}
+
+std::vector<std::uint32_t> Netlist::fanout_counts() const {
+    std::vector<std::uint32_t> fanout(gates_.size(), 0);
+    for (const auto& g : gates_) {
+        if (!is_logic(g.op)) continue;
+        ++fanout[g.a];
+        if (!is_single_fanin(g.op)) ++fanout[g.b];
+    }
+    return fanout;
+}
+
+double Netlist::critical_path_delay() const {
+    const auto fanout = fanout_counts();
+    std::vector<double> arrival(gates_.size(), 0.0);
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate& g = gates_[i];
+        const double load =
+            fanout[i] > 1 ? 1.0 + kFanoutFactor * static_cast<double>(fanout[i] - 1)
+                          : 1.0;
+        if (!is_logic(g.op)) {
+            // Inputs/constants: external driver charging the input net.
+            arrival[i] = base_delay(g.op) * load;
+            continue;
+        }
+        double in = arrival[g.a];
+        if (!is_single_fanin(g.op)) in = std::max(in, arrival[g.b]);
+        arrival[i] = in + base_delay(g.op) * load;
+    }
+    double worst = 0.0;
+    for (GateId out : outputs_) worst = std::max(worst, arrival[out]);
+    return worst;
+}
+
+double Netlist::area_gate_equivalents() const {
+    double area = 0.0;
+    for (const auto& g : gates_) area += gate_area(g.op);
+    return area;
+}
+
+std::size_t Netlist::lut4_estimate() const {
+    // Greedy cone packing: a gate absorbs a logic fanin when that fanin has
+    // fanout 1 and the merged leaf support stays within 4 signals. Gates
+    // absorbed into a downstream cone cost no LUT; every remaining logic
+    // gate is one LUT root. Inputs and constants are always leaves.
+    const auto fanout = fanout_counts();
+    std::vector<std::set<GateId>> cone_support(gates_.size());
+    std::vector<bool> consumed(gates_.size(), false);
+
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate& g = gates_[i];
+        if (!is_logic(g.op)) continue;
+
+        std::vector<GateId> fanins{g.a};
+        if (!is_single_fanin(g.op)) fanins.push_back(g.b);
+
+        std::set<GateId> merged;
+        std::vector<GateId> absorbable;
+        for (GateId f : fanins) {
+            if (is_logic(gates_[f].op) && fanout[f] == 1 && !cone_support[f].empty()) {
+                merged.insert(cone_support[f].begin(), cone_support[f].end());
+                absorbable.push_back(f);
+            } else {
+                merged.insert(f);
+            }
+        }
+        if (merged.size() <= 4) {
+            for (GateId f : absorbable) consumed[f] = true;
+            cone_support[i] = std::move(merged);
+        } else {
+            // Cannot extend the cone; this gate starts a fresh cone whose
+            // support is its direct fanins (≤ 2, always fits).
+            cone_support[i] = std::set<GateId>(fanins.begin(), fanins.end());
+        }
+    }
+
+    std::size_t luts = 0;
+    for (std::size_t i = 0; i < gates_.size(); ++i)
+        if (is_logic(gates_[i].op) && !consumed[i]) ++luts;
+    return luts;
+}
+
+}  // namespace wfqs::matcher

@@ -1,0 +1,90 @@
+// Gate-level netlist representation for the node matching circuits.
+//
+// The paper's matching circuitry (ref [13]) was evaluated as synthesized
+// logic; we reproduce it as explicit netlists of 2-input primitive gates so
+// that delay (Fig. 7) and area (Fig. 8) are *computed from structure*, not
+// asserted. The timing model is technology-neutral:
+//
+//   gate delay  = base delay × (1 + kFanoutFactor · log2(fanout))
+//   base delays: NOT 0.5, AND2/OR2 1.0, XOR2 1.5 (unit = one nominal
+//   2-input gate delay)
+//
+// The fanout term matters: it is what makes flat carry-lookahead lose to
+// select & look-ahead at large word widths, exactly the effect the paper's
+// FPGA measurements show. Area is reported both in gate equivalents
+// (NAND2 = 1 GE) and as a 4-input-LUT estimate from a greedy cone-packing
+// pass, matching Fig. 8's LUT axis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wfqs::matcher {
+
+enum class GateOp : std::uint8_t { Input, Const0, Const1, Buf, Not, And2, Or2, Xor2 };
+
+struct Gate {
+    GateOp op;
+    std::uint32_t a = 0;  ///< first fanin (unused for Input/Const)
+    std::uint32_t b = 0;  ///< second fanin (unused for Not)
+};
+
+using GateId = std::uint32_t;
+
+class Netlist {
+public:
+    GateId add_input();
+    GateId add_const(bool value);
+    GateId add_not(GateId a);
+
+    /// Buffer: logically transparent, used to isolate a timing-critical
+    /// net from a wide fanout (e.g. the carry-select line feeding every
+    /// cell mux of a block).
+    GateId add_buf(GateId a);
+    GateId add_and(GateId a, GateId b);
+    GateId add_or(GateId a, GateId b);
+    GateId add_xor(GateId a, GateId b);
+
+    /// 2:1 mux built from primitives: out = sel ? a : b.
+    GateId add_mux(GateId sel, GateId a, GateId b);
+
+    /// Balanced reduction trees (log depth). Empty input yields a constant
+    /// identity element (1 for AND, 0 for OR).
+    GateId add_and_reduce(const std::vector<GateId>& ids);
+    GateId add_or_reduce(const std::vector<GateId>& ids);
+
+    void mark_output(GateId id);
+
+    std::size_t gate_count() const { return gates_.size(); }
+    std::size_t input_count() const { return num_inputs_; }
+    const std::vector<GateId>& outputs() const { return outputs_; }
+
+    /// Count of logic gates (excludes inputs and constants).
+    std::size_t logic_gate_count() const;
+
+    /// Evaluate combinationally. `inputs` must have input_count() entries,
+    /// in creation order. Returns the value of every gate.
+    std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+    /// Critical-path delay to any marked output under the timing model
+    /// described in the header comment.
+    double critical_path_delay() const;
+
+    /// Area in gate equivalents (NAND2 = 1 GE).
+    double area_gate_equivalents() const;
+
+    /// Estimated 4-input LUT count: greedy packing of single-fanout fanin
+    /// cones while the leaf support stays ≤ 4.
+    std::size_t lut4_estimate() const;
+
+private:
+    GateId add_gate(GateOp op, GateId a = 0, GateId b = 0);
+    std::vector<std::uint32_t> fanout_counts() const;
+
+    std::vector<Gate> gates_;
+    std::vector<GateId> outputs_;
+    std::size_t num_inputs_ = 0;
+};
+
+}  // namespace wfqs::matcher

@@ -1,0 +1,20 @@
+// Simple ripple cell chain: one OR-AND cell per bit position, carry passed
+// serially. Smallest area, delay linear in the word width (the baseline
+// curve of Figs. 7/8).
+#include "matcher/chains.hpp"
+
+namespace wfqs::matcher::detail {
+
+Signals ripple_chain(Netlist& nl, const Signals& g, const Signals& p,
+                     unsigned /*block*/) {
+    const std::size_t w = g.size();
+    Signals s(w);
+    GateId carry = nl.add_const(false);
+    for (std::size_t k = w; k-- > 0;) {
+        carry = nl.add_or(g[k], nl.add_and(p[k], carry));
+        s[k] = carry;
+    }
+    return s;
+}
+
+}  // namespace wfqs::matcher::detail

@@ -1,0 +1,84 @@
+#include "net/sim_driver.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace wfqs::net {
+namespace {
+
+struct PendingArrival {
+    TimeNs time;
+    std::size_t source;  ///< flow index
+    std::uint32_t size_bytes;
+    std::uint64_t seq;   ///< tie-break: stable across sources
+
+    bool operator>(const PendingArrival& o) const {
+        return time != o.time ? time > o.time : seq > o.seq;
+    }
+};
+
+}  // namespace
+
+SimDriver::SimDriver(std::uint64_t link_rate_bps) : rate_(link_rate_bps) {
+    WFQS_REQUIRE(link_rate_bps > 0, "link rate must be positive");
+}
+
+SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flows) {
+    SimResult result;
+    std::priority_queue<PendingArrival, std::vector<PendingArrival>,
+                        std::greater<PendingArrival>>
+        arrivals;
+    std::uint64_t seq = 0;
+
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        const net::FlowId id = sched.add_flow(flows[i].weight);
+        WFQS_ASSERT_MSG(id == i, "scheduler must number flows sequentially");
+        if (const auto a = flows[i].source->next())
+            arrivals.push(PendingArrival{a->time_ns, i, a->size_bytes, seq++});
+    }
+
+    std::uint64_t next_packet_id = 0;
+    TimeNs link_free_at = 0;
+    TimeNs now = 0;
+
+    auto deliver_next_arrival = [&] {
+        const PendingArrival a = arrivals.top();
+        arrivals.pop();
+        now = std::max(now, a.time);
+        const Packet pkt{next_packet_id++, static_cast<FlowId>(a.source),
+                         a.size_bytes, a.time};
+        result.all_arrivals.push_back(pkt);
+        ++result.offered_packets;
+        if (!sched.enqueue(pkt, a.time)) ++result.dropped_packets;
+        if (const auto next = flows[a.source].source->next()) {
+            WFQS_ASSERT_MSG(next->time_ns >= a.time,
+                            "traffic source went backwards in time");
+            arrivals.push(PendingArrival{next->time_ns, a.source, next->size_bytes,
+                                         seq++});
+        }
+    };
+
+    while (!arrivals.empty() || sched.has_packets()) {
+        if (!sched.has_packets()) {
+            deliver_next_arrival();
+            continue;
+        }
+        const TimeNs service_start = std::max(link_free_at, now);
+        // Arrivals up to the service decision take part in it.
+        if (!arrivals.empty() && arrivals.top().time <= service_start) {
+            deliver_next_arrival();
+            continue;
+        }
+        const auto pkt = sched.dequeue(service_start);
+        WFQS_ASSERT_MSG(pkt.has_value(), "scheduler claimed packets but gave none");
+        const TimeNs done = service_start + transmission_ns(pkt->size_bytes, rate_);
+        result.records.push_back(PacketRecord{*pkt, service_start, done});
+        result.last_departure_ns = done;
+        link_free_at = done;
+    }
+    return result;
+}
+
+}  // namespace wfqs::net

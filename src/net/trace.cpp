@@ -1,0 +1,85 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace wfqs::net {
+
+TrafficTrace TrafficTrace::record(std::vector<FlowSpec>& flows) {
+    TrafficTrace trace;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        trace.weights_.push_back(flows[f].weight);
+        while (const auto a = flows[f].source->next())
+            trace.events_.push_back(
+                TraceEvent{a->time_ns, static_cast<FlowId>(f), a->size_bytes});
+    }
+    std::stable_sort(trace.events_.begin(), trace.events_.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.time_ns < b.time_ns;
+                     });
+    return trace;
+}
+
+void TrafficTrace::serialize(std::ostream& out) const {
+    out << "wfqs-trace 1\nweights";
+    for (const auto w : weights_) out << ' ' << w;
+    out << '\n';
+    for (const auto& e : events_)
+        out << e.time_ns << ' ' << e.flow << ' ' << e.size_bytes << '\n';
+}
+
+TrafficTrace TrafficTrace::parse(std::istream& in) {
+    TrafficTrace trace;
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    WFQS_REQUIRE(magic == "wfqs-trace" && version == 1, "not a wfqs trace");
+    std::string keyword;
+    in >> keyword;
+    WFQS_REQUIRE(keyword == "weights", "trace missing weights header");
+    std::string line;
+    std::getline(in, line);
+    std::istringstream ws(line);
+    std::uint32_t w;
+    while (ws >> w) {
+        WFQS_REQUIRE(w > 0, "trace weight must be positive");
+        trace.weights_.push_back(w);
+    }
+    WFQS_REQUIRE(!trace.weights_.empty(), "trace declares no flows");
+
+    TimeNs prev = 0;
+    TraceEvent e;
+    while (in >> e.time_ns >> e.flow >> e.size_bytes) {
+        WFQS_REQUIRE(e.flow < trace.weights_.size(), "trace event names unknown flow");
+        WFQS_REQUIRE(e.size_bytes > 0, "trace packet must have positive size");
+        WFQS_REQUIRE(e.time_ns >= prev, "trace events must be time-ordered");
+        prev = e.time_ns;
+        trace.events_.push_back(e);
+    }
+    WFQS_REQUIRE(in.eof(), "malformed trace line");
+    return trace;
+}
+
+std::vector<FlowSpec> TrafficTrace::replay() const {
+    std::vector<FlowSpec> flows;
+    for (std::size_t f = 0; f < weights_.size(); ++f)
+        flows.push_back({std::make_unique<TraceSource>(events_, static_cast<FlowId>(f)),
+                         weights_[f]});
+    return flows;
+}
+
+TraceSource::TraceSource(const std::vector<TraceEvent>& events, FlowId flow) {
+    for (const auto& e : events)
+        if (e.flow == flow) arrivals_.push_back(Arrival{e.time_ns, e.size_bytes});
+}
+
+std::optional<Arrival> TraceSource::next() {
+    if (pos_ >= arrivals_.size()) return std::nullopt;
+    return arrivals_[pos_++];
+}
+
+}  // namespace wfqs::net

@@ -1,0 +1,64 @@
+// Traffic trace record/replay.
+//
+// Experiments become bit-reproducible and shareable by freezing a
+// generated workload to a plain-text trace (one arrival per line:
+// "<time_ns> <flow> <size_bytes>") with a header carrying the flow
+// weights. A TraceSource replays one flow of a loaded trace through the
+// ordinary TrafficSource interface, so a captured workload can drive any
+// scheduler — including one in a different process or a waveform-level
+// RTL simulation outside this repository.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/traffic_gen.hpp"
+
+namespace wfqs::net {
+
+struct TraceEvent {
+    TimeNs time_ns;
+    FlowId flow;
+    std::uint32_t size_bytes;
+
+    friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class TrafficTrace {
+public:
+    /// Capture everything the given flows generate (consumes the sources).
+    static TrafficTrace record(std::vector<FlowSpec>& flows);
+
+    /// Parse the text format; throws std::invalid_argument on malformed
+    /// input.
+    static TrafficTrace parse(std::istream& in);
+
+    void serialize(std::ostream& out) const;
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    const std::vector<std::uint32_t>& weights() const { return weights_; }
+    std::size_t flow_count() const { return weights_.size(); }
+
+    /// Rebuild FlowSpecs that replay this trace (one source per flow).
+    std::vector<FlowSpec> replay() const;
+
+private:
+    std::vector<TraceEvent> events_;  ///< non-decreasing time order
+    std::vector<std::uint32_t> weights_;
+};
+
+/// TrafficSource view over one flow of a trace.
+class TraceSource final : public TrafficSource {
+public:
+    TraceSource(const std::vector<TraceEvent>& events, FlowId flow);
+    std::optional<Arrival> next() override;
+    std::string name() const override { return "trace"; }
+
+private:
+    std::vector<Arrival> arrivals_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace wfqs::net

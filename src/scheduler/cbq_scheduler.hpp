@@ -1,0 +1,71 @@
+// Class-based queueing (CBQ, Floyd & Jacobson [4]) in the form the paper
+// describes it: "a hierarchical approach to DRR" (§I-B). Flows are
+// grouped into classes; byte-accurate deficit round robin runs across
+// classes and again across the flows inside the selected class, so
+// bandwidth is shared class-first (link sharing), then per flow.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "scheduler/packet_buffer.hpp"
+#include "scheduler/scheduler.hpp"
+
+namespace wfqs::scheduler {
+
+class CbqScheduler final : public Scheduler {
+public:
+    explicit CbqScheduler(std::uint32_t quantum_bytes = 1500,
+                          const SharedPacketBuffer::Config& buffer = {});
+
+    /// Define a traffic class with its share of the link.
+    std::uint32_t add_class(std::uint32_t class_weight);
+
+    /// Add a flow inside a class. `weight` shares the class bandwidth
+    /// among its member flows.
+    net::FlowId add_flow_to_class(std::uint32_t class_id, std::uint32_t weight);
+
+    /// Scheduler interface: a bare add_flow creates a fresh class of the
+    /// same weight holding just this flow (degenerates to plain DRR).
+    net::FlowId add_flow(std::uint32_t weight) override;
+
+    bool enqueue(const net::Packet& packet, net::TimeNs now) override;
+    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+
+    bool has_packets() const override { return queued_ > 0; }
+    std::size_t queued_packets() const override { return queued_; }
+    std::string name() const override { return "CBQ"; }
+
+    std::uint64_t drops() const { return buffer_.drops(); }
+    std::size_t class_count() const { return classes_.size(); }
+
+private:
+    struct Flow {
+        std::uint32_t weight;
+        std::uint32_t class_id;
+        std::deque<BufferRef> q;
+        std::uint64_t deficit = 0;
+        bool fresh_turn = true;
+        bool queued = false;  ///< present in its class's round-robin ring
+    };
+    struct Class {
+        std::uint32_t weight;
+        std::deque<net::FlowId> rr;  ///< backlogged member flows
+        std::uint64_t deficit = 0;
+        bool fresh_turn = true;
+        bool in_active = false;
+        std::size_t backlog = 0;  ///< packets queued across members
+    };
+
+    std::optional<net::Packet> serve_from_class(std::uint32_t cid);
+
+    std::uint32_t quantum_;
+    SharedPacketBuffer buffer_;
+    std::vector<Flow> flows_;
+    std::vector<Class> classes_;
+    std::deque<std::uint32_t> active_classes_;
+    std::size_t queued_ = 0;
+};
+
+}  // namespace wfqs::scheduler

@@ -1,0 +1,26 @@
+#include "scheduler/fifo.hpp"
+
+namespace wfqs::scheduler {
+
+FifoScheduler::FifoScheduler(const SharedPacketBuffer::Config& buffer)
+    : buffer_(buffer) {}
+
+net::FlowId FifoScheduler::add_flow(std::uint32_t /*weight*/) {
+    return flow_count_++;  // FIFO ignores weights
+}
+
+bool FifoScheduler::enqueue(const net::Packet& packet, net::TimeNs /*now*/) {
+    const auto ref = buffer_.store(packet);
+    if (!ref) return false;
+    q_.push_back(*ref);
+    return true;
+}
+
+std::optional<net::Packet> FifoScheduler::dequeue(net::TimeNs /*now*/) {
+    if (q_.empty()) return std::nullopt;
+    const BufferRef ref = q_.front();
+    q_.pop_front();
+    return buffer_.retrieve(ref);
+}
+
+}  // namespace wfqs::scheduler

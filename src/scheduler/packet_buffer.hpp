@@ -1,0 +1,65 @@
+// Shared packet buffer — the middle block of the scheduler architecture
+// (Fig. 1; ref [9] "a shared buffer architecture for a gigabit ethernet
+// packet switch").
+//
+// Packets of any size share one memory pool of fixed-size cells chained
+// by next-pointers, exactly like the referenced shared-buffer switch: a
+// store returns the address of the packet's first cell — the pointer the
+// sorter carries next to the tag — and retrieval frees the chain.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace wfqs::scheduler {
+
+using BufferRef = std::uint32_t;
+
+class SharedPacketBuffer {
+public:
+    struct Config {
+        std::size_t total_bytes = 4 << 20;  ///< pool size
+        std::size_t cell_bytes = 64;
+    };
+
+    SharedPacketBuffer();
+    explicit SharedPacketBuffer(const Config& config);
+
+    /// Store a packet; returns the head-cell address, or nullopt when the
+    /// free pool cannot hold it (tail drop).
+    std::optional<BufferRef> store(const net::Packet& packet);
+
+    /// Retrieve and free a stored packet.
+    net::Packet retrieve(BufferRef ref);
+
+    /// Inspect a stored packet without freeing it (the schedulers' header
+    /// lookup, e.g. DRR checking the head-of-line size).
+    const net::Packet& peek(BufferRef ref) const;
+
+    std::size_t stored_packets() const { return stored_packets_; }
+    std::size_t used_cells() const { return total_cells_ - free_cells_.size(); }
+    std::size_t total_cells() const { return total_cells_; }
+    std::uint64_t drops() const { return drops_; }
+    std::size_t peak_used_cells() const { return peak_used_cells_; }
+
+private:
+    struct Cell {
+        net::Packet packet;   ///< populated in the head cell only
+        BufferRef next;
+        bool is_head = false;
+    };
+    std::size_t cells_for(std::uint32_t bytes) const;
+
+    std::size_t cell_bytes_;
+    std::size_t total_cells_;
+    std::vector<Cell> cells_;
+    std::vector<BufferRef> free_cells_;
+    std::size_t stored_packets_ = 0;
+    std::size_t peak_used_cells_ = 0;
+    std::uint64_t drops_ = 0;
+};
+
+}  // namespace wfqs::scheduler

@@ -1,0 +1,144 @@
+// The round-robin scheduler family of §I-B — the approaches the paper
+// argues cannot provide effective delay bounds for variable-size packets:
+//
+//   WRR  — weighted round robin [2]: per-round packet credits equal to
+//          the flow weight (assumes known/uniform packet sizes).
+//   DRR  — deficit round robin [3]: byte-accurate quanta, O(1) work.
+//   MDRR — modified DRR: one strict-priority low-latency queue in front
+//          of DRR for the rest (the Cisco VoIP arrangement §I-B cites).
+//   SRR  — stratified round robin [11]: flows grouped into weight classes
+//          (strata); deficit scheduling across classes, plain round robin
+//          within one — reproducing the aggregation granularity the paper
+//          holds against it ("the number of traffic classes is greatly
+//          limited").
+//
+// All share the per-flow FIFO + shared-buffer machinery so drop behaviour
+// is comparable with the fair-queueing scheduler.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "scheduler/packet_buffer.hpp"
+#include "scheduler/scheduler.hpp"
+
+namespace wfqs::scheduler {
+
+/// Shared machinery: per-flow FIFOs of buffer references.
+class PerFlowScheduler : public Scheduler {
+public:
+    explicit PerFlowScheduler(const SharedPacketBuffer::Config& buffer = {});
+
+    net::FlowId add_flow(std::uint32_t weight) override;
+    bool enqueue(const net::Packet& packet, net::TimeNs now) override;
+    bool has_packets() const override { return queued_ > 0; }
+    std::size_t queued_packets() const override { return queued_; }
+
+    const SharedPacketBuffer& buffer() const { return buffer_; }
+    std::uint64_t drops() const { return buffer_.drops(); }
+
+protected:
+    struct Flow {
+        std::uint32_t weight;
+        std::deque<BufferRef> q;
+    };
+
+    /// Called after a packet joins flow `f`'s queue.
+    virtual void on_backlogged(net::FlowId f) = 0;
+
+    std::uint32_t head_bytes(net::FlowId f) const;
+    net::Packet serve_head(net::FlowId f);
+
+    std::vector<Flow> flows_;
+    SharedPacketBuffer buffer_;
+    std::size_t queued_ = 0;
+};
+
+class WrrScheduler final : public PerFlowScheduler {
+public:
+    using PerFlowScheduler::PerFlowScheduler;
+    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    std::string name() const override { return "WRR"; }
+
+protected:
+    void on_backlogged(net::FlowId) override {}
+
+private:
+    std::vector<std::uint32_t> credits_;
+    std::size_t cursor_ = 0;
+};
+
+class DrrScheduler final : public PerFlowScheduler {
+public:
+    explicit DrrScheduler(std::uint32_t quantum_bytes = 1500,
+                          const SharedPacketBuffer::Config& buffer = {});
+    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    std::string name() const override { return "DRR"; }
+
+protected:
+    void on_backlogged(net::FlowId f) override;
+
+private:
+    std::uint32_t quantum_;
+    std::vector<std::uint64_t> deficit_;
+    std::vector<bool> in_active_;
+    std::vector<bool> fresh_turn_;
+    std::deque<net::FlowId> active_;
+};
+
+class MdrrScheduler final : public PerFlowScheduler {
+public:
+    explicit MdrrScheduler(std::uint32_t quantum_bytes = 1500,
+                           const SharedPacketBuffer::Config& buffer = {});
+
+    /// The first added flow is the strict-priority (low-latency) queue by
+    /// default; override with this.
+    void set_priority_flow(net::FlowId f);
+
+    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    std::string name() const override { return "MDRR"; }
+
+protected:
+    void on_backlogged(net::FlowId f) override;
+
+private:
+    net::FlowId priority_flow_ = 0;
+    std::uint32_t quantum_;
+    std::vector<std::uint64_t> deficit_;
+    std::vector<bool> in_active_;
+    std::vector<bool> fresh_turn_;
+    std::deque<net::FlowId> active_;
+};
+
+class SrrScheduler final : public PerFlowScheduler {
+public:
+    explicit SrrScheduler(std::uint32_t quantum_bytes = 1500,
+                          const SharedPacketBuffer::Config& buffer = {});
+    net::FlowId add_flow(std::uint32_t weight) override;
+    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    std::string name() const override { return "SRR"; }
+
+    std::size_t stratum_count() const { return strata_.size(); }
+
+protected:
+    void on_backlogged(net::FlowId f) override;
+
+private:
+    struct Stratum {
+        std::uint32_t weight_scale;  ///< 2^k
+        std::deque<net::FlowId> rr;  ///< backlogged members, round-robin order
+        std::uint64_t deficit = 0;
+        bool fresh_turn = true;
+        bool in_active = false;
+    };
+    std::size_t stratum_of_weight(std::uint32_t weight) const;
+
+    std::uint32_t quantum_;
+    std::vector<std::size_t> flow_stratum_;
+    std::vector<Stratum> strata_;
+    std::deque<std::size_t> active_strata_;
+    std::vector<bool> flow_queued_;
+};
+
+}  // namespace wfqs::scheduler

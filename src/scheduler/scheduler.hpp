@@ -1,0 +1,32 @@
+// Abstract packet scheduler driven by the simulation loop: packets are
+// enqueued on arrival and dequeued whenever the output link is free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace wfqs::scheduler {
+
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    /// Register a flow; returns its id. Must be called before traffic.
+    virtual net::FlowId add_flow(std::uint32_t weight) = 0;
+
+    /// Offer a packet at time `now`. Returns false if the scheduler had to
+    /// drop it (buffer exhausted).
+    virtual bool enqueue(const net::Packet& packet, net::TimeNs now) = 0;
+
+    /// Select the next packet to transmit at time `now`.
+    virtual std::optional<net::Packet> dequeue(net::TimeNs now) = 0;
+
+    virtual bool has_packets() const = 0;
+    virtual std::size_t queued_packets() const = 0;
+    virtual std::string name() const = 0;
+};
+
+}  // namespace wfqs::scheduler

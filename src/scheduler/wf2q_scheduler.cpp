@@ -1,0 +1,92 @@
+#include "scheduler/wf2q_scheduler.hpp"
+
+#include "common/assert.hpp"
+
+namespace wfqs::scheduler {
+
+Wf2qScheduler::Wf2qScheduler(const Config& config,
+                             std::unique_ptr<baselines::TagQueue> start_queue,
+                             std::unique_ptr<baselines::TagQueue> finish_queue)
+    : config_(config),
+      computer_(config.link_rate_bps),
+      start_queue_(std::move(start_queue)),
+      finish_queue_(std::move(finish_queue)),
+      buffer_(config.buffer),
+      quantizer_(config.tag_granularity_bits) {
+    WFQS_REQUIRE(start_queue_ != nullptr && finish_queue_ != nullptr,
+                 "both sort structures are required");
+}
+
+net::FlowId Wf2qScheduler::add_flow(std::uint32_t weight) {
+    return computer_.add_flow(weight);
+}
+
+std::uint32_t Wf2qScheduler::allocate_slot(std::uint64_t finish_tag, BufferRef ref) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    slots_[slot] = Pending{finish_tag, ref, true};
+    return slot;
+}
+
+bool Wf2qScheduler::enqueue(const net::Packet& packet, net::TimeNs now) {
+    const auto ref = buffer_.store(packet);
+    if (!ref) return false;
+    // Sort #1: by virtual start (eligibility order).
+    const Fixed finish = computer_.on_arrival(packet.flow, now, packet.size_bits());
+    const Fixed start = computer_.last_start();
+    const std::uint32_t slot = allocate_slot(quantizer_.quantize(finish), *ref);
+    start_queue_->insert(quantizer_.quantize(start), slot);
+    promote_eligible();
+    return true;
+}
+
+void Wf2qScheduler::promote_eligible() {
+    // Packets whose virtual start has been reached move to sort #2 (by
+    // virtual finish) — the WF2Q eligibility test S <= V(t).
+    const std::uint64_t v = quantizer_.quantize(computer_.virtual_time());
+    while (const auto head = start_queue_->peek_min()) {
+        if (head->tag > v) break;
+        const auto moved = start_queue_->pop_min();
+        finish_queue_->insert(slots_[moved->payload].finish_tag, moved->payload);
+    }
+}
+
+std::optional<net::Packet> Wf2qScheduler::dequeue(net::TimeNs now) {
+    computer_.advance_to(now);
+    promote_eligible();
+    if (finish_queue_->empty() && !start_queue_->empty()) {
+        // Work conservation: rather than idle the link, jump the system
+        // virtual time to the smallest start tag (the WF2Q+ floor) and
+        // promote again.
+        const auto head = start_queue_->peek_min();
+        computer_.floor_virtual_time(quantizer_.dequantize(head->tag));
+        promote_eligible();
+    }
+    const auto entry = finish_queue_->pop_min();
+    if (!entry) return std::nullopt;
+    Pending& p = slots_[entry->payload];
+    WFQS_ASSERT(p.in_use);
+    p.in_use = false;
+    free_slots_.push_back(entry->payload);
+    return buffer_.retrieve(p.ref);
+}
+
+bool Wf2qScheduler::has_packets() const {
+    return !start_queue_->empty() || !finish_queue_->empty();
+}
+
+std::size_t Wf2qScheduler::queued_packets() const {
+    return start_queue_->size() + finish_queue_->size();
+}
+
+std::string Wf2qScheduler::name() const {
+    return "WF2Q(2x " + finish_queue_->name() + ")";
+}
+
+}  // namespace wfqs::scheduler

@@ -1,0 +1,42 @@
+#include "scheduler/wfq_scheduler.hpp"
+
+#include "common/assert.hpp"
+
+namespace wfqs::scheduler {
+
+FairQueueingScheduler::FairQueueingScheduler(const Config& config,
+                                             std::unique_ptr<baselines::TagQueue> queue)
+    : config_(config),
+      computer_(wfq::make_tag_computer(config.algorithm, config.link_rate_bps)),
+      queue_(std::move(queue)),
+      buffer_(config.buffer),
+      quantizer_(config.tag_granularity_bits) {
+    WFQS_REQUIRE(queue_ != nullptr, "a tag queue is required");
+}
+
+net::FlowId FairQueueingScheduler::add_flow(std::uint32_t weight) {
+    return computer_->add_flow(weight);
+}
+
+bool FairQueueingScheduler::enqueue(const net::Packet& packet, net::TimeNs now) {
+    const auto ref = buffer_.store(packet);
+    if (!ref) return false;  // tail drop
+    const Fixed finish = computer_->on_arrival(packet.flow, now, packet.size_bits());
+    queue_->insert(quantizer_.quantize(finish), *ref);
+    return true;
+}
+
+std::optional<net::Packet> FairQueueingScheduler::dequeue(net::TimeNs now) {
+    const auto entry = queue_->pop_min();
+    if (!entry) return std::nullopt;
+    // Feed the served tag back into the virtual clock (SCFQ/WF2Q+ hooks;
+    // the WFQ clock ignores it), rescaled to the virtual-time domain.
+    computer_->on_service_start(quantizer_.dequantize(entry->tag), now);
+    return buffer_.retrieve(entry->payload);
+}
+
+std::string FairQueueingScheduler::name() const {
+    return computer_->name() + "+" + queue_->name();
+}
+
+}  // namespace wfqs::scheduler

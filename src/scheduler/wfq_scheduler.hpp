@@ -1,0 +1,59 @@
+// The complete scheduler of Fig. 1: tag computation circuit + shared
+// packet buffer + tag sort/retrieve structure.
+//
+// The sort structure is pluggable (any baselines::TagQueue, including the
+// paper's multi-bit tree sorter), which is what lets the experiments swap
+// the sorter for a heap and verify identical departure orders, or swap in
+// binning and measure the QoS damage. The tag computation is equally
+// pluggable across the fair-queueing family (§II: WFQ, WF2Q+, SCFQ).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "baselines/tag_queue.hpp"
+#include "scheduler/packet_buffer.hpp"
+#include "scheduler/scheduler.hpp"
+#include "wfq/tag_computer.hpp"
+
+namespace wfqs::scheduler {
+
+class FairQueueingScheduler final : public Scheduler {
+public:
+    struct Config {
+        std::uint64_t link_rate_bps = 1'000'000'000;
+        wfq::FairQueueingKind algorithm = wfq::FairQueueingKind::Wfq;
+        /// Tag-step granularity (§III-D rounding): positive keeps
+        /// fractional virtual-time bits, negative coarsens the step so a
+        /// small tag word covers a deep buffer. See TagQuantizer.
+        int tag_granularity_bits = -4;
+        SharedPacketBuffer::Config buffer = {};
+    };
+
+    /// `queue`: the tag sort/retrieve structure (Fig. 1's right block).
+    FairQueueingScheduler(const Config& config,
+                          std::unique_ptr<baselines::TagQueue> queue);
+
+    net::FlowId add_flow(std::uint32_t weight) override;
+    bool enqueue(const net::Packet& packet, net::TimeNs now) override;
+    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+
+    bool has_packets() const override { return !queue_->empty(); }
+    std::size_t queued_packets() const override { return queue_->size(); }
+    std::string name() const override;
+
+    const SharedPacketBuffer& buffer() const { return buffer_; }
+    const baselines::TagQueue& tag_queue() const { return *queue_; }
+    wfq::TagComputer& tag_computer() { return *computer_; }
+    std::uint64_t drops() const { return buffer_.drops(); }
+
+private:
+    Config config_;
+    std::unique_ptr<wfq::TagComputer> computer_;
+    std::unique_ptr<baselines::TagQueue> queue_;
+    SharedPacketBuffer buffer_;
+    wfq::TagQuantizer quantizer_;
+};
+
+}  // namespace wfqs::scheduler

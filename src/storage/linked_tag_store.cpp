@@ -1,0 +1,223 @@
+#include "storage/linked_tag_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace wfqs::storage {
+namespace {
+
+unsigned bits_for(std::uint64_t max_value) {
+    unsigned bits = 1;
+    while ((std::uint64_t{1} << bits) <= max_value) ++bits;
+    return bits;
+}
+
+}  // namespace
+
+LinkedTagStore::LinkedTagStore(const Config& config, hw::Simulation& sim)
+    : config_(config),
+      sram_([&]() -> hw::Sram& {
+          WFQS_REQUIRE(config.capacity >= 2, "tag store needs at least two slots");
+          WFQS_REQUIRE(config.tag_bits >= 1 && config.tag_bits <= 32,
+                       "tag width must be 1..32 bits");
+          const unsigned next_bits = bits_for(config.capacity);  // `capacity` encodes null
+          const unsigned word = config.tag_bits + config.payload_bits + next_bits;
+          WFQS_REQUIRE(word <= 64, "tag store entry must pack into one 64-bit word");
+          return sim.make_sram("tag-store", config.capacity, word);
+      }()),
+      clock_(sim.clock()) {}
+
+std::uint64_t LinkedTagStore::pack(const Slot& s) const {
+    const unsigned next_bits = bits_for(config_.capacity);
+    WFQS_ASSERT(s.entry.tag < (std::uint64_t{1} << config_.tag_bits));
+    WFQS_ASSERT(config_.payload_bits == 32 ||
+                s.entry.payload < (std::uint64_t{1} << config_.payload_bits));
+    const std::uint64_t next_field =
+        s.next == kNullAddr ? config_.capacity : static_cast<std::uint64_t>(s.next);
+    WFQS_ASSERT(next_field < (std::uint64_t{1} << next_bits));
+    return s.entry.tag | (std::uint64_t{s.entry.payload} << config_.tag_bits) |
+           (next_field << (config_.tag_bits + config_.payload_bits));
+}
+
+LinkedTagStore::Slot LinkedTagStore::unpack(std::uint64_t word) const {
+    Slot s;
+    s.entry.tag = word & low_mask(config_.tag_bits);
+    s.entry.payload = static_cast<std::uint32_t>((word >> config_.tag_bits) &
+                                                 low_mask(config_.payload_bits));
+    const std::uint64_t next_field =
+        word >> (config_.tag_bits + config_.payload_bits);
+    s.next = next_field == config_.capacity ? kNullAddr : static_cast<Addr>(next_field);
+    return s;
+}
+
+bool LinkedTagStore::full() const {
+    return fresh_counter_ == config_.capacity && size_ == config_.capacity;
+}
+
+Addr LinkedTagStore::allocate_slot() {
+    // Cycle 1 of every insert: find the next unused location (Fig. 10).
+    if (fresh_counter_ < config_.capacity) {
+        // Fresh region: slots are handed out by the initialisation counter
+        // until it reaches capacity; no memory access needed, but the FSM
+        // still spends its read cycle.
+        const Addr slot = fresh_counter_++;
+        clock_.advance();
+        return slot;
+    }
+    if (size_ == config_.capacity)
+        throw std::overflow_error("LinkedTagStore: tag memory full");
+    // Empty list: freed slots chain through their *stale* next pointers —
+    // valid because tags only ever depart from the head, so each freed
+    // slot's old pointer names the slot freed right after it (the paper's
+    // "the link itself is left unchanged" trick). One read pops the chain.
+    WFQS_ASSERT(empty_head_ != kNullAddr);
+    const Addr slot = empty_head_;
+    const Slot s = unpack(sram_.read(slot));
+    empty_head_ = s.next;
+    clock_.advance();
+    return slot;
+}
+
+Addr LinkedTagStore::insert_after(Addr pred, const TagEntry& entry) {
+    WFQS_REQUIRE(pred != kNullAddr && pred < config_.capacity,
+                 "insert_after needs a valid predecessor (use insert_at_head)");
+    const std::uint64_t t0 = clock_.now();
+    const Addr slot = allocate_slot();  // cycle 1
+
+    Slot pred_slot = unpack(sram_.read(pred));  // cycle 2
+    clock_.advance();
+    const Addr succ = pred_slot.next;
+
+    pred_slot.next = slot;  // cycle 3
+    sram_.write(pred, pack(pred_slot));
+    clock_.advance();
+
+    sram_.write(slot, pack(Slot{entry, succ}));  // cycle 4
+    clock_.advance();
+
+    ++size_;
+    ++stats_.inserts;
+    stats_.worst_cycles_per_op =
+        std::max(stats_.worst_cycles_per_op, clock_.now() - t0);
+    return slot;
+}
+
+Addr LinkedTagStore::insert_at_head(const TagEntry& entry) {
+    const std::uint64_t t0 = clock_.now();
+    const Addr slot = allocate_slot();  // cycle 1
+    clock_.advance();                   // cycle 2: no predecessor to read
+
+    sram_.write(slot, pack(Slot{entry, head_}));  // cycle 3
+    clock_.advance();
+
+    head_ = slot;      // cycle 4: head register update
+    clock_.advance();
+
+    ++size_;
+    ++stats_.inserts;
+    stats_.worst_cycles_per_op =
+        std::max(stats_.worst_cycles_per_op, clock_.now() - t0);
+    return slot;
+}
+
+std::optional<TagEntry> LinkedTagStore::pop_head() {
+    if (size_ == 0) return std::nullopt;
+    const std::uint64_t t0 = clock_.now();
+    const Addr old_head = head_;
+    const Slot s = unpack(sram_.read(old_head));  // single read cycle
+    clock_.advance();
+    head_ = s.next;
+    // The freed slot is *not* written: its stale pointer already names the
+    // slot that will depart right after it, so the chain of stale pointers
+    // IS the empty list (Fig. 10 — "the link itself is left unchanged").
+    // This holds because tags depart from the head in order; should a
+    // caller have inserted a brand-new head in between (never happens
+    // under fair queueing), the chain tail is patched with one write.
+    if (empty_list_length() == 0) {
+        empty_head_ = old_head;
+    } else if (free_tail_stale_next_ != old_head) {
+        Slot tail = unpack(sram_.peek(free_tail_));
+        tail.next = old_head;
+        sram_.write(free_tail_, pack(tail));
+        clock_.advance();
+    }
+    free_tail_ = old_head;
+    free_tail_stale_next_ = s.next;
+    --size_;
+    ++stats_.pops;
+    stats_.worst_cycles_per_op =
+        std::max(stats_.worst_cycles_per_op, clock_.now() - t0);
+    return s.entry;
+}
+
+LinkedTagStore::CombinedResult LinkedTagStore::insert_and_pop_head(
+    Addr pred, const TagEntry& entry) {
+    WFQS_REQUIRE(size_ > 0, "insert_and_pop_head needs a non-empty list");
+    const std::uint64_t t0 = clock_.now();
+
+    const Addr slot = head_;                     // reuse the departing slot
+    const Slot popped = unpack(sram_.read(slot));  // cycle 1
+    clock_.advance();
+    const Addr new_head = popped.next;
+
+    if (pred == kNullAddr || pred == slot) {
+        // The new tag follows the departing minimum: it becomes the head,
+        // occupying the same physical slot.
+        clock_.advance();  // cycle 2 (no predecessor read)
+        clock_.advance();  // cycle 3 (no predecessor write)
+        sram_.write(slot, pack(Slot{entry, new_head}));  // cycle 4
+        clock_.advance();
+        // head_ already equals slot
+    } else {
+        WFQS_REQUIRE(pred < config_.capacity, "bad predecessor address");
+        Slot pred_slot = unpack(sram_.read(pred));  // cycle 2
+        clock_.advance();
+        const Addr succ = pred_slot.next;
+        pred_slot.next = slot;  // cycle 3
+        sram_.write(pred, pack(pred_slot));
+        clock_.advance();
+        sram_.write(slot, pack(Slot{entry, succ}));  // cycle 4
+        clock_.advance();
+        head_ = new_head;
+    }
+
+    ++stats_.combined_ops;
+    stats_.worst_cycles_per_op =
+        std::max(stats_.worst_cycles_per_op, clock_.now() - t0);
+    return CombinedResult{popped.entry, slot};
+}
+
+std::optional<TagEntry> LinkedTagStore::peek_head() const {
+    if (size_ == 0) return std::nullopt;
+    return unpack(sram_.peek(head_)).entry;
+}
+
+std::optional<std::uint64_t> LinkedTagStore::peek_second_tag() const {
+    if (size_ < 2) return std::nullopt;
+    const Slot head = unpack(sram_.peek(head_));
+    WFQS_ASSERT(head.next != kNullAddr);
+    return unpack(sram_.peek(head.next)).entry.tag;
+}
+
+std::vector<TagEntry> LinkedTagStore::snapshot() const {
+    std::vector<TagEntry> out;
+    out.reserve(size_);
+    Addr a = head_;
+    for (std::size_t i = 0; i < size_; ++i) {
+        WFQS_ASSERT(a != kNullAddr);
+        const Slot s = unpack(sram_.peek(a));
+        out.push_back(s.entry);
+        a = s.next;
+    }
+    return out;
+}
+
+std::size_t LinkedTagStore::empty_list_length() const {
+    // Freed slots = everything handed out by the counter that is not live.
+    return static_cast<std::size_t>(fresh_counter_) - size_;
+}
+
+}  // namespace wfqs::storage

@@ -1,0 +1,120 @@
+// Tag storage memory (§III-C): a sorted singly linked list kept in
+// (external) SRAM, with an interleaved empty list of freed slots and a
+// fresh-allocation counter (Fig. 10).
+//
+// The list itself never compares tag values — the insertion point always
+// comes from the tree + translation table — which is what lets the sorter
+// run a wrapped (mod-2^W) tag ordering without the memory caring.
+//
+// Timing (paper Fig. 9): entering a new tag costs exactly four clock
+// cycles — two reads and two writes to the single-port entry SRAM:
+//   1. read a free slot (empty-list head, or allocate fresh),
+//   2. read the predecessor link,
+//   3. write the predecessor back with its pointer redirected,
+//   4. write the new link.
+// A simultaneous insert + remove-smallest also completes in the same four
+// cycles by reusing the departing head slot for the incoming tag instead
+// of touching the empty list (§III-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/simulation.hpp"
+
+namespace wfqs::storage {
+
+/// Address of a list slot. kNullAddr is the null pointer.
+using Addr = std::uint32_t;
+inline constexpr Addr kNullAddr = ~Addr{0};
+
+struct TagEntry {
+    std::uint64_t tag = 0;
+    std::uint32_t payload = 0;  ///< packet-buffer pointer travelling with the tag
+};
+
+struct StoreStats {
+    std::uint64_t inserts = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t combined_ops = 0;
+    std::uint64_t worst_cycles_per_op = 0;
+};
+
+class LinkedTagStore {
+public:
+    struct Config {
+        std::size_t capacity = 4096;  ///< number of list slots
+        unsigned tag_bits = 12;
+        unsigned payload_bits = 24;
+    };
+
+    LinkedTagStore(const Config& config, hw::Simulation& sim);
+
+    /// Insert `entry` directly after the link at `pred`; returns the new
+    /// slot's address. Exactly 4 cycles. Throws std::overflow_error when
+    /// the memory is full.
+    Addr insert_after(Addr pred, const TagEntry& entry);
+
+    /// Insert `entry` as the new list head (no predecessor). 4 cycles.
+    Addr insert_at_head(const TagEntry& entry);
+
+    /// Remove and return the smallest (head) entry; its slot joins the
+    /// empty list. 2 cycles (1 read + 1 write). Returns nullopt when empty.
+    std::optional<TagEntry> pop_head();
+
+    /// §III-C simultaneous case: remove the head and insert `entry` after
+    /// `pred` (kNullAddr, or the head's own address, makes the new entry
+    /// the head) — the departing slot is reused, 4 cycles total.
+    /// Precondition: list non-empty.
+    struct CombinedResult {
+        TagEntry popped;
+        Addr inserted_at;
+    };
+    CombinedResult insert_and_pop_head(Addr pred, const TagEntry& entry);
+
+    /// The smallest tag, readable at any time from the head register
+    /// ("the smallest tag value ... is always known") — no cycles.
+    std::optional<TagEntry> peek_head() const;
+    Addr head_addr() const { return head_; }
+
+    /// The tag of the entry after the head, if any (one register-speed
+    /// comparison in hardware; here a peek). Used by the sorter to detect
+    /// that the last duplicate of a value is departing.
+    std::optional<std::uint64_t> peek_second_tag() const;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const;
+    std::size_t capacity() const { return config_.capacity; }
+
+    /// Walk the sorted list (tests/analysis only: peeks, no cycles).
+    std::vector<TagEntry> snapshot() const;
+    /// Walk the empty list (tests only).
+    std::size_t empty_list_length() const;
+
+    const StoreStats& stats() const { return stats_; }
+    const hw::Sram& memory() const { return sram_; }
+
+private:
+    struct Slot {
+        TagEntry entry;
+        Addr next;
+    };
+    std::uint64_t pack(const Slot& s) const;
+    Slot unpack(std::uint64_t word) const;
+    Addr allocate_slot();  ///< cycle 1 of an insert
+
+    Config config_;
+    hw::Sram& sram_;
+    hw::Clock& clock_;
+    Addr head_ = kNullAddr;        ///< head of the sorted list (smallest tag)
+    Addr empty_head_ = kNullAddr;  ///< head of the empty (free) list
+    Addr free_tail_ = kNullAddr;   ///< most recently freed slot
+    Addr free_tail_stale_next_ = kNullAddr;  ///< that slot's stale pointer
+    std::uint32_t fresh_counter_ = 0;
+    std::size_t size_ = 0;
+    StoreStats stats_;
+};
+
+}  // namespace wfqs::storage

@@ -1,0 +1,44 @@
+#include "storage/translation_table.hpp"
+
+#include "common/assert.hpp"
+
+namespace wfqs::storage {
+namespace {
+// The paper's translation table occupies 8 large banked memory blocks, so
+// a lookup and an update (plus neighbouring pipeline traffic) coexist in
+// one cycle.
+constexpr unsigned kTablePorts = 4;
+}  // namespace
+
+TranslationTable::TranslationTable(const Config& config, hw::Simulation& sim)
+    : config_(config),
+      sram_([&]() -> hw::Sram& {
+          WFQS_REQUIRE(config.tag_bits >= 1 && config.tag_bits <= 28,
+                       "translation table capped at 2^28 entries");
+          WFQS_REQUIRE(config.addr_bits >= 1 && config.addr_bits <= 32,
+                       "list address width must be 1..32 bits");
+          return sim.make_sram("translation-table",
+                               std::size_t{1} << config.tag_bits,
+                               config.addr_bits + 1,  // +1 valid bit
+                               kTablePorts);
+      }()) {}
+
+std::optional<Addr> TranslationTable::lookup(std::uint64_t value) {
+    WFQS_ASSERT(value < entries());
+    const std::uint64_t word = sram_.read(value);
+    if ((word & 1u) == 0) return std::nullopt;
+    return static_cast<Addr>(word >> 1);
+}
+
+void TranslationTable::set(std::uint64_t value, Addr addr) {
+    WFQS_ASSERT(value < entries());
+    WFQS_ASSERT(addr < (std::uint64_t{1} << config_.addr_bits));
+    sram_.write(value, (std::uint64_t{addr} << 1) | 1u);
+}
+
+void TranslationTable::invalidate(std::uint64_t value) {
+    WFQS_ASSERT(value < entries());
+    sram_.write(value, 0);
+}
+
+}  // namespace wfqs::storage

@@ -1,0 +1,50 @@
+// Address translation table (§III-D): one entry per representable tag
+// value, mapping the value to the linked-list address of the most
+// recently inserted tag of that value.
+//
+// It is the bridge that lets the search structure (tree) and the storage
+// structure (linked list) scale independently: the tree's granularity
+// fixes the table size (paper eq. for T = 2^(w·l) entries) while the list
+// capacity is bounded only by the external SRAM. Duplicate tag values are
+// handled by always pointing at the newest entry (Fig. 11), which keeps
+// every tree hit valid and gives FIFO order within a value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hw/simulation.hpp"
+#include "storage/linked_tag_store.hpp"
+
+namespace wfqs::storage {
+
+class TranslationTable {
+public:
+    struct Config {
+        unsigned tag_bits = 12;   ///< table has 2^tag_bits entries
+        unsigned addr_bits = 20;  ///< width of a linked-list address
+    };
+
+    TranslationTable(const Config& config, hw::Simulation& sim);
+
+    /// Linked-list address of the newest entry with this tag value, if
+    /// one is recorded. One SRAM read, charged to the current cycle (the
+    /// table is banked in the paper's layout — 8 memory blocks).
+    std::optional<Addr> lookup(std::uint64_t value);
+
+    /// Record `addr` as the newest entry for `value`. One SRAM write.
+    void set(std::uint64_t value, Addr addr);
+
+    /// Drop the record for `value` (used when the last duplicate departs
+    /// or a sector is recycled). One SRAM write.
+    void invalidate(std::uint64_t value);
+
+    std::uint64_t entries() const { return std::uint64_t{1} << config_.tag_bits; }
+    const hw::Sram& memory() const { return sram_; }
+
+private:
+    Config config_;
+    hw::Sram& sram_;
+};
+
+}  // namespace wfqs::storage

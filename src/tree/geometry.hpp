@@ -1,0 +1,81 @@
+// Tree geometry: levels × bits-per-level, and the paper's memory
+// equations (2) and (3).
+//
+// The paper's silicon instance is 3 levels of 4-bit literals (16-bit
+// nodes, branching factor 16, 12-bit tags); §III-A also discusses a
+// 15-bit variant (32-bit nodes) and the degenerate binary tree
+// (1-bit literals) appears in Table I as the slower alternative.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace wfqs::tree {
+
+struct TreeGeometry {
+    unsigned levels = 3;
+    unsigned bits_per_level = 4;
+
+    /// Branching factor B = node width in bits.
+    unsigned branching() const { return 1u << bits_per_level; }
+
+    /// Width of the tag values the tree can index.
+    unsigned tag_bits() const { return levels * bits_per_level; }
+
+    /// Number of distinct representable tag values.
+    std::uint64_t capacity() const { return std::uint64_t{1} << tag_bits(); }
+
+    /// Nodes at level l (level 0 = root).
+    std::uint64_t nodes_at_level(unsigned level) const {
+        WFQS_ASSERT(level < levels);
+        std::uint64_t n = 1;
+        for (unsigned i = 0; i < level; ++i) n *= branching();
+        return n;
+    }
+
+    /// Paper eq. (2): memory of level l is B^(l+1) bits.
+    std::uint64_t level_memory_bits(unsigned level) const {
+        return nodes_at_level(level) * branching();
+    }
+
+    /// Paper eq. (3): total tree memory = sum of level memories.
+    std::uint64_t total_memory_bits() const {
+        std::uint64_t total = 0;
+        for (unsigned l = 0; l < levels; ++l) total += level_memory_bits(l);
+        return total;
+    }
+
+    /// Literal of `value` addressed by `level` (level 0 = most significant).
+    std::uint32_t literal(std::uint64_t value, unsigned level) const {
+        return extract_literal(value, level, bits_per_level, levels);
+    }
+
+    /// Index of the node at `level` on the path of `value` (the first
+    /// `level` literals).
+    std::uint64_t node_index(std::uint64_t value, unsigned level) const {
+        WFQS_ASSERT(level < levels);
+        return value >> ((levels - level) * bits_per_level);
+    }
+
+    void validate() const {
+        WFQS_REQUIRE(levels >= 1, "tree needs at least one level");
+        WFQS_REQUIRE(bits_per_level >= 1 && bits_per_level <= 6,
+                     "node width must be 2..64 bits (1..6 literal bits)");
+        WFQS_REQUIRE(tag_bits() <= 28, "tag width capped at 28 bits: the "
+                     "translation table has one entry per representable value");
+    }
+
+    /// The configuration implemented in the paper's 130-nm silicon.
+    static TreeGeometry paper() { return {3, 4}; }
+    /// The 15-bit variant discussed in §III-A (32-bit nodes would be 3x5
+    /// literals; the paper keeps 3 levels and widens nodes — here that is
+    /// levels=3, bits=5).
+    static TreeGeometry paper_15bit() { return {3, 5}; }
+    /// Degenerate binary tree over the same 12-bit value space (Table I's
+    /// "tree" row with branching factor 2).
+    static TreeGeometry binary(unsigned tag_bits = 12) { return {tag_bits, 1}; }
+};
+
+}  // namespace wfqs::tree

@@ -1,0 +1,267 @@
+#include "tree/multibit_tree.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace wfqs::tree {
+
+namespace {
+// The paper's bottom tree level is split into 32 small distributed memory
+// blocks, so several distinct nodes can be accessed in one cycle (primary
+// and backup descents run in parallel, and background marker erasure
+// overlaps the pipeline). Four concurrent accesses per cycle models that
+// banking headroom.
+constexpr unsigned kTreeSramPorts = 4;
+}  // namespace
+
+MultibitTree::MultibitTree(const Config& config, hw::Simulation& sim,
+                           matcher::MatcherEngine& matcher)
+    : config_(config), matcher_(matcher), clock_(sim.clock()) {
+    config_.geometry.validate();
+    WFQS_REQUIRE(config_.first_sram_level >= 1,
+                 "the root level must be registers (it is read every cycle)");
+    const TreeGeometry& g = config_.geometry;
+    for (unsigned l = 0; l < g.levels; ++l) {
+        if (l < config_.first_sram_level) {
+            register_levels_.emplace_back(g.nodes_at_level(l), 0);
+        } else {
+            sram_levels_.push_back(&sim.make_sram("tree-level-" + std::to_string(l),
+                                                  g.nodes_at_level(l), g.branching(),
+                                                  kTreeSramPorts));
+        }
+    }
+}
+
+std::uint64_t MultibitTree::read_node(unsigned level, std::uint64_t index) {
+    if (level < config_.first_sram_level) return register_levels_[level][index];
+    return sram_levels_[level - config_.first_sram_level]->read(index);
+}
+
+void MultibitTree::write_node(unsigned level, std::uint64_t index, std::uint64_t word) {
+    if (level < config_.first_sram_level) {
+        register_levels_[level][index] = word;
+        return;
+    }
+    sram_levels_[level - config_.first_sram_level]->write(index, word);
+}
+
+std::uint64_t MultibitTree::node_word(unsigned level, std::uint64_t index) const {
+    if (level < config_.first_sram_level) return register_levels_[level][index];
+    return sram_levels_[level - config_.first_sram_level]->peek(index);
+}
+
+bool MultibitTree::contains(std::uint64_t value) const {
+    const TreeGeometry& g = config_.geometry;
+    WFQS_ASSERT(value < g.capacity());
+    for (unsigned l = 0; l < g.levels; ++l) {
+        const std::uint64_t word = node_word(l, g.node_index(value, l));
+        if (!bit_is_set(word, g.literal(value, l))) return false;
+    }
+    return true;
+}
+
+namespace {
+
+/// State of the walk shared by closest_leq and search_and_insert.
+struct Walk {
+    enum class Mode { Exact, MaxDescent, Dead };
+    Mode mode = Mode::Exact;
+    std::uint64_t node_idx = 0;   ///< node to read at the current level
+    std::uint64_t prefix = 0;     ///< literals chosen so far
+    // Shadow (backup) descent: runs one node per level alongside the
+    // primary, ready to take over if the primary search fails (Fig. 5).
+    bool shadow_active = false;
+    std::uint64_t shadow_idx = 0;
+    std::uint64_t shadow_prefix = 0;
+};
+
+}  // namespace
+
+std::optional<std::uint64_t> MultibitTree::closest_leq(std::uint64_t value) {
+    return do_walk(value, /*do_insert=*/false);
+}
+
+std::optional<std::uint64_t> MultibitTree::search_and_insert(std::uint64_t value) {
+    return do_walk(value, /*do_insert=*/true);
+}
+
+std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_insert) {
+    const TreeGeometry& g = config_.geometry;
+    WFQS_ASSERT(value < g.capacity());
+    const unsigned B = g.branching();
+    ++stats_.searches;
+
+    Walk w;
+    bool used_backup = false;
+    // Per-level info for the insert write-back: the word read on the exact
+    // path (or kNoWord when the level was below the deviation point).
+    constexpr std::uint64_t kNoWord = ~std::uint64_t{0};
+    std::vector<std::uint64_t> exact_words(g.levels, kNoWord);
+
+    for (unsigned l = 0; l < g.levels; ++l) {
+        // Shadow step: read the shadow node and follow its largest literal.
+        int shadow_literal = -1;
+        if (w.shadow_active) {
+            const std::uint64_t sword = read_node(l, w.shadow_idx);
+            shadow_literal = highest_set(sword & low_mask(B));
+            WFQS_ASSERT_MSG(shadow_literal >= 0,
+                            "tree invariant broken: marked node has empty child");
+        }
+
+        if (w.mode == Walk::Mode::Exact) {
+            const std::uint64_t word = read_node(l, w.node_idx);
+            exact_words[l] = word;
+            const unsigned target = g.literal(value, l);
+            const matcher::MatchResult m = matcher_.match(word, target, B);
+            ++stats_.node_lookups;
+
+            if (m.primary == static_cast<int>(target)) {
+                // Exact literal present: descend, and re-aim the shadow at
+                // the (deeper, therefore closer) backup literal if one
+                // exists in this node.
+                if (m.backup >= 0) {
+                    w.shadow_active = true;
+                    w.shadow_idx = w.node_idx * B + static_cast<unsigned>(m.backup);
+                    w.shadow_prefix =
+                        (w.prefix << g.bits_per_level) | static_cast<unsigned>(m.backup);
+                } else if (w.shadow_active) {
+                    w.shadow_idx = w.shadow_idx * B + static_cast<unsigned>(shadow_literal);
+                    w.shadow_prefix = (w.shadow_prefix << g.bits_per_level) |
+                                      static_cast<unsigned>(shadow_literal);
+                }
+                w.node_idx = w.node_idx * B + target;
+                w.prefix = (w.prefix << g.bits_per_level) | target;
+            } else if (m.primary >= 0) {
+                // Next-smallest literal: every deeper level follows its
+                // maximum literal; the primary can no longer fail, so the
+                // shadow is dropped.
+                w.mode = Walk::Mode::MaxDescent;
+                w.shadow_active = false;
+                w.node_idx = w.node_idx * B + static_cast<unsigned>(m.primary);
+                w.prefix = (w.prefix << g.bits_per_level) |
+                           static_cast<unsigned>(m.primary);
+            } else {
+                // Primary search failed (Fig. 5 point "A"): hand over to
+                // the shadow, which has already descended to this level.
+                if (!w.shadow_active) {
+                    w.mode = Walk::Mode::Dead;
+                } else {
+                    used_backup = true;
+                    w.mode = Walk::Mode::MaxDescent;
+                    w.node_idx = w.shadow_idx * B + static_cast<unsigned>(shadow_literal);
+                    w.prefix = (w.shadow_prefix << g.bits_per_level) |
+                               static_cast<unsigned>(shadow_literal);
+                    w.shadow_active = false;
+                }
+            }
+        } else if (w.mode == Walk::Mode::MaxDescent) {
+            const std::uint64_t word = read_node(l, w.node_idx);
+            const int literal = highest_set(word & low_mask(B));
+            WFQS_ASSERT_MSG(literal >= 0,
+                            "tree invariant broken: marked node has empty child");
+            w.node_idx = w.node_idx * B + static_cast<unsigned>(literal);
+            w.prefix = (w.prefix << g.bits_per_level) | static_cast<unsigned>(literal);
+        }
+        clock_.advance();  // one pipeline cycle per tree level
+    }
+
+    if (used_backup) ++stats_.backup_descents;
+    stats_.worst_node_lookups = std::max<std::uint64_t>(stats_.worst_node_lookups,
+                                                        g.levels);
+
+    std::optional<std::uint64_t> result;
+    if (w.mode != Walk::Mode::Dead) result = w.prefix;
+    // A found value must be ≤ the query and, when Dead, nothing ≤ exists.
+    WFQS_ASSERT(!result || *result <= value);
+
+    if (do_insert) {
+        // Write-back cycle: at most one node per level changes; levels live
+        // in distinct memories, so all writes share one cycle.
+        for (unsigned l = 0; l < g.levels; ++l) {
+            const unsigned bit = g.literal(value, l);
+            const std::uint64_t idx = g.node_index(value, l);
+            if (exact_words[l] != kNoWord) {
+                // Node was read on the exact path: OR the bit in, keeping
+                // any sibling markers.
+                if (!bit_is_set(exact_words[l], bit))
+                    write_node(l, idx, set_bit(exact_words[l], bit));
+            } else {
+                // Below the deviation point the insert path is untouched
+                // territory: the node holds no markers yet.
+                write_node(l, idx, std::uint64_t{1} << bit);
+            }
+        }
+        // Marker count: a fresh leaf bit means a new marker.
+        const std::uint64_t leaf_word = exact_words[g.levels - 1];
+        const bool already_present =
+            leaf_word != kNoWord && bit_is_set(leaf_word, g.literal(value, g.levels - 1));
+        if (!already_present) ++marker_count_;
+        clock_.advance();
+    }
+    return result;
+}
+
+void MultibitTree::insert(std::uint64_t value) { (void)search_and_insert(value); }
+
+void MultibitTree::erase(std::uint64_t value) {
+    const TreeGeometry& g = config_.geometry;
+    WFQS_ASSERT(value < g.capacity());
+    // Background maintenance overlapped with the pipeline: reads and
+    // writes are charged to the current cycle (the banked level memories
+    // absorb them); the clock is advanced by the caller's FSM.
+    std::vector<std::uint64_t> words(g.levels);
+    for (unsigned l = 0; l < g.levels; ++l) words[l] = read_node(l, g.node_index(value, l));
+    WFQS_ASSERT_MSG(bit_is_set(words[g.levels - 1], g.literal(value, g.levels - 1)),
+                    "erasing a marker that is not present");
+
+    for (unsigned l = g.levels; l-- > 0;) {
+        const std::uint64_t cleared = clear_bit(words[l], g.literal(value, l));
+        write_node(l, g.node_index(value, l), cleared);
+        if (cleared != 0) break;  // node still has markers: ancestors keep their bit
+    }
+    WFQS_ASSERT(marker_count_ > 0);
+    --marker_count_;
+    // The whole read-modify-write touches each level memory at most twice,
+    // which the banked level memories absorb in a single cycle.
+    clock_.advance();
+}
+
+void MultibitTree::clear_sector(unsigned sector) {
+    const TreeGeometry& g = config_.geometry;
+    const unsigned B = g.branching();
+    WFQS_REQUIRE(sector < B, "sector index exceeds root width");
+
+    // Count the markers that disappear so marker_count_ stays exact.
+    const unsigned leaf = g.levels - 1;
+    std::uint64_t removed = 0;
+    if (g.levels == 1) {
+        removed = bit_is_set(node_word(0, 0), sector) ? 1 : 0;
+    } else {
+        const std::uint64_t leaf_lo = std::uint64_t{sector} * g.nodes_at_level(leaf) / B;
+        const std::uint64_t leaf_hi =
+            std::uint64_t{sector + 1} * g.nodes_at_level(leaf) / B;
+        for (std::uint64_t i = leaf_lo; i < leaf_hi; ++i)
+            removed += static_cast<std::uint64_t>(std::popcount(node_word(leaf, i)));
+    }
+
+    // One cycle: clear the root bit and flash-clear every descendant node.
+    register_levels_[0][0] = clear_bit(register_levels_[0][0], sector);
+    for (unsigned l = 1; l < g.levels; ++l) {
+        const std::uint64_t lo = std::uint64_t{sector} * g.nodes_at_level(l) / B;
+        const std::uint64_t count = g.nodes_at_level(l) / B;
+        if (l < config_.first_sram_level) {
+            std::fill_n(register_levels_[l].begin() + static_cast<std::ptrdiff_t>(lo),
+                        count, 0);
+        } else {
+            sram_levels_[l - config_.first_sram_level]->flash_clear(lo, count);
+        }
+    }
+    clock_.advance();
+    WFQS_ASSERT(marker_count_ >= removed);
+    marker_count_ -= removed;
+}
+
+}  // namespace wfqs::tree

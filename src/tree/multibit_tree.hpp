@@ -1,0 +1,96 @@
+// The multi-bit search tree (trie) of §III-A: stores one presence marker
+// per representable tag value and answers "closest existing value ≤ v"
+// in a fixed number of cycles — one node read per level plus one
+// write-back cycle.
+//
+// Timing model (matches the paper's pipeline): every search or
+// search-and-insert advances the shared clock once per level (the node
+// read + matching circuit evaluation) and once more for the write-back,
+// so the paper's 3-level tree takes 3 + 1 = 4 cycles per tag — exactly
+// the throughput of the linked-list tag store it feeds.
+//
+// Storage follows the silicon: shallow levels live in registers (the
+// paper's first two levels, 272 bits), deep levels in single-port SRAM
+// (the 4-kbit third level). Sector invalidation (Fig. 6) clears a root
+// bit and flash-clears every descendant node in a single cycle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/simulation.hpp"
+#include "matcher/matcher.hpp"
+#include "tree/geometry.hpp"
+
+namespace wfqs::tree {
+
+struct TreeSearchStats {
+    std::uint64_t searches = 0;
+    std::uint64_t node_lookups = 0;     ///< matcher evaluations (Table I accesses)
+    std::uint64_t backup_descents = 0;  ///< searches that needed the backup path
+    std::uint64_t worst_node_lookups = 0;
+};
+
+class MultibitTree {
+public:
+    struct Config {
+        TreeGeometry geometry = TreeGeometry::paper();
+        /// Levels >= this index are backed by SRAM; shallower levels are
+        /// registers. The paper keeps levels 0-1 in registers and level 2
+        /// in SRAM.
+        unsigned first_sram_level = 2;
+    };
+
+    MultibitTree(const Config& config, hw::Simulation& sim,
+                 matcher::MatcherEngine& matcher);
+
+    const TreeGeometry& geometry() const { return config_.geometry; }
+
+    /// Closest marked value ≤ `value`, or nullopt if no such marker
+    /// exists. Advances the clock one cycle per level.
+    std::optional<std::uint64_t> closest_leq(std::uint64_t value);
+
+    /// One-pass search + marker insert (the sorter's hot path): returns
+    /// the closest marked value ≤ `value` *before* the insert, then marks
+    /// `value`. Costs levels+1 cycles: L reads plus one write-back cycle
+    /// (at most one node per level changes, all in distinct memories).
+    std::optional<std::uint64_t> search_and_insert(std::uint64_t value);
+
+    /// Set the marker for `value` (idempotent).
+    void insert(std::uint64_t value);
+
+    /// Clear the marker for `value`, erasing emptied nodes bottom-up.
+    /// One cycle: each level memory sees at most one read and one write,
+    /// absorbed by the banked node memories.
+    void erase(std::uint64_t value);
+
+    /// Invalidate root sector `sector` (Fig. 6): the root bit and every
+    /// descendant node are cleared in one cycle (register clear plus one
+    /// flash-clear per SRAM level).
+    void clear_sector(unsigned sector);
+
+    /// Test/inspection helpers: no clock, no port accounting.
+    bool contains(std::uint64_t value) const;
+    bool empty() const { return marker_count_ == 0; }
+    std::uint64_t marker_count() const { return marker_count_; }
+    std::uint64_t node_word(unsigned level, std::uint64_t index) const;
+
+    const TreeSearchStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+private:
+    std::uint64_t read_node(unsigned level, std::uint64_t index);
+    void write_node(unsigned level, std::uint64_t index, std::uint64_t word);
+    std::optional<std::uint64_t> do_walk(std::uint64_t value, bool do_insert);
+
+    Config config_;
+    matcher::MatcherEngine& matcher_;
+    std::vector<std::vector<std::uint64_t>> register_levels_;  ///< levels < first_sram_level
+    std::vector<hw::Sram*> sram_levels_;                       ///< levels >= first_sram_level
+    hw::Clock& clock_;
+    std::uint64_t marker_count_ = 0;
+    TreeSearchStats stats_;
+};
+
+}  // namespace wfqs::tree

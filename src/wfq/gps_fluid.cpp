@@ -1,0 +1,72 @@
+#include "wfq/gps_fluid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace wfqs::wfq {
+
+GpsFluidSim::GpsFluidSim(double rate_bps) : rate_(rate_bps) {
+    WFQS_REQUIRE(rate_bps > 0.0, "GPS link rate must be positive");
+}
+
+int GpsFluidSim::add_flow(double weight) {
+    WFQS_REQUIRE(weight > 0.0, "GPS flow weight must be positive");
+    flows_.push_back(Flow{weight});
+    return static_cast<int>(flows_.size() - 1);
+}
+
+void GpsFluidSim::advance_to(double t) {
+    WFQS_ASSERT_MSG(t >= t_, "GPS arrivals must be fed in time order");
+    while (!pending_.empty() && busy_weight_ > 0.0) {
+        const PendingPacket next = pending_.top();
+        // Real time at which virtual time reaches the next finish value.
+        const double dt = (next.vfinish - v_) * busy_weight_ / rate_;
+        const double cross = t_ + std::max(dt, 0.0);
+        if (cross > t) break;
+        // Packet completes.
+        pending_.pop();
+        t_ = cross;
+        v_ = next.vfinish;
+        departures_.push_back(Departure{next.packet, next.flow, cross, next.vfinish});
+        Flow& f = flows_[next.flow];
+        if (f.busy && f.last_vfinish <= v_) {
+            f.busy = false;
+            busy_weight_ -= f.weight;
+            if (busy_weight_ < 1e-12) busy_weight_ = 0.0;
+        }
+    }
+    if (busy_weight_ > 0.0) v_ += (t - t_) * rate_ / busy_weight_;
+    t_ = t;
+}
+
+int GpsFluidSim::arrive(int flow, double time_s, double size_bits) {
+    WFQS_REQUIRE(flow >= 0 && flow < static_cast<int>(flows_.size()),
+                 "unknown GPS flow");
+    WFQS_REQUIRE(size_bits > 0.0, "packet must have positive size");
+    advance_to(time_s);
+    Flow& f = flows_[flow];
+    const double start = std::max(v_, f.last_vfinish);
+    const double finish = start + size_bits / f.weight;
+    f.last_vfinish = finish;
+    if (!f.busy) {
+        f.busy = true;
+        busy_weight_ += f.weight;
+    }
+    const int id = static_cast<int>(packets_.size());
+    packets_.push_back(Packet{flow, finish});
+    pending_.push(PendingPacket{finish, id, flow});
+    return id;
+}
+
+std::vector<GpsFluidSim::Departure> GpsFluidSim::drain() {
+    while (!pending_.empty()) {
+        WFQS_ASSERT(busy_weight_ > 0.0);
+        const double dt = (pending_.top().vfinish - v_) * busy_weight_ / rate_;
+        advance_to(t_ + std::max(dt, 0.0));
+    }
+    return std::move(departures_);
+}
+
+}  // namespace wfqs::wfq

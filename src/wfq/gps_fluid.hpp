@@ -1,0 +1,84 @@
+// Exact event-driven Generalized Processor Sharing (GPS) fluid simulator.
+//
+// GPS is the ideal scheduler every fair-queueing algorithm emulates
+// (§II-A): all backlogged flows are served simultaneously, each at rate
+// r·φ_i/Φ(t). This reference produces, for every packet, both the
+// *virtual* finish time (the WFQ finishing tag, paper eq. (1) context)
+// and the *real* time at which GPS would complete the packet — the ground
+// truth for the delay-bound and fairness experiments (WFQ must finish
+// every packet within one maximum packet time of GPS).
+//
+// Analysis-side component: runs in double precision, not part of the
+// simulated hardware datapath.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace wfqs::wfq {
+
+class GpsFluidSim {
+public:
+    /// `rate_bps`: the output link capacity being shared.
+    explicit GpsFluidSim(double rate_bps);
+
+    /// Register a flow with the given weight (> 0).
+    int add_flow(double weight);
+
+    /// Feed an arrival; arrivals must be in non-decreasing real time.
+    /// Returns the packet id (sequential from 0).
+    int arrive(int flow, double time_s, double size_bits);
+
+    /// Virtual finish time assigned to a packet (valid right after its
+    /// arrival call).
+    double virtual_finish(int packet) const { return packets_[packet].vfinish; }
+
+    struct Departure {
+        int packet;
+        int flow;
+        double finish_time;    ///< real time GPS completes the packet
+        double virtual_finish;
+    };
+
+    /// Drain all remaining work and return every departure in completion
+    /// order. The simulator can keep accepting arrivals afterwards.
+    std::vector<Departure> drain();
+
+    double virtual_time() const { return v_; }
+    double now() const { return t_; }
+
+private:
+    struct PendingPacket {
+        double vfinish;
+        int packet;
+        int flow;
+        bool operator>(const PendingPacket& o) const { return vfinish > o.vfinish; }
+    };
+    struct Flow {
+        double weight;
+        double last_vfinish = 0.0;  ///< virtual finish of the flow's newest packet
+        bool busy = false;
+    };
+    struct Packet {
+        int flow;
+        double vfinish;
+    };
+
+    /// Advance real and virtual time to `t`, emitting any departures on
+    /// the way.
+    void advance_to(double t);
+
+    double rate_;
+    double v_ = 0.0;  ///< virtual time (units: bits per unit weight)
+    double t_ = 0.0;  ///< real time (seconds)
+    double busy_weight_ = 0.0;
+    std::vector<Flow> flows_;
+    std::vector<Packet> packets_;
+    std::priority_queue<PendingPacket, std::vector<PendingPacket>,
+                        std::greater<PendingPacket>>
+        pending_;
+    std::vector<Departure> departures_;
+};
+
+}  // namespace wfqs::wfq

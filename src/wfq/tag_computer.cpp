@@ -1,0 +1,182 @@
+#include "wfq/tag_computer.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace wfqs::wfq {
+
+void TagComputer::on_service_start(Fixed /*tag*/, TimeNs /*now*/) {}
+
+// ---------------------------------------------------------------- WF2Q+
+
+Wf2qPlusTagComputer::Wf2qPlusTagComputer(std::uint64_t rate_bps) : rate_(rate_bps) {
+    WFQS_REQUIRE(rate_bps > 0, "link rate must be positive");
+}
+
+FlowId Wf2qPlusTagComputer::add_flow(std::uint32_t weight) {
+    WFQS_REQUIRE(weight > 0, "flow weight must be positive");
+    flows_.push_back(Flow{weight, Fixed{}});
+    total_weight_ += weight;
+    return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void Wf2qPlusTagComputer::advance_to(TimeNs now) {
+    WFQS_ASSERT(now >= last_event_);
+    // WF2Q+ system virtual time: advance with normalized elapsed work.
+    // V grows at rate r/Φ_total while the server is busy; the start-tag
+    // floor is applied at service events.
+    if (now > last_event_ && total_weight_ > 0) {
+        const unsigned __int128 add =
+            ((static_cast<unsigned __int128>(now - last_event_) * rate_)
+             << Fixed::kFracBits) /
+            (static_cast<unsigned __int128>(total_weight_) * 1'000'000'000ULL);
+        v_ = Fixed::from_raw(v_.raw() + static_cast<std::uint64_t>(add));
+    }
+    last_event_ = now;
+}
+
+void Wf2qPlusTagComputer::floor_virtual_time(Fixed v) {
+    if (v > v_) v_ = v;
+}
+
+Fixed Wf2qPlusTagComputer::on_arrival(FlowId flow, TimeNs now, std::uint32_t size_bits) {
+    WFQS_REQUIRE(flow < flows_.size(), "unknown flow");
+    advance_to(now);
+
+    Flow& f = flows_[flow];
+    const Fixed start = max(v_, f.last_finish);
+    const Fixed finish = start + Fixed::ratio(size_bits, f.weight);
+    f.last_finish = finish;
+    last_start_ = start;
+    return finish;
+}
+
+void Wf2qPlusTagComputer::on_service_start(Fixed tag, TimeNs now) {
+    // The served packet's tag floors the system virtual time (the
+    // "max(V, min S)" update collapsed onto the dispatch event).
+    advance_to(now);
+    floor_virtual_time(tag);
+}
+
+// ----------------------------------------------------------------- SCFQ
+
+FlowId ScfqTagComputer::add_flow(std::uint32_t weight) {
+    WFQS_REQUIRE(weight > 0, "flow weight must be positive");
+    flows_.push_back(Flow{weight, Fixed{}});
+    return static_cast<FlowId>(flows_.size() - 1);
+}
+
+Fixed ScfqTagComputer::on_arrival(FlowId flow, TimeNs /*now*/,
+                                  std::uint32_t size_bits) {
+    WFQS_REQUIRE(flow < flows_.size(), "unknown flow");
+    Flow& f = flows_[flow];
+    const Fixed start = max(v_, f.last_finish);
+    const Fixed finish = start + Fixed::ratio(size_bits, f.weight);
+    f.last_finish = finish;
+    return finish;
+}
+
+// ----------------------------------------------------------------- FBFQ
+
+FbfqTagComputer::FbfqTagComputer(std::uint64_t rate_bps, std::uint32_t frame_bits)
+    : rate_(rate_bps), frame_bits_(frame_bits) {
+    WFQS_REQUIRE(rate_bps > 0, "link rate must be positive");
+    WFQS_REQUIRE(frame_bits > 0, "frame must be positive");
+}
+
+FlowId FbfqTagComputer::add_flow(std::uint32_t weight) {
+    WFQS_REQUIRE(weight > 0, "flow weight must be positive");
+    flows_.push_back(Flow{weight, Fixed{}});
+    total_weight_ += weight;
+    return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void FbfqTagComputer::advance_frames(TimeNs now) {
+    // One frame = frame_bits of link service; real frame duration
+    // frame_bits / rate. Between boundaries V advances linearly (cheap);
+    // at every completed boundary it is recalibrated against the service
+    // point — the tag most recently dispatched — so the linear clock can
+    // never fall a whole frame behind the real schedule. This is the
+    // once-per-frame resynchronisation that makes FBFQ "less complex
+    // than WFQ, but almost as fair" (ref [7]).
+    const TimeNs frame_ns =
+        static_cast<TimeNs>(frame_bits_) * 1'000'000'000ULL / rate_;
+    while (now >= frame_start_ + frame_ns) {
+        frame_start_ += frame_ns;
+        if (total_weight_ > 0)
+            v_ += Fixed::ratio(frame_bits_, total_weight_);
+        if (have_floor_ && frame_floor_ > v_) v_ = frame_floor_;
+        have_floor_ = false;
+    }
+}
+
+Fixed FbfqTagComputer::on_arrival(FlowId flow, TimeNs now, std::uint32_t size_bits) {
+    WFQS_REQUIRE(flow < flows_.size(), "unknown flow");
+    advance_frames(now);
+    Flow& f = flows_[flow];
+    const Fixed start = max(v_, f.last_finish);
+    const Fixed finish = start + Fixed::ratio(size_bits, f.weight);
+    f.last_finish = finish;
+    return finish;
+}
+
+void FbfqTagComputer::on_service_start(Fixed tag, TimeNs now) {
+    advance_frames(now);
+    // Remember the service point; the next frame boundary floors V by it.
+    if (!have_floor_ || tag > frame_floor_) {
+        frame_floor_ = tag;
+        have_floor_ = true;
+    }
+}
+
+// ------------------------------------------------------------ quantizer
+
+TagQuantizer::TagQuantizer(int granularity_bits)
+    : shift_(static_cast<unsigned>(static_cast<int>(Fixed::kFracBits) -
+                                   granularity_bits)) {
+    WFQS_REQUIRE(granularity_bits <= static_cast<int>(Fixed::kFracBits) &&
+                     granularity_bits > static_cast<int>(Fixed::kFracBits) - 64,
+                 "granularity must keep the shift within the 64-bit word");
+}
+
+std::uint64_t TagQuantizer::quantize(Fixed virtual_finish) const {
+    if (shift_ == 0) return virtual_finish.raw();
+    return virtual_finish.raw() >> shift_;
+}
+
+Fixed TagQuantizer::dequantize(std::uint64_t tag) const {
+    return Fixed::from_raw(tag << shift_);
+}
+
+double TagQuantizer::tag_step_virtual() const {
+    return std::ldexp(1.0, static_cast<int>(shift_)) /
+           std::ldexp(1.0, static_cast<int>(Fixed::kFracBits));
+}
+
+// -------------------------------------------------------------- factory
+
+std::unique_ptr<TagComputer> make_tag_computer(FairQueueingKind kind,
+                                               std::uint64_t rate_bps) {
+    switch (kind) {
+        case FairQueueingKind::Wfq:
+            return std::make_unique<WfqTagComputer>(rate_bps);
+        case FairQueueingKind::Wf2qPlus:
+            return std::make_unique<Wf2qPlusTagComputer>(rate_bps);
+        case FairQueueingKind::Scfq:
+            return std::make_unique<ScfqTagComputer>(rate_bps);
+        case FairQueueingKind::Fbfq:
+            return std::make_unique<FbfqTagComputer>(rate_bps);
+    }
+    WFQS_ASSERT_MSG(false, "unknown fair queueing kind");
+    return nullptr;
+}
+
+const std::vector<FairQueueingKind>& all_fair_queueing_kinds() {
+    static const std::vector<FairQueueingKind> kinds = {
+        FairQueueingKind::Wfq, FairQueueingKind::Wf2qPlus,
+        FairQueueingKind::Scfq, FairQueueingKind::Fbfq};
+    return kinds;
+}
+
+}  // namespace wfqs::wfq

@@ -1,0 +1,121 @@
+// Unit tests for the analysis module on hand-constructed records.
+#include <gtest/gtest.h>
+
+#include "analysis/delay_stats.hpp"
+#include "analysis/fairness.hpp"
+#include "analysis/throughput.hpp"
+
+namespace wfqs::analysis {
+namespace {
+
+net::PacketRecord rec(std::uint64_t id, net::FlowId flow, std::uint32_t bytes,
+                      net::TimeNs arrive, net::TimeNs start, net::TimeNs done) {
+    return net::PacketRecord{net::Packet{id, flow, bytes, arrive}, start, done};
+}
+
+TEST(DelayStats, PerFlowBasics) {
+    std::vector<net::PacketRecord> records{
+        rec(0, 0, 100, 0, 0, 1000),       // 1 us delay
+        rec(1, 0, 100, 1000, 2000, 4000),  // 3 us delay
+        rec(2, 1, 200, 0, 4000, 9000),     // 9 us delay
+    };
+    const auto reports = per_flow_delays(records, 2);
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].packets, 2u);
+    EXPECT_DOUBLE_EQ(reports[0].mean_delay_us, 2.0);
+    EXPECT_DOUBLE_EQ(reports[0].max_delay_us, 3.0);
+    EXPECT_EQ(reports[1].packets, 1u);
+    EXPECT_DOUBLE_EQ(reports[1].mean_delay_us, 9.0);
+    EXPECT_EQ(reports[0].bytes, 200u);
+}
+
+TEST(DelayStats, EmptyFlowsReportZero) {
+    const auto reports = per_flow_delays({}, 3);
+    ASSERT_EQ(reports.size(), 3u);
+    for (const auto& r : reports) {
+        EXPECT_EQ(r.packets, 0u);
+        EXPECT_DOUBLE_EQ(r.mean_delay_us, 0.0);
+    }
+}
+
+TEST(DelayStats, AggregateQuantiles) {
+    std::vector<net::PacketRecord> records;
+    for (std::uint64_t i = 1; i <= 100; ++i)
+        records.push_back(rec(i, 0, 100, 0, 0, i * 1000));  // 1..100 us
+    const auto agg = aggregate_delays(records);
+    EXPECT_EQ(agg.packets, 100u);
+    EXPECT_NEAR(agg.p50_delay_us, 50.5, 1.0);
+    EXPECT_NEAR(agg.p99_delay_us, 99.0, 1.5);
+    EXPECT_DOUBLE_EQ(agg.max_delay_us, 100.0);
+}
+
+TEST(Fairness, JainIndexPerfect) {
+    EXPECT_DOUBLE_EQ(jain_fairness_index({5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(Fairness, JainIndexSkewed) {
+    // One flow hogging: index tends to 1/n.
+    EXPECT_NEAR(jain_fairness_index({10.0, 1e-9, 1e-9}), 1.0 / 3.0, 0.01);
+}
+
+TEST(Fairness, JainIndexIgnoresIdleFlows) {
+    EXPECT_DOUBLE_EQ(jain_fairness_index({5.0, 5.0, 0.0}), 1.0);
+}
+
+TEST(Fairness, NormalizedServiceWindowed) {
+    std::vector<net::PacketRecord> records{
+        rec(0, 0, 300, 0, 0, 100),
+        rec(1, 1, 300, 0, 100, 200),
+        rec(2, 0, 300, 0, 200, 5000),  // outside the window below
+    };
+    const auto service = normalized_service(records, {3, 1}, 0, 1000);
+    ASSERT_EQ(service.size(), 2u);
+    EXPECT_DOUBLE_EQ(service[0], 100.0);  // 300 bytes / weight 3
+    EXPECT_DOUBLE_EQ(service[1], 300.0);
+}
+
+TEST(Fairness, GpsComparisonOnPerfectSchedule) {
+    // A single flow served immediately matches GPS exactly.
+    std::vector<net::PacketRecord> records;
+    // 1000-bit packets at 1 Mb/s: 1 ms each, back to back.
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        const net::TimeNs a = i * 1'000'000;
+        records.push_back(rec(i, 0, 125, a, a, a + 1'000'000));
+    }
+    const auto cmp = compare_with_gps(records, {1}, 1'000'000);
+    EXPECT_EQ(cmp.packets, 10u);
+    EXPECT_NEAR(cmp.worst_lag_s, 0.0, 1e-6);
+    EXPECT_DOUBLE_EQ(cmp.within_bound_fraction, 1.0);
+}
+
+TEST(Fairness, GpsComparisonFlagsLateService) {
+    // Packet 1 is served 10 ms after its GPS finish: a clear violation.
+    std::vector<net::PacketRecord> records{
+        rec(0, 0, 125, 0, 0, 1'000'000),
+        rec(1, 0, 125, 0, 11'000'000, 12'000'000),
+    };
+    const auto cmp = compare_with_gps(records, {1}, 1'000'000);
+    EXPECT_LT(cmp.within_bound_fraction, 1.0);
+    EXPECT_GT(cmp.worst_lag_s, 0.005);
+}
+
+TEST(Throughput, ConversionsMatchPaperNumbers) {
+    // §IV: ~143 MHz / 4 cycles -> 35.8 Mpps -> 40 Gb/s at 140 bytes.
+    EXPECT_NEAR(circuit_mpps(143.2, 4.0), 35.8, 0.01);
+    EXPECT_NEAR(line_rate_gbps(35.8, 140.0), 40.1, 0.1);
+}
+
+TEST(Throughput, MeasureOverRecords) {
+    std::vector<net::PacketRecord> records;
+    // 10 packets of 125 bytes over 10 us: 1 Mpps, 1 Gb/s.
+    for (std::uint64_t i = 0; i < 10; ++i)
+        records.push_back(rec(i, 0, 125, i * 1000, i * 1000, (i + 1) * 1000));
+    const auto tp = measure_throughput(records, 1'000'000'000);
+    EXPECT_EQ(tp.packets, 10u);
+    EXPECT_NEAR(tp.pps, 1e6, 1e3);
+    EXPECT_NEAR(tp.gbps, 1.0, 0.01);
+    EXPECT_NEAR(tp.utilization, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace wfqs::analysis

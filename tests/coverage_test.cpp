@@ -1,0 +1,191 @@
+// Third-wave coverage: sorter correctness across non-paper tree
+// geometries, matcher netlists across explicit block sizes, packet-buffer
+// fragmentation stress, histogram/quantile numerics, and analysis-module
+// ordering edge cases.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "analysis/fairness.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/tag_sorter.hpp"
+#include "hw/simulation.hpp"
+#include "matcher/circuit.hpp"
+#include "scheduler/packet_buffer.hpp"
+
+namespace wfqs {
+namespace {
+
+// ------------------------------------------- sorter geometry sweep
+
+class SorterGeometry : public ::testing::TestWithParam<tree::TreeGeometry> {};
+
+TEST_P(SorterGeometry, RandomWorkloadMatchesReference) {
+    hw::Simulation sim;
+    core::TagSorter sorter({GetParam(), 1024, 20}, sim);
+    std::map<std::uint64_t, std::deque<std::uint32_t>> ref;
+    std::size_t ref_size = 0;
+    Rng rng(GetParam().levels * 1000 + GetParam().bits_per_level);
+    const std::uint64_t jump = sorter.window_span() / 2;
+    for (int iter = 0; iter < 8000; ++iter) {
+        if (!sorter.full() && (sorter.empty() || rng.next_bool(0.55))) {
+            const std::uint64_t base = sorter.empty() ? 0 : sorter.peek_min()->tag;
+            const std::uint64_t tag = base + rng.next_below(jump);
+            const auto payload = static_cast<std::uint32_t>(iter & 0xFFFFF);
+            sorter.insert(tag, payload);
+            ref[tag].push_back(payload);
+            ++ref_size;
+        } else if (!sorter.empty()) {
+            const auto got = sorter.pop_min();
+            auto it = ref.begin();
+            ASSERT_EQ(got->tag, it->first);
+            ASSERT_EQ(got->payload, it->second.front());
+            it->second.pop_front();
+            if (it->second.empty()) ref.erase(it);
+            --ref_size;
+        }
+        ASSERT_EQ(sorter.size(), ref_size);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SorterGeometry,
+    ::testing::Values(tree::TreeGeometry{2, 5},   // shallow, 32-wide nodes
+                      tree::TreeGeometry{7, 2},   // deep, 4-wide nodes
+                      tree::TreeGeometry{14, 1},  // extreme binary
+                      tree::TreeGeometry{4, 4},   // 16-bit tags
+                      tree::TreeGeometry{3, 6}),  // 18-bit tags, 64-wide nodes
+    [](const ::testing::TestParamInfo<tree::TreeGeometry>& info) {
+        return "L" + std::to_string(info.param.levels) + "b" +
+               std::to_string(info.param.bits_per_level);
+    });
+
+// ------------------------------------------- matcher block sweep
+
+class MatcherBlockSweep
+    : public ::testing::TestWithParam<std::tuple<matcher::MatcherKind, unsigned>> {};
+
+TEST_P(MatcherBlockSweep, FunctionIndependentOfBlockSize) {
+    const auto [kind, block] = GetParam();
+    const matcher::MatcherCircuit c = matcher::build_matcher(kind, 16, block);
+    for (std::uint64_t word = 0; word < 65536; word += 97) {
+        for (unsigned t = 0; t < 16; t += 3) {
+            ASSERT_EQ(c.match(word, t), matcher::behavioral_match(word, t, 16))
+                << c.name() << " block " << block << " word " << word;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockedKinds, MatcherBlockSweep,
+    ::testing::Combine(::testing::Values(matcher::MatcherKind::BlockLookahead,
+                                         matcher::MatcherKind::SkipLookahead,
+                                         matcher::MatcherKind::SelectLookahead),
+                       ::testing::Values(2u, 3u, 5u, 7u, 16u)),
+    [](const auto& info) {
+        std::string n = matcher::matcher_kind_name(std::get<0>(info.param));
+        for (char& ch : n)
+            if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+        return n + "_b" + std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------- packet buffer stress
+
+TEST(PacketBufferStress, FragmentationChurn) {
+    scheduler::SharedPacketBuffer buf({64 * 256, 64});  // 256 cells
+    Rng rng(31);
+    std::vector<scheduler::BufferRef> live;
+    std::uint64_t id = 0;
+    std::uint64_t stores = 0;
+    for (int iter = 0; iter < 20000; ++iter) {
+        if (rng.next_bool(0.55)) {
+            const auto size = static_cast<std::uint32_t>(rng.next_range(40, 1500));
+            const auto ref = buf.store({id, 0, size, 0});
+            if (ref) {
+                live.push_back(*ref);
+                ++stores;
+                ++id;
+            }
+        } else if (!live.empty()) {
+            const std::size_t pick = rng.next_below(live.size());
+            buf.retrieve(live[pick]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+        ASSERT_EQ(buf.stored_packets(), live.size());
+        ASSERT_LE(buf.used_cells(), buf.total_cells());
+    }
+    EXPECT_GT(stores, 5000u);
+    // Full cleanup releases every cell.
+    for (const auto ref : live) buf.retrieve(ref);
+    EXPECT_EQ(buf.used_cells(), 0u);
+}
+
+TEST(PacketBufferStress, RetrieveInvalidRefAborts) {
+    scheduler::SharedPacketBuffer buf({4096, 64});
+    EXPECT_DEATH(buf.retrieve(3), "not a stored packet head");
+    const auto ref = buf.store({1, 0, 100, 0});
+    buf.retrieve(*ref);
+    EXPECT_DEATH(buf.retrieve(*ref), "not a stored packet head");  // double free
+}
+
+// ------------------------------------------- stats numerics
+
+TEST(StatsNumerics, QuantilesOnTinySets) {
+    Quantiles q;
+    q.add(5.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
+    q.add(7.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.5), 6.0);  // interpolated
+}
+
+TEST(StatsNumerics, RunningStatsSingleValue) {
+    RunningStats s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(StatsNumerics, MergeManyShards) {
+    Rng rng(7);
+    RunningStats whole;
+    std::vector<RunningStats> shards(8);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.next_normal(3.0, 2.0);
+        whole.add(x);
+        shards[i % 8].add(x);
+    }
+    RunningStats merged;
+    for (const auto& s : shards) merged.merge(s);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-6);
+}
+
+// ------------------------------------------- analysis edges
+
+TEST(AnalysisEdges, GpsComparisonHandlesUnsortedArrivalInput) {
+    // Records arrive in departure order; the GPS replay must re-sort by
+    // arrival time internally even when departures invert arrivals.
+    std::vector<net::PacketRecord> records;
+    records.push_back(
+        {net::Packet{0, 0, 125, 2'000'000}, 2'000'000, 3'000'000});  // late arrival, early dep
+    records.push_back({net::Packet{1, 0, 125, 0}, 3'000'000, 4'000'000});
+    const auto cmp = analysis::compare_with_gps(records, {1}, 1'000'000);
+    EXPECT_EQ(cmp.packets, 2u);
+    EXPECT_GT(cmp.bound_s, 0.0);
+}
+
+TEST(AnalysisEdges, EmptyRecordSets) {
+    EXPECT_EQ(analysis::compare_with_gps({}, {1}, 1'000'000).packets, 0u);
+    const auto service = analysis::normalized_service({}, {1, 2}, 0, 100);
+    EXPECT_EQ(service.size(), 2u);
+    EXPECT_DOUBLE_EQ(analysis::jain_fairness_index(service), 1.0);
+}
+
+}  // namespace
+}  // namespace wfqs

@@ -1,0 +1,303 @@
+// Second-wave edge-case and property tests across modules: fixed-point
+// contract violations, SRAM boundary conditions, every netlist matcher
+// kind driving the tree, sorter window boundaries and strict mode under
+// sustained load, duplicate-heavy stress on the software queues, WRR
+// cursor rotation, driver tie-breaking determinism, and eq. (1) against
+// the GPS fluid reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/factory.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "core/tag_sorter.hpp"
+#include "hw/simulation.hpp"
+#include "net/sim_driver.hpp"
+#include "net/traffic_gen.hpp"
+#include "scheduler/round_robin.hpp"
+#include "tree/multibit_tree.hpp"
+#include "wfq/gps_fluid.hpp"
+#include "wfq/virtual_clock.hpp"
+
+namespace wfqs {
+namespace {
+
+// ------------------------------------------------------------- fixed pt
+
+TEST(FixedEdge, OverflowAborts) {
+    const Fixed big = Fixed::from_raw(~std::uint64_t{0});
+    EXPECT_DEATH((void)(big + Fixed::from_int(1)), "Fixed overflow");
+}
+
+TEST(FixedEdge, UnderflowAborts) {
+    EXPECT_DEATH((void)(Fixed::from_int(1) - Fixed::from_int(2)), "Fixed underflow");
+}
+
+TEST(FixedEdge, RatioExactness) {
+    // 1/3 then *3 loses at most 3 ulp.
+    const Fixed third = Fixed::ratio(1, 3);
+    const Fixed triple = third + third + third;
+    EXPECT_LE(Fixed::from_int(1).raw() - triple.raw(), 3u);
+}
+
+TEST(FixedEdge, MulRatioLargeOperands) {
+    // 40 Gb/s x 1 hour of virtual time in bits: stays within 64 bits via
+    // the 128-bit intermediate.
+    const Fixed v = Fixed::from_int(3600).mul_ratio(40'000'000'000ULL, 1'000'000'000ULL);
+    EXPECT_DOUBLE_EQ(v.to_double(), 144000.0);
+}
+
+// ------------------------------------------------------------------ hw
+
+TEST(SramEdge, SixtyFourBitWordNoMask) {
+    hw::Clock clk;
+    hw::Sram m("wide", 4, 64, clk);
+    m.write(0, ~std::uint64_t{0});
+    clk.advance();
+    EXPECT_EQ(m.read(0), ~std::uint64_t{0});
+}
+
+TEST(SramEdge, FlashClearWholeMemoryAndSingleWord) {
+    hw::Clock clk;
+    hw::Sram m("m", 8, 16, clk);
+    for (std::size_t a = 0; a < 8; ++a) {
+        m.write(a, 0xFFFF);
+        clk.advance();
+    }
+    m.flash_clear(7, 1);
+    clk.advance();
+    EXPECT_EQ(m.peek(7), 0u);
+    EXPECT_EQ(m.peek(6), 0xFFFFu);
+    m.flash_clear(0, 8);
+    clk.advance();
+    for (std::size_t a = 0; a < 8; ++a) EXPECT_EQ(m.peek(a), 0u);
+}
+
+TEST(SramEdge, OutOfRangeAborts) {
+    hw::Clock clk;
+    hw::Sram m("m", 8, 16, clk);
+    EXPECT_DEATH(m.read(8), "out of range");
+    EXPECT_DEATH(m.flash_clear(4, 5), "out of range");
+}
+
+// ------------------------------------------- tree x all netlist kinds
+
+class TreeWithNetlistKind : public ::testing::TestWithParam<matcher::MatcherKind> {};
+
+TEST_P(TreeWithNetlistKind, RandomOpsMatchBehavioral) {
+    hw::Simulation sim_a, sim_b;
+    matcher::BehavioralMatcher behavioral;
+    matcher::NetlistMatcher netlist(GetParam());
+    tree::MultibitTree a({tree::TreeGeometry::paper(), 2}, sim_a, behavioral);
+    tree::MultibitTree b({tree::TreeGeometry::paper(), 2}, sim_b, netlist);
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 11 + 5);
+    for (int i = 0; i < 400; ++i) {
+        const std::uint64_t v = rng.next_below(4096);
+        if (rng.next_bool(0.6)) {
+            ASSERT_EQ(a.search_and_insert(v), b.search_and_insert(v));
+        } else {
+            ASSERT_EQ(a.closest_leq(v), b.closest_leq(v));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TreeWithNetlistKind,
+                         ::testing::ValuesIn(matcher::all_matcher_kinds()),
+                         [](const auto& info) {
+                             std::string n = matcher::matcher_kind_name(info.param);
+                             for (char& c : n)
+                                 if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                             return n;
+                         });
+
+// ----------------------------------------------------------- sorter
+
+TEST(SorterEdge, WindowBoundaryExact) {
+    hw::Simulation sim;
+    core::TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
+    sorter.insert(1000, 0);
+    // Window span is 3840: min + 3839 is legal, min + 3840 is not.
+    EXPECT_NO_THROW(sorter.insert(1000 + 3839, 1));
+    EXPECT_THROW(sorter.insert(1000 + 3840, 2), std::invalid_argument);
+    // Serving the minimum slides the window forward.
+    sorter.pop_min();
+    EXPECT_NO_THROW(sorter.insert(4839 + 3839 - 3839, 3));  // = old max, fine
+}
+
+TEST(SorterEdge, StrictModeSustainedMonotoneLoad) {
+    hw::Simulation sim;
+    core::TagSorter sorter({tree::TreeGeometry::paper(), 2048, 24, true}, sim);
+    Rng rng(17);
+    std::uint64_t vtime = 0;
+    std::multiset<std::uint64_t> ref;
+    for (int i = 0; i < 20000; ++i) {
+        if (!sorter.full() && rng.next_bool(0.55)) {
+            // Strict mode: tags never below the minimum.
+            const std::uint64_t base = sorter.empty() ? vtime : sorter.peek_min()->tag;
+            const std::uint64_t tag = base + rng.next_below(800);
+            sorter.insert(tag, 0);
+            ref.insert(tag);
+            vtime = std::max(vtime, tag);
+        } else if (!sorter.empty()) {
+            const auto got = sorter.pop_min();
+            ASSERT_EQ(got->tag, *ref.begin());
+            ref.erase(ref.begin());
+        }
+    }
+}
+
+TEST(SorterEdge, AlternatingFillDrainEpochs) {
+    hw::Simulation sim;
+    core::TagSorter sorter({tree::TreeGeometry::paper(), 512, 24}, sim);
+    std::uint64_t tag = 0;
+    for (int epoch = 0; epoch < 40; ++epoch) {
+        // Fill to capacity, then drain to empty — exercises the empty-list
+        // regrowth and repeated head re-anchoring.
+        while (!sorter.full()) sorter.insert(tag += 3, 0);
+        std::uint64_t prev = 0;
+        while (const auto t = sorter.pop_min()) {
+            ASSERT_GE(t->tag, prev);
+            prev = t->tag;
+        }
+        ASSERT_TRUE(sorter.empty());
+    }
+    EXPECT_GT(sorter.stats().sector_invalidations, 0u);
+}
+
+TEST(SorterEdge, PayloadWidthBoundary) {
+    hw::Simulation sim;
+    core::TagSorter sorter({tree::TreeGeometry::paper(), 64, 16}, sim);
+    sorter.insert(5, 0xFFFF);  // exactly 16 bits
+    EXPECT_EQ(sorter.pop_min()->payload, 0xFFFFu);
+}
+
+// ---------------------------------------------------- duplicate stress
+
+TEST(QueueStress, MassiveDuplicateBurst) {
+    for (const auto kind :
+         {baselines::QueueKind::Heap, baselines::QueueKind::Skiplist,
+          baselines::QueueKind::Veb, baselines::QueueKind::MultibitTree}) {
+        auto q = baselines::make_tag_queue(kind, {12, 8192});
+        for (std::uint32_t i = 0; i < 4000; ++i) q->insert(7, i);
+        // FIFO among equal tags for the stable structures.
+        for (std::uint32_t i = 0; i < 4000; ++i) {
+            const auto e = q->pop_min();
+            ASSERT_TRUE(e.has_value());
+            ASSERT_EQ(e->tag, 7u);
+            ASSERT_EQ(e->payload, i) << q->name();
+        }
+    }
+}
+
+// ------------------------------------------------------------ WRR edge
+
+TEST(WrrEdge, CursorVisitsAllBackloggedFlows) {
+    scheduler::WrrScheduler wrr;
+    constexpr int kFlows = 9;
+    for (int f = 0; f < kFlows; ++f) wrr.add_flow(1);
+    std::uint64_t id = 0;
+    for (int f = 0; f < kFlows; ++f)
+        for (int i = 0; i < 5; ++i)
+            wrr.enqueue({id++, static_cast<net::FlowId>(f), 100, 0}, 0);
+    std::map<net::FlowId, int> served;
+    for (int i = 0; i < kFlows * 5; ++i) {
+        const auto p = wrr.dequeue(0);
+        ASSERT_TRUE(p.has_value());
+        ++served[p->flow];
+    }
+    for (int f = 0; f < kFlows; ++f) EXPECT_EQ(served[static_cast<net::FlowId>(f)], 5);
+}
+
+// ----------------------------------------------------- driver determinism
+
+TEST(DriverEdge, SimultaneousArrivalsAreDeterministic) {
+    auto run_once = [] {
+        scheduler::WrrScheduler wrr;
+        std::vector<net::FlowSpec> flows;
+        // Three CBR sources perfectly in phase: lots of exact time ties.
+        for (int i = 0; i < 3; ++i)
+            flows.push_back(
+                {std::make_unique<net::CbrSource>(1'000'000, 125, 0, 100'000'000), 1});
+        net::SimDriver driver(2'000'000);
+        const auto result = driver.run(wrr, flows);
+        std::vector<std::uint64_t> ids;
+        for (const auto& r : result.records) ids.push_back(r.packet.id);
+        return ids;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+// --------------------------------------------------------------- eq (1)
+
+TEST(Eq1, PredictsGpsDepartureOfMinimumTag) {
+    // Feed identical arrivals to the fixed-point clock and the GPS fluid
+    // sim; eq. (1) applied to each packet's finish tag must predict the
+    // GPS departure time.
+    const std::uint64_t rate = 1'000'000;
+    wfq::WfqVirtualTime vt(rate);
+    wfq::GpsFluidSim gps(static_cast<double>(rate));
+    const auto f1 = vt.add_flow(2);
+    const auto f2 = vt.add_flow(1);
+    gps.add_flow(2.0);
+    gps.add_flow(1.0);
+
+    struct Tagged {
+        Fixed tag;
+        int gps_id;
+    };
+    std::vector<Tagged> packets;
+    packets.push_back({vt.on_arrival(f1, 0, 6000), gps.arrive(0, 0.0, 6000)});
+    packets.push_back({vt.on_arrival(f2, 0, 3000), gps.arrive(1, 0.0, 3000)});
+    packets.push_back({vt.on_arrival(f1, 0, 6000), gps.arrive(0, 0.0, 6000)});
+
+    std::map<int, double> gps_finish;
+    for (const auto& d : gps.drain()) gps_finish[d.packet] = d.finish_time;
+
+    // Eq. (1) is exact for the *minimum* stamp M_min — that is precisely
+    // why the scheduler feeds it the sorter's head tag: until M_min
+    // departs the busy set cannot change.
+    for (const auto& p : {packets[0], packets[1]}) {
+        const wfq::TimeNs predicted = vt.eq1_next_departure(p.tag, 0);
+        EXPECT_NEAR(static_cast<double>(predicted) / 1e9, gps_finish[p.gps_id], 1e-5)
+            << "gps packet " << p.gps_id;
+    }
+    // For a non-minimum stamp it is conservative (the busy set can only
+    // shrink before that tag departs, so GPS finishes earlier).
+    const wfq::TimeNs later = vt.eq1_next_departure(packets[2].tag, 0);
+    EXPECT_GE(static_cast<double>(later) / 1e9, gps_finish[packets[2].gps_id] - 1e-9);
+}
+
+TEST(Eq1, IdleSystemReturnsNow) {
+    wfq::WfqVirtualTime vt(1'000'000);
+    vt.add_flow(1);
+    EXPECT_EQ(vt.eq1_next_departure(Fixed::from_int(100), 42), 42u);
+}
+
+// --------------------------------------------- generator determinism
+
+TEST(GeneratorEdge, SameSeedSameStream) {
+    for (int which = 0; which < 2; ++which) {
+        auto make = [&]() -> std::unique_ptr<net::TrafficSource> {
+            if (which == 0)
+                return std::make_unique<net::PoissonSource>(1000.0, 64, 1500,
+                                                            1'000'000'000, 7);
+            return std::make_unique<net::OnOffParetoSource>(10'000'000, 1500, 0.05,
+                                                            0.2, 1.5, 1'000'000'000, 7);
+        };
+        auto a = make();
+        auto b = make();
+        while (true) {
+            const auto x = a->next();
+            const auto y = b->next();
+            ASSERT_EQ(x.has_value(), y.has_value());
+            if (!x) break;
+            ASSERT_EQ(x->time_ns, y->time_ns);
+            ASSERT_EQ(x->size_bytes, y->size_bytes);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace wfqs

@@ -1,0 +1,136 @@
+// Unit tests for the hardware substrate: clock, SRAM port accounting, and
+// the simulation inventory.
+#include <gtest/gtest.h>
+
+#include "hw/clock.hpp"
+#include "hw/simulation.hpp"
+#include "hw/sram.hpp"
+
+namespace wfqs::hw {
+namespace {
+
+TEST(Clock, AdvanceAndReset) {
+    Clock c;
+    EXPECT_EQ(c.now(), 0u);
+    c.advance();
+    c.advance(9);
+    EXPECT_EQ(c.now(), 10u);
+    c.reset();
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(Sram, ReadBackWrites) {
+    Clock clk;
+    Sram m("m", 16, 12, clk);
+    clk.advance();
+    m.write(3, 0xABC);
+    clk.advance();
+    EXPECT_EQ(m.read(3), 0xABCu);
+}
+
+TEST(Sram, WordWidthMasking) {
+    Clock clk;
+    Sram m("m", 4, 8, clk);
+    m.write(0, 0x1FF);  // 9 bits into an 8-bit word
+    clk.advance();
+    EXPECT_EQ(m.read(0), 0xFFu);
+}
+
+TEST(Sram, CountsAccesses) {
+    Clock clk;
+    Sram m("m", 8, 16, clk);
+    m.write(0, 1);
+    clk.advance();
+    m.read(0);
+    clk.advance();
+    m.read(0);
+    EXPECT_EQ(m.stats().reads, 2u);
+    EXPECT_EQ(m.stats().writes, 1u);
+    EXPECT_EQ(m.stats().total(), 3u);
+}
+
+TEST(SramDeathTest, PortConflictAborts) {
+    Clock clk;
+    Sram m("single-port", 8, 16, clk);
+    m.read(0);
+    // A second access in the same cycle exceeds the single port.
+    EXPECT_DEATH(m.read(1), "port conflict");
+}
+
+TEST(Sram, DualPortAllowsTwoPerCycle) {
+    Clock clk;
+    Sram m("dual-port", 8, 16, clk, 2);
+    m.read(0);
+    m.write(1, 5);
+    EXPECT_EQ(m.peak_accesses_per_cycle(), 2u);
+    clk.advance();
+    EXPECT_EQ(m.read(1), 5u);
+}
+
+TEST(Sram, PortFreesNextCycle) {
+    Clock clk;
+    Sram m("m", 8, 16, clk);
+    for (int i = 0; i < 100; ++i) {
+        m.read(0);
+        clk.advance();
+    }
+    EXPECT_EQ(m.peak_accesses_per_cycle(), 1u);
+}
+
+TEST(Sram, FlashClearClearsRangeInOneAccess) {
+    Clock clk;
+    Sram m("tree-l3", 64, 16, clk);
+    for (std::size_t a = 0; a < 64; ++a) {
+        m.write(a, 0xFFFF);
+        clk.advance();
+    }
+    m.flash_clear(16, 16);
+    clk.advance();
+    EXPECT_EQ(m.peek(15), 0xFFFFu);
+    EXPECT_EQ(m.peek(16), 0u);
+    EXPECT_EQ(m.peek(31), 0u);
+    EXPECT_EQ(m.peek(32), 0xFFFFu);
+    EXPECT_EQ(m.stats().flash_clears, 1u);
+}
+
+TEST(Sram, PeekDoesNotTouchPortsOrCounters) {
+    Clock clk;
+    Sram m("m", 8, 16, clk);
+    m.write(2, 9);
+    EXPECT_EQ(m.peek(2), 9u);  // same cycle as the write: fine, no port use
+    EXPECT_EQ(m.stats().reads, 0u);
+}
+
+TEST(Sram, RejectsBadConfig) {
+    Clock clk;
+    EXPECT_THROW(Sram("m", 0, 16, clk), std::invalid_argument);
+    EXPECT_THROW(Sram("m", 8, 0, clk), std::invalid_argument);
+    EXPECT_THROW(Sram("m", 8, 65, clk), std::invalid_argument);
+    EXPECT_THROW(Sram("m", 8, 16, clk, 0), std::invalid_argument);
+}
+
+TEST(Simulation, InventoryAggregates) {
+    Simulation sim;
+    Sram& a = sim.make_sram("a", 16, 16);
+    Sram& b = sim.make_sram("b", 256, 12);
+    a.write(0, 1);
+    sim.clock().advance();
+    b.read(0);
+    sim.clock().advance();
+    b.write(1, 2);
+    EXPECT_EQ(sim.total_memory_stats().reads, 1u);
+    EXPECT_EQ(sim.total_memory_stats().writes, 2u);
+    EXPECT_EQ(sim.memories().size(), 2u);
+    EXPECT_EQ(sim.total_memory_bits(), 16u * 16u + 256u * 12u);
+}
+
+TEST(Simulation, ResetStats) {
+    Simulation sim;
+    Sram& a = sim.make_sram("a", 16, 16);
+    a.write(0, 1);
+    sim.reset_stats();
+    EXPECT_EQ(sim.total_memory_stats().total(), 0u);
+}
+
+}  // namespace
+}  // namespace wfqs::hw

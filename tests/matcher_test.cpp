@@ -1,0 +1,382 @@
+// Tests for the matching circuitry: behavioural reference, all five
+// gate-level circuits cross-checked against it, and the structural
+// delay/area metrics that feed Figs. 7 and 8.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "matcher/circuit.hpp"
+#include "matcher/matcher.hpp"
+#include "matcher/netlist.hpp"
+
+namespace wfqs::matcher {
+namespace {
+
+// ---------------------------------------------------------------- netlist
+
+TEST(Netlist, PrimitiveEvaluation) {
+    Netlist nl;
+    const GateId a = nl.add_input();
+    const GateId b = nl.add_input();
+    const GateId g_and = nl.add_and(a, b);
+    const GateId g_or = nl.add_or(a, b);
+    const GateId g_xor = nl.add_xor(a, b);
+    const GateId g_not = nl.add_not(a);
+    nl.mark_output(g_and);
+    for (bool va : {false, true}) {
+        for (bool vb : {false, true}) {
+            const auto v = nl.evaluate({va, vb});
+            EXPECT_EQ(v[g_and], va && vb);
+            EXPECT_EQ(v[g_or], va || vb);
+            EXPECT_EQ(v[g_xor], va != vb);
+            EXPECT_EQ(v[g_not], !va);
+        }
+    }
+}
+
+TEST(Netlist, MuxSelects) {
+    Netlist nl;
+    const GateId s = nl.add_input();
+    const GateId a = nl.add_input();
+    const GateId b = nl.add_input();
+    const GateId m = nl.add_mux(s, a, b);
+    nl.mark_output(m);
+    EXPECT_TRUE(nl.evaluate({true, true, false})[m]);
+    EXPECT_FALSE(nl.evaluate({true, false, true})[m]);
+    EXPECT_TRUE(nl.evaluate({false, false, true})[m]);
+    EXPECT_FALSE(nl.evaluate({false, true, false})[m]);
+}
+
+TEST(Netlist, ReduceTrees) {
+    Netlist nl;
+    std::vector<GateId> ins;
+    for (int i = 0; i < 7; ++i) ins.push_back(nl.add_input());
+    const GateId all = nl.add_and_reduce(ins);
+    const GateId any = nl.add_or_reduce(ins);
+    nl.mark_output(all);
+    nl.mark_output(any);
+
+    std::vector<bool> ones(7, true);
+    EXPECT_TRUE(nl.evaluate(ones)[all]);
+    std::vector<bool> mixed(7, true);
+    mixed[3] = false;
+    EXPECT_FALSE(nl.evaluate(mixed)[all]);
+    EXPECT_TRUE(nl.evaluate(mixed)[any]);
+    std::vector<bool> zeros(7, false);
+    EXPECT_FALSE(nl.evaluate(zeros)[any]);
+}
+
+TEST(Netlist, EmptyReduceYieldsIdentity) {
+    Netlist nl;
+    const GateId t = nl.add_and_reduce({});
+    const GateId f = nl.add_or_reduce({});
+    nl.mark_output(t);
+    nl.mark_output(f);
+    const auto v = nl.evaluate({});
+    EXPECT_TRUE(v[t]);
+    EXPECT_FALSE(v[f]);
+}
+
+TEST(Netlist, DelayGrowsWithChainLength) {
+    auto chain_delay = [](int n) {
+        Netlist nl;
+        GateId x = nl.add_input();
+        const GateId y = nl.add_input();
+        for (int i = 0; i < n; ++i) x = nl.add_and(x, y);
+        nl.mark_output(x);
+        return nl.critical_path_delay();
+    };
+    EXPECT_LT(chain_delay(4), chain_delay(16));
+    // 4 AND2 at unit delay plus the shared input's driver delay.
+    EXPECT_NEAR(chain_delay(4), 4.0, 0.5);
+}
+
+TEST(Netlist, BalancedTreeShallowerThanChain) {
+    Netlist chain;
+    GateId x = chain.add_input();
+    std::vector<GateId> ins{x};
+    for (int i = 0; i < 15; ++i) ins.push_back(chain.add_input());
+    for (int i = 1; i < 16; ++i) x = chain.add_and(x, ins[i]);
+    chain.mark_output(x);
+
+    Netlist tree;
+    std::vector<GateId> tins;
+    for (int i = 0; i < 16; ++i) tins.push_back(tree.add_input());
+    tree.mark_output(tree.add_and_reduce(tins));
+
+    EXPECT_LT(tree.critical_path_delay(), chain.critical_path_delay());
+}
+
+TEST(Netlist, FanoutPenalisesDelay) {
+    // One driver feeding many loads must be slower than feeding one.
+    Netlist narrow;
+    {
+        const GateId a = narrow.add_input();
+        const GateId b = narrow.add_input();
+        const GateId d = narrow.add_and(a, b);
+        narrow.mark_output(narrow.add_and(d, b));
+    }
+    Netlist wide;
+    {
+        const GateId a = wide.add_input();
+        const GateId b = wide.add_input();
+        const GateId d = wide.add_and(a, b);
+        GateId last = d;
+        for (int i = 0; i < 32; ++i) last = wide.add_and(d, b);
+        wide.mark_output(last);
+    }
+    EXPECT_GT(wide.critical_path_delay(), narrow.critical_path_delay());
+}
+
+TEST(Netlist, AreaCounts) {
+    Netlist nl;
+    const GateId a = nl.add_input();
+    const GateId b = nl.add_input();
+    nl.mark_output(nl.add_and(a, b));
+    EXPECT_DOUBLE_EQ(nl.area_gate_equivalents(), 1.5);
+    EXPECT_EQ(nl.logic_gate_count(), 1u);
+}
+
+TEST(Netlist, Lut4EstimateAbsorbsSmallCones) {
+    // a&b | c&d is one LUT4.
+    Netlist nl;
+    const GateId a = nl.add_input();
+    const GateId b = nl.add_input();
+    const GateId c = nl.add_input();
+    const GateId d = nl.add_input();
+    nl.mark_output(nl.add_or(nl.add_and(a, b), nl.add_and(c, d)));
+    EXPECT_EQ(nl.lut4_estimate(), 1u);
+}
+
+TEST(Netlist, Lut4EstimateSplitsWideSupport) {
+    // An 8-input AND tree cannot fit one LUT4.
+    Netlist nl;
+    std::vector<GateId> ins;
+    for (int i = 0; i < 8; ++i) ins.push_back(nl.add_input());
+    nl.mark_output(nl.add_and_reduce(ins));
+    EXPECT_GE(nl.lut4_estimate(), 2u);
+    EXPECT_LE(nl.lut4_estimate(), 4u);
+}
+
+// ------------------------------------------------------------- behavioral
+
+TEST(BehavioralMatch, ExactMatch) {
+    const auto r = behavioral_match(0b0100, 2, 4);
+    EXPECT_EQ(r.primary, 2);
+    EXPECT_EQ(r.backup, -1);
+}
+
+TEST(BehavioralMatch, NextSmallest) {
+    const auto r = behavioral_match(0b0011, 3, 4);
+    EXPECT_EQ(r.primary, 1);
+    EXPECT_EQ(r.backup, 0);
+}
+
+TEST(BehavioralMatch, NoMatch) {
+    const auto r = behavioral_match(0b1000, 2, 4);
+    EXPECT_EQ(r.primary, -1);
+    EXPECT_EQ(r.backup, -1);
+}
+
+TEST(BehavioralMatch, PaperFig4Example) {
+    // Fig. 4: third-level node holds literals {01, 11} = bits 1 and 3;
+    // searching for "10" (bit 2) must return "01" (bit 1).
+    const auto r = behavioral_match(0b1010, 2, 4);
+    EXPECT_EQ(r.primary, 1);
+    EXPECT_EQ(r.backup, -1);  // nothing below bit 1 is set... bit 3 is above
+}
+
+TEST(BehavioralMatch, IgnoresBitsAboveWidth) {
+    const auto r = behavioral_match(0xF0F0, 3, 4);  // only low 4 bits visible
+    EXPECT_EQ(r.primary, -1);
+}
+
+// Reference implementation used to cross-check the netlists.
+MatchResult reference(std::uint64_t word, unsigned target, unsigned width) {
+    MatchResult r;
+    for (int i = static_cast<int>(target); i >= 0; --i)
+        if (wfqs::bit_is_set(word, static_cast<unsigned>(i))) {
+            r.primary = i;
+            break;
+        }
+    if (r.primary > 0)
+        for (int i = r.primary - 1; i >= 0; --i)
+            if (wfqs::bit_is_set(word, static_cast<unsigned>(i))) {
+                r.backup = i;
+                break;
+            }
+    (void)width;
+    return r;
+}
+
+TEST(BehavioralMatch, MatchesNaiveScanExhaustively) {
+    for (unsigned width : {2u, 4u, 8u}) {
+        for (std::uint64_t word = 0; word < (1u << width); ++word)
+            for (unsigned t = 0; t < width; ++t)
+                EXPECT_EQ(behavioral_match(word, t, width), reference(word, t, width))
+                    << "width=" << width << " word=" << word << " t=" << t;
+    }
+}
+
+// ---------------------------------------------------------- circuit suite
+
+using CircuitCase = std::tuple<MatcherKind, unsigned>;
+
+class MatcherCircuitTest : public ::testing::TestWithParam<CircuitCase> {};
+
+TEST_P(MatcherCircuitTest, MatchesBehavioralExhaustivelyOrRandomly) {
+    const auto [kind, width] = GetParam();
+    const MatcherCircuit circuit = build_matcher(kind, width);
+    if (width <= 10) {
+        for (std::uint64_t word = 0; word < (std::uint64_t{1} << width); ++word)
+            for (unsigned t = 0; t < width; ++t)
+                EXPECT_EQ(circuit.match(word, t), behavioral_match(word, t, width))
+                    << circuit.name() << " width=" << width << " word=" << word
+                    << " t=" << t;
+    } else {
+        wfqs::Rng rng(width * 1000 + static_cast<unsigned>(kind));
+        for (int iter = 0; iter < 2000; ++iter) {
+            const std::uint64_t word = rng.next_u64() & wfqs::low_mask(width);
+            const unsigned t = static_cast<unsigned>(rng.next_below(width));
+            EXPECT_EQ(circuit.match(word, t), behavioral_match(word, t, width))
+                << circuit.name() << " width=" << width << " word=" << word
+                << " t=" << t;
+        }
+    }
+}
+
+TEST_P(MatcherCircuitTest, SparseAndDenseEdgeCases) {
+    const auto [kind, width] = GetParam();
+    const MatcherCircuit circuit = build_matcher(kind, width);
+    const std::uint64_t all = wfqs::low_mask(width);
+    for (unsigned t = 0; t < width; ++t) {
+        // Dense word: always an exact match; backup = t-1 for t>0.
+        EXPECT_EQ(circuit.match(all, t).primary, static_cast<int>(t));
+        // Empty word: no match ever.
+        EXPECT_EQ(circuit.match(0, t).primary, -1);
+        // Single bit at the top: found only when t = width-1.
+        const auto top = circuit.match(std::uint64_t{1} << (width - 1), t);
+        EXPECT_EQ(top.primary, t == width - 1 ? static_cast<int>(width - 1) : -1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndWidths, MatcherCircuitTest,
+    ::testing::Combine(::testing::ValuesIn(all_matcher_kinds()),
+                       ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u)),
+    [](const ::testing::TestParamInfo<CircuitCase>& info) {
+        std::string name = matcher_kind_name(std::get<0>(info.param));
+        for (char& c : name)
+            if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+        return name + "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------ structural checks
+
+TEST(MatcherStructure, RippleDelayLinearInWidth) {
+    const double d16 = build_matcher(MatcherKind::Ripple, 16).netlist().critical_path_delay();
+    const double d64 = build_matcher(MatcherKind::Ripple, 64).netlist().critical_path_delay();
+    EXPECT_GT(d64, d16 * 2.5);  // linear growth: 4x width ≈ 4x delay
+}
+
+TEST(MatcherStructure, SelectBeatsRippleAtWideWords) {
+    const double ripple =
+        build_matcher(MatcherKind::Ripple, 64).netlist().critical_path_delay();
+    const double select =
+        build_matcher(MatcherKind::SelectLookahead, 64).netlist().critical_path_delay();
+    EXPECT_LT(select, ripple);
+}
+
+TEST(MatcherStructure, SelectBeatsSkipAndBlockAt64) {
+    const double select =
+        build_matcher(MatcherKind::SelectLookahead, 64).netlist().critical_path_delay();
+    const double skip =
+        build_matcher(MatcherKind::SkipLookahead, 64).netlist().critical_path_delay();
+    const double block =
+        build_matcher(MatcherKind::BlockLookahead, 64).netlist().critical_path_delay();
+    EXPECT_LT(select, skip);
+    EXPECT_LT(select, block);
+}
+
+TEST(MatcherStructure, LookaheadAreaQuadraticish) {
+    const double a16 =
+        build_matcher(MatcherKind::Lookahead, 16).netlist().area_gate_equivalents();
+    const double a64 =
+        build_matcher(MatcherKind::Lookahead, 64).netlist().area_gate_equivalents();
+    EXPECT_GT(a64, a16 * 8.0);  // 4x width should cost far more than 4x area
+}
+
+TEST(MatcherStructure, RippleSmallestArea) {
+    for (MatcherKind kind : all_matcher_kinds()) {
+        if (kind == MatcherKind::Ripple) continue;
+        EXPECT_LE(build_matcher(MatcherKind::Ripple, 32).netlist().area_gate_equivalents(),
+                  build_matcher(kind, 32).netlist().area_gate_equivalents())
+            << matcher_kind_name(kind);
+    }
+}
+
+TEST(MatcherStructure, SelectCostsMoreAreaThanSkip) {
+    // Carry-select duplicates block logic; it must pay in area.
+    EXPECT_GT(
+        build_matcher(MatcherKind::SelectLookahead, 32).netlist().area_gate_equivalents(),
+        build_matcher(MatcherKind::SkipLookahead, 32).netlist().area_gate_equivalents());
+}
+
+TEST(MatcherStructure, ExplicitBlockSizeRespected) {
+    // Different block sizes give different structures but same function.
+    const MatcherCircuit b2 = build_matcher(MatcherKind::SelectLookahead, 16, 2);
+    const MatcherCircuit b8 = build_matcher(MatcherKind::SelectLookahead, 16, 8);
+    EXPECT_NE(b2.netlist().gate_count(), b8.netlist().gate_count());
+    wfqs::Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t word = rng.next_u64() & 0xFFFF;
+        const unsigned t = static_cast<unsigned>(rng.next_below(16));
+        EXPECT_EQ(b2.match(word, t), b8.match(word, t));
+    }
+}
+
+TEST(MatcherStructure, RejectsBadWidth) {
+    EXPECT_THROW(build_matcher(MatcherKind::Ripple, 1), std::invalid_argument);
+    EXPECT_THROW(build_matcher(MatcherKind::Ripple, 129), std::invalid_argument);
+}
+
+TEST(MatcherStructure, WideCircuitsAreStructuralOnly) {
+    // 128-bit circuits (the top of the Fig. 7/8 sweep) elaborate and
+    // report delay/area, but functional evaluation needs a 64-bit word.
+    const MatcherCircuit wide = build_matcher(MatcherKind::SelectLookahead, 128);
+    EXPECT_GT(wide.netlist().critical_path_delay(), 0.0);
+    EXPECT_GT(wide.netlist().area_gate_equivalents(), 0.0);
+    EXPECT_THROW(wide.match(1, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- engines
+
+TEST(MatcherEngines, NetlistEngineAgreesWithBehavioral) {
+    BehavioralMatcher behavioral;
+    for (MatcherKind kind : all_matcher_kinds()) {
+        NetlistMatcher engine(kind);
+        wfqs::Rng rng(static_cast<unsigned>(kind) + 1);
+        for (int i = 0; i < 300; ++i) {
+            const std::uint64_t word = rng.next_u64() & 0xFFFF;
+            const unsigned t = static_cast<unsigned>(rng.next_below(16));
+            EXPECT_EQ(engine.match(word, t, 16), behavioral.match(word, t, 16))
+                << engine.name();
+        }
+    }
+}
+
+TEST(MatcherEngines, PaperConfigIs16BitNode) {
+    // The paper's silicon uses 16-bit nodes (4-bit literals). Sanity-check
+    // the flagship circuit at that width.
+    const MatcherCircuit c = build_matcher(MatcherKind::SelectLookahead, 16);
+    EXPECT_EQ(c.width(), 16u);
+    const auto r = c.match(/*word=*/0b0000'0000'0010'0010, /*target=*/8);
+    EXPECT_EQ(r.primary, 5);
+    EXPECT_EQ(r.backup, 1);
+}
+
+}  // namespace
+}  // namespace wfqs::matcher

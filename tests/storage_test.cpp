@@ -1,0 +1,336 @@
+// Tests for the tag storage memory (linked list, Figs. 9-10) and the
+// translation table (Fig. 11): cycle-exact insert timing, the stale-pointer
+// empty list, the simultaneous insert+pop case, and duplicate handling.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hw/simulation.hpp"
+#include "storage/linked_tag_store.hpp"
+#include "storage/translation_table.hpp"
+
+namespace wfqs::storage {
+namespace {
+
+struct StoreFixture {
+    hw::Simulation sim;
+    LinkedTagStore store;
+
+    explicit StoreFixture(std::size_t capacity = 16)
+        : store(LinkedTagStore::Config{capacity, 12, 24}, sim) {}
+};
+
+// ----------------------------------------------------------- basic ops
+
+TEST(TagStore, StartsEmpty) {
+    StoreFixture f;
+    EXPECT_TRUE(f.store.empty());
+    EXPECT_FALSE(f.store.peek_head().has_value());
+    EXPECT_FALSE(f.store.pop_head().has_value());
+    EXPECT_FALSE(f.store.peek_second_tag().has_value());
+}
+
+TEST(TagStore, HeadInsertAndPeek) {
+    StoreFixture f;
+    f.store.insert_at_head({42, 7});
+    ASSERT_TRUE(f.store.peek_head().has_value());
+    EXPECT_EQ(f.store.peek_head()->tag, 42u);
+    EXPECT_EQ(f.store.peek_head()->payload, 7u);
+    EXPECT_EQ(f.store.size(), 1u);
+}
+
+TEST(TagStore, PaperFig9InsertSequence) {
+    // Fig. 9: list holds 15 -> 17; inserting 16 after 15 links 15 -> 16 -> 17.
+    StoreFixture f;
+    const Addr a15 = f.store.insert_at_head({15, 0});
+    f.store.insert_after(a15, {17, 0});
+    f.store.insert_after(a15, {16, 0});
+    const auto snap = f.store.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].tag, 15u);
+    EXPECT_EQ(snap[1].tag, 16u);
+    EXPECT_EQ(snap[2].tag, 17u);
+}
+
+TEST(TagStore, InsertAfterTakesFourCycles) {
+    StoreFixture f;
+    const Addr head = f.store.insert_at_head({10, 0});
+    const auto t0 = f.sim.clock().now();
+    f.store.insert_after(head, {20, 0});
+    EXPECT_EQ(f.sim.clock().now() - t0, 4u);  // paper: 2 reads + 2 writes
+}
+
+TEST(TagStore, InsertAtHeadTakesFourCycles) {
+    StoreFixture f;
+    const auto t0 = f.sim.clock().now();
+    f.store.insert_at_head({10, 0});
+    EXPECT_EQ(f.sim.clock().now() - t0, 4u);
+}
+
+TEST(TagStore, InsertUsesTwoReadsTwoWrites) {
+    StoreFixture f;
+    const Addr head = f.store.insert_at_head({10, 0});
+    const auto before = f.store.memory().stats();
+    f.store.insert_after(head, {20, 0});
+    EXPECT_EQ(f.store.memory().stats().reads - before.reads, 1u);  // pred read
+    EXPECT_EQ(f.store.memory().stats().writes - before.writes, 2u);
+    // (the free-slot read is counter-based while the fresh region lasts;
+    // once the empty list is active it becomes a real read — see below)
+}
+
+TEST(TagStore, CombinedInsertPopTakesFourCycles) {
+    StoreFixture f;
+    const Addr head = f.store.insert_at_head({10, 0});
+    f.store.insert_after(head, {20, 0});
+    const auto t0 = f.sim.clock().now();
+    const auto r = f.store.insert_and_pop_head(head, {15, 1});
+    EXPECT_EQ(f.sim.clock().now() - t0, 4u);  // §III-C: same four cycles
+    EXPECT_EQ(r.popped.tag, 10u);
+}
+
+TEST(TagStore, PopIsSingleReadNoWrite) {
+    StoreFixture f;
+    f.store.insert_at_head({10, 0});
+    const auto before = f.store.memory().stats();
+    f.store.pop_head();
+    EXPECT_EQ(f.store.memory().stats().reads - before.reads, 1u);
+    // Fig. 10: "the link itself is left unchanged" — no write to free.
+    EXPECT_EQ(f.store.memory().stats().writes - before.writes, 0u);
+}
+
+TEST(TagStore, PopsInListOrder) {
+    StoreFixture f;
+    Addr a = f.store.insert_at_head({1, 10});
+    a = f.store.insert_after(a, {2, 20});
+    f.store.insert_after(a, {3, 30});
+    EXPECT_EQ(f.store.pop_head()->tag, 1u);
+    EXPECT_EQ(f.store.pop_head()->tag, 2u);
+    EXPECT_EQ(f.store.pop_head()->tag, 3u);
+    EXPECT_TRUE(f.store.empty());
+}
+
+TEST(TagStore, PeekSecondTag) {
+    StoreFixture f;
+    const Addr a = f.store.insert_at_head({5, 0});
+    EXPECT_FALSE(f.store.peek_second_tag().has_value());
+    f.store.insert_after(a, {8, 0});
+    EXPECT_EQ(f.store.peek_second_tag(), std::optional<std::uint64_t>(8));
+}
+
+TEST(TagStore, PayloadTravelsWithTag) {
+    StoreFixture f;
+    const Addr a = f.store.insert_at_head({5, 111});
+    f.store.insert_after(a, {6, 222});
+    EXPECT_EQ(f.store.pop_head()->payload, 111u);
+    EXPECT_EQ(f.store.pop_head()->payload, 222u);
+}
+
+TEST(TagStore, RejectsBadConfigs) {
+    hw::Simulation sim;
+    EXPECT_THROW(LinkedTagStore({1, 12, 24}, sim), std::invalid_argument);
+    EXPECT_THROW(LinkedTagStore({16, 0, 24}, sim), std::invalid_argument);
+    EXPECT_THROW(LinkedTagStore({16, 33, 24}, sim), std::invalid_argument);
+    // 32 + 32 + next bits cannot pack into 64.
+    EXPECT_THROW(LinkedTagStore({1 << 20, 32, 32}, sim), std::invalid_argument);
+}
+
+TEST(TagStore, InsertAfterRequiresValidPredecessor) {
+    StoreFixture f;
+    EXPECT_THROW(f.store.insert_after(kNullAddr, {1, 0}), std::invalid_argument);
+    EXPECT_THROW(f.store.insert_after(999, {1, 0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------- empty list reuse
+
+TEST(TagStore, FreshCounterThenEmptyListReuse) {
+    StoreFixture f(4);
+    Addr a = f.store.insert_at_head({1, 0});
+    a = f.store.insert_after(a, {2, 0});
+    a = f.store.insert_after(a, {3, 0});
+    f.store.insert_after(a, {4, 0});
+    EXPECT_TRUE(f.store.full());
+    EXPECT_THROW(f.store.insert_at_head({9, 0}), std::overflow_error);
+
+    EXPECT_EQ(f.store.pop_head()->tag, 1u);
+    EXPECT_EQ(f.store.pop_head()->tag, 2u);
+    EXPECT_EQ(f.store.empty_list_length(), 2u);
+
+    // Reuse both freed slots: list is 3 -> 4, insert between them.
+    const Addr head = f.store.head_addr();
+    f.store.insert_after(head, {35, 0});
+    f.store.insert_after(head, {34, 0});
+    EXPECT_TRUE(f.store.full());
+    const auto snap = f.store.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap[0].tag, 3u);
+    EXPECT_EQ(snap[1].tag, 34u);
+    EXPECT_EQ(snap[2].tag, 35u);
+    EXPECT_EQ(snap[3].tag, 4u);
+}
+
+TEST(TagStore, EmptyListAllocationCostsOneRead) {
+    StoreFixture f(3);
+    Addr a = f.store.insert_at_head({1, 0});
+    a = f.store.insert_after(a, {2, 0});
+    f.store.insert_after(a, {3, 0});
+    f.store.pop_head();
+    const auto before = f.store.memory().stats();
+    // Fresh region exhausted: this insert must read the empty-list head.
+    f.store.insert_after(f.store.head_addr(), {25, 0});
+    EXPECT_EQ(f.store.memory().stats().reads - before.reads, 2u);  // free + pred
+    EXPECT_EQ(f.store.memory().stats().writes - before.writes, 2u);
+}
+
+TEST(TagStore, StalePointerChainSurvivesSustainedReuse) {
+    // Pump monotonically increasing tags through a tiny store: every slot
+    // is reused many times purely through the stale-pointer empty list.
+    StoreFixture f(8);
+    Rng rng(5);
+    std::uint64_t next_tag = 0;
+    std::vector<std::uint64_t> live;
+    Addr tail = kNullAddr;
+    for (int iter = 0; iter < 3000; ++iter) {
+        const bool can_insert = !f.store.full() && next_tag < 4096;
+        if (can_insert && (live.empty() || rng.next_bool(0.55))) {
+            const std::uint64_t tag = next_tag++;
+            tail = live.empty() ? f.store.insert_at_head({tag, 0})
+                                : f.store.insert_after(tail, {tag, 0});
+            live.push_back(tag);
+        } else if (!live.empty()) {
+            const auto popped = f.store.pop_head();
+            ASSERT_TRUE(popped.has_value());
+            ASSERT_EQ(popped->tag, live.front());
+            live.erase(live.begin());
+            if (live.empty()) tail = kNullAddr;
+        }
+        ASSERT_EQ(f.store.size(), live.size());
+    }
+    EXPECT_GT(next_tag, 1000u);  // the store really was recycled many times
+}
+
+TEST(TagStore, CombinedOpReusesDepartingSlot) {
+    StoreFixture f(2);  // only two physical slots
+    const Addr a = f.store.insert_at_head({1, 0});
+    const Addr a2 = f.store.insert_after(a, {2, 0});
+    EXPECT_TRUE(f.store.full());
+    // 1 departs, 3 arrives after 2: possible despite a full memory because
+    // the departing slot is reused directly.
+    const auto r = f.store.insert_and_pop_head(a2, {3, 0});
+    EXPECT_EQ(r.popped.tag, 1u);
+    const auto snap = f.store.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].tag, 2u);
+    EXPECT_EQ(snap[1].tag, 3u);
+}
+
+TEST(TagStore, CombinedOpNewHeadCase) {
+    // New tag equals/precedes everything else: pred is the departing head
+    // itself and the new entry takes over the head slot.
+    StoreFixture f;
+    const Addr a = f.store.insert_at_head({10, 1});
+    f.store.insert_after(a, {20, 2});
+    const auto r = f.store.insert_and_pop_head(a, {12, 3});
+    EXPECT_EQ(r.popped.tag, 10u);
+    const auto snap = f.store.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].tag, 12u);
+    EXPECT_EQ(snap[1].tag, 20u);
+}
+
+TEST(TagStore, CombinedOpOnSingletonList) {
+    StoreFixture f;
+    f.store.insert_at_head({10, 1});
+    const auto r = f.store.insert_and_pop_head(kNullAddr, {11, 2});
+    EXPECT_EQ(r.popped.tag, 10u);
+    EXPECT_EQ(f.store.size(), 1u);
+    EXPECT_EQ(f.store.peek_head()->tag, 11u);
+}
+
+TEST(TagStore, MixedHeadInsertsDoNotCorruptFreeChain) {
+    // Adversarial (non-WFQ) sequence: new heads inserted between pops used
+    // to be able to corrupt the stale-pointer chain; the tail patch must
+    // keep allocation sound.
+    StoreFixture f(4);
+    Addr a = f.store.insert_at_head({10, 0});
+    a = f.store.insert_after(a, {20, 0});
+    f.store.insert_after(a, {30, 0});
+    f.store.pop_head();                       // free {10's slot}
+    f.store.insert_at_head({5, 0});           // brand-new head (reuses nothing: fresh slot)
+    f.store.pop_head();                       // pops 5 — out-of-order free
+    f.store.pop_head();                       // pops 20
+    // Now reuse all three freed slots.
+    Addr h = f.store.head_addr();
+    h = f.store.insert_after(h, {40, 0});
+    h = f.store.insert_after(h, {50, 0});
+    f.store.insert_after(h, {60, 0});
+    const auto snap = f.store.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap[0].tag, 30u);
+    EXPECT_EQ(snap[1].tag, 40u);
+    EXPECT_EQ(snap[2].tag, 50u);
+    EXPECT_EQ(snap[3].tag, 60u);
+}
+
+// ------------------------------------------------------- translation
+
+struct TableFixture {
+    hw::Simulation sim;
+    TranslationTable table;
+
+    TableFixture() : table(TranslationTable::Config{12, 20}, sim) {}
+};
+
+TEST(TranslationTable, EmptyLookupMisses) {
+    TableFixture f;
+    EXPECT_FALSE(f.table.lookup(0).has_value());
+    EXPECT_FALSE(f.table.lookup(4095).has_value());
+}
+
+TEST(TranslationTable, SetThenLookup) {
+    TableFixture f;
+    f.table.set(100, 7);
+    f.sim.clock().advance();
+    EXPECT_EQ(f.table.lookup(100), std::optional<Addr>(7));
+    EXPECT_FALSE(f.table.lookup(101).has_value());
+}
+
+TEST(TranslationTable, DuplicateTracksNewest) {
+    // Fig. 11: the table always points at the most recently inserted
+    // duplicate.
+    TableFixture f;
+    f.table.set(5, 1);
+    f.sim.clock().advance();
+    f.table.set(5, 9);
+    f.sim.clock().advance();
+    EXPECT_EQ(f.table.lookup(5), std::optional<Addr>(9));
+}
+
+TEST(TranslationTable, Invalidate) {
+    TableFixture f;
+    f.table.set(5, 1);
+    f.sim.clock().advance();
+    f.table.invalidate(5);
+    f.sim.clock().advance();
+    EXPECT_FALSE(f.table.lookup(5).has_value());
+}
+
+TEST(TranslationTable, AddressZeroIsValid) {
+    TableFixture f;
+    f.table.set(8, 0);
+    f.sim.clock().advance();
+    EXPECT_EQ(f.table.lookup(8), std::optional<Addr>(0));
+}
+
+TEST(TranslationTable, SizeMatchesTreeGranularity) {
+    TableFixture f;
+    EXPECT_EQ(f.table.entries(), 4096u);  // paper: 2^(4*3) entries
+}
+
+TEST(TranslationTable, RejectsBadConfig) {
+    hw::Simulation sim;
+    EXPECT_THROW(TranslationTable({0, 20}, sim), std::invalid_argument);
+    EXPECT_THROW(TranslationTable({29, 20}, sim), std::invalid_argument);
+    EXPECT_THROW(TranslationTable({12, 0}, sim), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wfqs::storage
