@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_branching.dir/ablation_branching.cpp.o"
+  "CMakeFiles/ablation_branching.dir/ablation_branching.cpp.o.d"
+  "ablation_branching"
+  "ablation_branching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_branching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matcher_design.dir/ablation_matcher_design.cpp.o"
+  "CMakeFiles/ablation_matcher_design.dir/ablation_matcher_design.cpp.o.d"
+  "ablation_matcher_design"
+  "ablation_matcher_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matcher_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_matcher_area.dir/fig8_matcher_area.cpp.o"
+  "CMakeFiles/fig8_matcher_area.dir/fig8_matcher_area.cpp.o.d"
+  "fig8_matcher_area"
+  "fig8_matcher_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_matcher_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_rate.dir/line_rate.cpp.o"
+  "CMakeFiles/line_rate.dir/line_rate.cpp.o.d"
+  "line_rate"
+  "line_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

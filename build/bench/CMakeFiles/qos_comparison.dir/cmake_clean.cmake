@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_comparison.dir/qos_comparison.cpp.o"
+  "CMakeFiles/qos_comparison.dir/qos_comparison.cpp.o.d"
+  "qos_comparison"
+  "qos_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

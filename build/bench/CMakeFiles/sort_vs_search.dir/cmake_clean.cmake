@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_vs_search.dir/sort_vs_search.cpp.o"
+  "CMakeFiles/sort_vs_search.dir/sort_vs_search.cpp.o.d"
+  "sort_vs_search"
+  "sort_vs_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_vs_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sort_vs_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_cycles.dir/storage_cycles.cpp.o"
+  "CMakeFiles/storage_cycles.dir/storage_cycles.cpp.o.d"
+  "storage_cycles"
+  "storage_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

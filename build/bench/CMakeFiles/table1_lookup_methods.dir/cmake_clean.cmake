@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lookup_methods.dir/table1_lookup_methods.cpp.o"
+  "CMakeFiles/table1_lookup_methods.dir/table1_lookup_methods.cpp.o.d"
+  "table1_lookup_methods"
+  "table1_lookup_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lookup_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

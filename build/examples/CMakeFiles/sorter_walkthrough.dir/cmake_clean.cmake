@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorter_walkthrough.dir/sorter_walkthrough.cpp.o"
+  "CMakeFiles/sorter_walkthrough.dir/sorter_walkthrough.cpp.o.d"
+  "sorter_walkthrough"
+  "sorter_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorter_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

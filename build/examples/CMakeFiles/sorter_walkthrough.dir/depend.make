@@ -1,0 +1,2 @@
+# Empty dependencies file for sorter_walkthrough.
+# This may be replaced when dependencies are built.

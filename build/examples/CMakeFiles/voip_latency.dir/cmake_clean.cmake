@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voip_latency.dir/voip_latency.cpp.o"
+  "CMakeFiles/voip_latency.dir/voip_latency.cpp.o.d"
+  "voip_latency"
+  "voip_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voip_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

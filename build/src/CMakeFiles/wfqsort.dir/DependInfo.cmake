@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/delay_stats.cpp" "src/CMakeFiles/wfqsort.dir/analysis/delay_stats.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/analysis/delay_stats.cpp.o.d"
+  "/root/repo/src/analysis/fairness.cpp" "src/CMakeFiles/wfqsort.dir/analysis/fairness.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/analysis/fairness.cpp.o.d"
+  "/root/repo/src/analysis/throughput.cpp" "src/CMakeFiles/wfqsort.dir/analysis/throughput.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/analysis/throughput.cpp.o.d"
+  "/root/repo/src/baselines/binning_queue.cpp" "src/CMakeFiles/wfqsort.dir/baselines/binning_queue.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/baselines/binning_queue.cpp.o.d"
+  "/root/repo/src/baselines/calendar_queue.cpp" "src/CMakeFiles/wfqsort.dir/baselines/calendar_queue.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/baselines/calendar_queue.cpp.o.d"
+  "/root/repo/src/baselines/cam_queue.cpp" "src/CMakeFiles/wfqsort.dir/baselines/cam_queue.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/baselines/cam_queue.cpp.o.d"
+  "/root/repo/src/baselines/factory.cpp" "src/CMakeFiles/wfqsort.dir/baselines/factory.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/baselines/factory.cpp.o.d"
+  "/root/repo/src/baselines/heap_queue.cpp" "src/CMakeFiles/wfqsort.dir/baselines/heap_queue.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/baselines/heap_queue.cpp.o.d"
+  "/root/repo/src/baselines/skiplist_queue.cpp" "src/CMakeFiles/wfqsort.dir/baselines/skiplist_queue.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/baselines/skiplist_queue.cpp.o.d"
+  "/root/repo/src/baselines/sorted_list_queue.cpp" "src/CMakeFiles/wfqsort.dir/baselines/sorted_list_queue.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/baselines/sorted_list_queue.cpp.o.d"
+  "/root/repo/src/baselines/tcq_queue.cpp" "src/CMakeFiles/wfqsort.dir/baselines/tcq_queue.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/baselines/tcq_queue.cpp.o.d"
+  "/root/repo/src/baselines/veb_queue.cpp" "src/CMakeFiles/wfqsort.dir/baselines/veb_queue.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/baselines/veb_queue.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/wfqsort.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/wfqsort.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/wfqsort.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/synthesis_model.cpp" "src/CMakeFiles/wfqsort.dir/core/synthesis_model.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/core/synthesis_model.cpp.o.d"
+  "/root/repo/src/core/tag_sorter.cpp" "src/CMakeFiles/wfqsort.dir/core/tag_sorter.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/core/tag_sorter.cpp.o.d"
+  "/root/repo/src/hw/simulation.cpp" "src/CMakeFiles/wfqsort.dir/hw/simulation.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/hw/simulation.cpp.o.d"
+  "/root/repo/src/hw/sram.cpp" "src/CMakeFiles/wfqsort.dir/hw/sram.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/hw/sram.cpp.o.d"
+  "/root/repo/src/matcher/behavioral.cpp" "src/CMakeFiles/wfqsort.dir/matcher/behavioral.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/matcher/behavioral.cpp.o.d"
+  "/root/repo/src/matcher/block_lookahead.cpp" "src/CMakeFiles/wfqsort.dir/matcher/block_lookahead.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/matcher/block_lookahead.cpp.o.d"
+  "/root/repo/src/matcher/factory.cpp" "src/CMakeFiles/wfqsort.dir/matcher/factory.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/matcher/factory.cpp.o.d"
+  "/root/repo/src/matcher/lookahead.cpp" "src/CMakeFiles/wfqsort.dir/matcher/lookahead.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/matcher/lookahead.cpp.o.d"
+  "/root/repo/src/matcher/netlist.cpp" "src/CMakeFiles/wfqsort.dir/matcher/netlist.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/matcher/netlist.cpp.o.d"
+  "/root/repo/src/matcher/ripple.cpp" "src/CMakeFiles/wfqsort.dir/matcher/ripple.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/matcher/ripple.cpp.o.d"
+  "/root/repo/src/matcher/select_lookahead.cpp" "src/CMakeFiles/wfqsort.dir/matcher/select_lookahead.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/matcher/select_lookahead.cpp.o.d"
+  "/root/repo/src/matcher/skip_lookahead.cpp" "src/CMakeFiles/wfqsort.dir/matcher/skip_lookahead.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/matcher/skip_lookahead.cpp.o.d"
+  "/root/repo/src/net/sim_driver.cpp" "src/CMakeFiles/wfqsort.dir/net/sim_driver.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/net/sim_driver.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/CMakeFiles/wfqsort.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/net/trace.cpp.o.d"
+  "/root/repo/src/net/traffic_gen.cpp" "src/CMakeFiles/wfqsort.dir/net/traffic_gen.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/net/traffic_gen.cpp.o.d"
+  "/root/repo/src/scheduler/cbq_scheduler.cpp" "src/CMakeFiles/wfqsort.dir/scheduler/cbq_scheduler.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/scheduler/cbq_scheduler.cpp.o.d"
+  "/root/repo/src/scheduler/fifo.cpp" "src/CMakeFiles/wfqsort.dir/scheduler/fifo.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/scheduler/fifo.cpp.o.d"
+  "/root/repo/src/scheduler/packet_buffer.cpp" "src/CMakeFiles/wfqsort.dir/scheduler/packet_buffer.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/scheduler/packet_buffer.cpp.o.d"
+  "/root/repo/src/scheduler/round_robin.cpp" "src/CMakeFiles/wfqsort.dir/scheduler/round_robin.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/scheduler/round_robin.cpp.o.d"
+  "/root/repo/src/scheduler/wf2q_scheduler.cpp" "src/CMakeFiles/wfqsort.dir/scheduler/wf2q_scheduler.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/scheduler/wf2q_scheduler.cpp.o.d"
+  "/root/repo/src/scheduler/wfq_scheduler.cpp" "src/CMakeFiles/wfqsort.dir/scheduler/wfq_scheduler.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/scheduler/wfq_scheduler.cpp.o.d"
+  "/root/repo/src/storage/linked_tag_store.cpp" "src/CMakeFiles/wfqsort.dir/storage/linked_tag_store.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/storage/linked_tag_store.cpp.o.d"
+  "/root/repo/src/storage/translation_table.cpp" "src/CMakeFiles/wfqsort.dir/storage/translation_table.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/storage/translation_table.cpp.o.d"
+  "/root/repo/src/tree/multibit_tree.cpp" "src/CMakeFiles/wfqsort.dir/tree/multibit_tree.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/tree/multibit_tree.cpp.o.d"
+  "/root/repo/src/wfq/gps_fluid.cpp" "src/CMakeFiles/wfqsort.dir/wfq/gps_fluid.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/wfq/gps_fluid.cpp.o.d"
+  "/root/repo/src/wfq/tag_computer.cpp" "src/CMakeFiles/wfqsort.dir/wfq/tag_computer.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/wfq/tag_computer.cpp.o.d"
+  "/root/repo/src/wfq/virtual_clock.cpp" "src/CMakeFiles/wfqsort.dir/wfq/virtual_clock.cpp.o" "gcc" "src/CMakeFiles/wfqsort.dir/wfq/virtual_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbq_test.dir/cbq_test.cpp.o"
+  "CMakeFiles/cbq_test.dir/cbq_test.cpp.o.d"
+  "cbq_test"
+  "cbq_test.pdb"
+  "cbq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf2q_test.dir/wf2q_test.cpp.o"
+  "CMakeFiles/wf2q_test.dir/wf2q_test.cpp.o.d"
+  "wf2q_test"
+  "wf2q_test.pdb"
+  "wf2q_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf2q_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
