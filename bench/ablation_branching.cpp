@@ -13,13 +13,14 @@
 #include "core/tag_sorter.hpp"
 #include "hw/simulation.hpp"
 #include "matcher/circuit.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace wfqs;
 using namespace wfqs::core;
 
 namespace {
 
-void sweep(unsigned tag_bits) {
+void sweep(unsigned tag_bits, obs::MetricsRegistry& reg) {
     std::printf("-- %u-bit tag space --\n", tag_bits);
     TextTable table({"literal bits", "branch", "levels", "tree bits (eq.3)",
                      "node matcher delay", "search cycles", "SRAM acc/op"});
@@ -54,18 +55,26 @@ void sweep(unsigned tag_bits) {
                        TextTable::num(std::uint64_t{g.levels}),
                        TextTable::num(tree_bits), TextTable::num(delay, 1),
                        TextTable::num(cycles, 1), TextTable::num(accesses, 1)});
+        const std::string base = "a1.w" + std::to_string(tag_bits) + ".k" +
+                                 std::to_string(k) + ".";
+        reg.counter(base + "tree_bits").inc(tree_bits);
+        reg.gauge(base + "matcher_delay").set(delay);
+        reg.gauge(base + "cycles_per_op").set(cycles);
+        reg.gauge(base + "sram_accesses_per_op").set(accesses);
     }
     std::printf("%s\n", table.render().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("ablation_branching", argc, argv);
     std::printf("== A1: branching-factor ablation (multi-bit vs binary tree) ==\n\n");
-    sweep(12);
-    sweep(24);
+    sweep(12, reporter.registry());
+    sweep(24, reporter.registry());
     std::printf("expected shape: wider literals cut levels (search cycles ~ W/k + 1)\n");
     std::printf("and total tree memory, at the cost of a wider node matcher; the\n");
     std::printf("paper's 4-bit/16-way point balances the two for 12-bit tags.\n");
+    reporter.finish();
     return 0;
 }

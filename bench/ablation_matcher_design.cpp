@@ -18,26 +18,35 @@
 
 #include "common/table.hpp"
 #include "matcher/circuit.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace wfqs;
 using namespace wfqs::matcher;
 
 namespace {
 
-void block_sweep() {
+void block_sweep(obs::MetricsRegistry& reg) {
     std::printf("-- Part 1: block-size sweep (delay in gate units / area in GE) --\n");
     const MatcherKind kinds[] = {MatcherKind::BlockLookahead, MatcherKind::SkipLookahead,
                                  MatcherKind::SelectLookahead};
+    const char* kind_keys[] = {"block_la", "skip_la", "select_la"};
     for (const unsigned width : {16u, 64u}) {
         TextTable table({"block", "block LA delay", "area", "skip LA delay", "area",
                          "select LA delay", "area"});
         for (unsigned block : {2u, 4u, 8u, 16u, 32u}) {
             if (block > width) continue;
             std::vector<std::string> row = {TextTable::num(std::uint64_t{block})};
-            for (const MatcherKind kind : kinds) {
-                const MatcherCircuit c = build_matcher(kind, width, block);
-                row.push_back(TextTable::num(c.netlist().critical_path_delay(), 1));
-                row.push_back(TextTable::num(c.netlist().area_gate_equivalents(), 0));
+            for (std::size_t k = 0; k < 3; ++k) {
+                const MatcherCircuit c = build_matcher(kinds[k], width, block);
+                const double delay = c.netlist().critical_path_delay();
+                const double area = c.netlist().area_gate_equivalents();
+                row.push_back(TextTable::num(delay, 1));
+                row.push_back(TextTable::num(area, 0));
+                const std::string base = "amd." + std::string(kind_keys[k]) + ".w" +
+                                         std::to_string(width) + ".b" +
+                                         std::to_string(block) + ".";
+                reg.gauge(base + "delay").set(delay);
+                reg.gauge(base + "area_ge").set(area);
             }
             table.add_row(row);
         }
@@ -60,7 +69,7 @@ std::uint64_t tree_bits_for(const std::vector<unsigned>& level_bits) {
     return bits;
 }
 
-void node_width_sweep() {
+void node_width_sweep(obs::MetricsRegistry& reg) {
     std::printf("-- Part 2: unequal node widths over a 12-bit tag space --\n");
     const std::vector<std::vector<unsigned>> partitions = {
         {4, 4, 4},  // the paper's choice
@@ -86,6 +95,13 @@ void node_width_sweep() {
                        TextTable::num(best / worst, 2),  // 1.00 = perfectly balanced
                        TextTable::num(tree_bits_for(p)),
                        TextTable::num(std::uint64_t{p.size() + 1})});
+        std::string key = label;
+        for (char& c : key)
+            if (c == '/') c = '_';
+        const std::string base = "amd.partition_" + key + ".";
+        reg.gauge(base + "widest_matcher_delay").set(worst);
+        reg.gauge(base + "cycle_time_balance").set(best / worst);
+        reg.counter(base + "tree_bits").inc(tree_bits_for(p));
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("the clock period is set by the *widest* node's matcher; unequal\n");
@@ -96,9 +112,11 @@ void node_width_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("ablation_matcher_design", argc, argv);
     std::printf("== ablation: matcher design space (ref [13], §III-A) ==\n\n");
-    block_sweep();
-    node_width_sweep();
+    block_sweep(reporter.registry());
+    node_width_sweep(reporter.registry());
+    reporter.finish();
     return 0;
 }

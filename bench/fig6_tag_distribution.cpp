@@ -22,6 +22,7 @@
 #include "hw/simulation.hpp"
 #include "net/sim_driver.hpp"
 #include "net/traffic_gen.hpp"
+#include "obs/bench_io.hpp"
 #include "scheduler/wfq_scheduler.hpp"
 #include "wfq/tag_computer.hpp"
 
@@ -134,7 +135,8 @@ void profile_distribution(const char* label, std::vector<net::FlowSpec> flows,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("fig6_tag_distribution", argc, argv);
     std::printf("== Fig. 6: tag-value distribution slides forward ==\n\n");
 
     // VoIP-dominant at ~70%% load: small packets, small finish offsets —
@@ -167,6 +169,8 @@ int main() {
     // forward-drifting tag window for many wraps of the 12-bit space.
     hw::Simulation sim;
     core::TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
+    sorter.register_metrics(reporter.registry());
+    sim.register_metrics(reporter.registry());
     Rng rng(3);
     sorter.insert(0, 0);
     for (int i = 0; i < 200000; ++i)
@@ -181,5 +185,6 @@ int main() {
                 static_cast<unsigned long long>(s.wrap_fallback_searches));
     std::printf("  marker retirements   : %llu\n",
                 static_cast<unsigned long long>(s.marker_retirements));
+    reporter.finish();
     return 0;
 }

@@ -12,11 +12,13 @@
 
 #include "common/table.hpp"
 #include "matcher/circuit.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace wfqs;
 using namespace wfqs::matcher;
 
-int main() {
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("fig7_matcher_delay", argc, argv);
     const std::vector<unsigned> widths = {4, 8, 16, 32, 64, 128};
 
     std::printf("== Fig. 7: matcher critical-path delay vs word width ==\n");
@@ -31,7 +33,12 @@ int main() {
         std::vector<std::string> row = {TextTable::num(std::uint64_t{w})};
         for (const MatcherKind kind : all_matcher_kinds()) {
             const MatcherCircuit c = build_matcher(kind, w);
-            row.push_back(TextTable::num(c.netlist().critical_path_delay(), 1));
+            const double delay = c.netlist().critical_path_delay();
+            row.push_back(TextTable::num(delay, 1));
+            reporter.registry()
+                .gauge("f7." + std::string(matcher_kind_name(kind)) + ".delay_w" +
+                       std::to_string(w))
+                .set(delay);
         }
         table.add_row(row);
     }
@@ -46,5 +53,7 @@ int main() {
     std::printf("16-bit select & look-ahead: %.1f gate delays ->", delay_units);
     std::printf(" %.0f MHz at 0.25 ns/gate (paper: 154 MHz on Stratix II FPGA)\n",
                 1000.0 / (delay_units * 0.25));
+    reporter.registry().gauge("f7.flagship_16bit_mhz").set(1000.0 / (delay_units * 0.25));
+    reporter.finish();
     return 0;
 }

@@ -12,11 +12,13 @@
 
 #include "common/table.hpp"
 #include "matcher/circuit.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace wfqs;
 using namespace wfqs::matcher;
 
-int main() {
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("fig8_matcher_area", argc, argv);
     const std::vector<unsigned> widths = {4, 8, 16, 32, 64, 128};
 
     std::printf("== Fig. 8: matcher area vs word width ==\n\n");
@@ -35,10 +37,16 @@ int main() {
                     luts ? TextTable::num(static_cast<std::uint64_t>(
                                c.netlist().lut4_estimate()))
                          : TextTable::num(c.netlist().area_gate_equivalents(), 0));
+                reporter.registry()
+                    .gauge("f8." + std::string(matcher_kind_name(kind)) +
+                           (luts ? ".lut4_w" : ".ge_w") + std::to_string(w))
+                    .set(luts ? static_cast<double>(c.netlist().lut4_estimate())
+                              : c.netlist().area_gate_equivalents());
             }
             table.add_row(row);
         }
         std::printf("-- %s --\n%s\n", metric, table.render().c_str());
     }
+    reporter.finish();
     return 0;
 }

@@ -18,16 +18,20 @@
 #include "core/synthesis_model.hpp"
 #include "core/tag_sorter.hpp"
 #include "hw/simulation.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace wfqs;
 using namespace wfqs::core;
 
-int main() {
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("line_rate", argc, argv);
     std::printf("== P1: line-rate claim (35.8 Mpps -> 40 Gb/s at 140 B) ==\n\n");
 
     // --- cycle-accurate half -------------------------------------------
     hw::Simulation sim;
     TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
+    sorter.register_metrics(reporter.registry());
+    sim.register_metrics(reporter.registry());
     Rng rng(1);
 
     // Steady-state combined insert+serve stream (the sustained line-rate
@@ -71,5 +75,14 @@ int main() {
     std::printf("bounded by the tag computation state, scalable to 8M (ref [8]).\n");
     std::printf("Here: list capacity is a constructor parameter (tested to 2^20),\n");
     std::printf("tree+translation cost is independent of it (Table I: O(W/k)).\n");
+
+    auto& reg = reporter.registry();
+    reg.gauge("line_rate.cycles_per_op_sequential").set(cycles_per_op);
+    reg.gauge("line_rate.cycles_per_op_pipelined").set(4.0);
+    reg.gauge("line_rate.clock_mhz").set(model.clock_mhz);
+    const double mpps = analysis::circuit_mpps(model.clock_mhz, 4.0);
+    reg.gauge("line_rate.mpps_pipelined").set(mpps);
+    reg.gauge("line_rate.gbps_at_140B").set(analysis::line_rate_gbps(mpps, 140.0));
+    reporter.finish();
     return 0;
 }

@@ -6,8 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/factory.hpp"
+#include "obs/bench_io.hpp"
 #include "common/rng.hpp"
 #include "core/tag_sorter.hpp"
 #include "hw/simulation.hpp"
@@ -91,4 +94,32 @@ static void BM_WfqTagComputation(benchmark::State& state) {
 }
 BENCHMARK(BM_WfqTagComputation);
 
-BENCHMARK_MAIN();
+// google-benchmark already has a JSON reporter, so instead of a
+// MetricsRegistry this bench translates the suite-wide `--json <path>` /
+// WFQS_METRICS_JSON convention into --benchmark_out before handing the
+// argument vector to benchmark::Initialize.
+int main(int argc, char** argv) {
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--json") {
+            ++i;  // skip the path; obs::bench_json_path already read it
+            continue;
+        }
+        if (a.rfind("--json=", 0) == 0) continue;
+        args.push_back(a);
+    }
+    if (const auto path = obs::bench_json_path("micro_ops", argc, argv)) {
+        args.push_back("--benchmark_out=" + *path);
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char*> argv2;
+    for (auto& a : args) argv2.push_back(a.data());
+    int argc2 = static_cast<int>(argv2.size());
+    argv2.push_back(nullptr);
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -18,6 +18,7 @@
 #include "common/table.hpp"
 #include "net/sim_driver.hpp"
 #include "net/traffic_gen.hpp"
+#include "obs/bench_io.hpp"
 #include "scheduler/fifo.hpp"
 #include "scheduler/cbq_scheduler.hpp"
 #include "scheduler/round_robin.hpp"
@@ -58,12 +59,24 @@ std::vector<net::FlowSpec> make_workload() {
     return flows;
 }
 
-Row evaluate(scheduler::Scheduler& sched) {
+Row evaluate(scheduler::Scheduler& sched, obs::MetricsRegistry& reg) {
     auto flows = make_workload();
     std::vector<std::uint32_t> weights;
     for (const auto& f : flows) weights.push_back(f.weight);
     net::SimDriver driver(kRate);
+    // Aggregate link-level telemetry across all nine scheduler runs:
+    // attach_metrics find-or-creates the shared net.* metrics.
+    driver.attach_metrics(reg);
     const auto result = driver.run(sched, flows);
+
+    // Copy the boundary counters out — the scheduler dies with this scope,
+    // so views would dangle; owned metrics snapshot the values instead.
+    const auto& c = sched.counters();
+    const std::string base = "p2." + sched.name() + ".";
+    reg.counter(base + "offered_packets").inc(c.offered_packets);
+    reg.counter(base + "rejected_packets").inc(c.rejected_packets);
+    reg.counter(base + "served_packets").inc(c.served_packets);
+    reg.counter(base + "served_bytes").inc(c.served_bytes);
 
     const auto reports = analysis::per_flow_delays(result.records, flows.size());
     double p99 = 0.0, worst = 0.0;
@@ -83,7 +96,8 @@ Row evaluate(scheduler::Scheduler& sched) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("qos_comparison", argc, argv);
     std::printf("== P2: QoS comparison — WFQ vs round robin vs FIFO ==\n");
     std::printf("4 VoIP flows (weight 8) vs 6 saturating Pareto flows (weight 1),\n");
     std::printf("20 Mb/s link, 2 s. GPS bound = L_max/r = %.2f ms.\n\n",
@@ -97,6 +111,13 @@ int main() {
                        TextTable::num(r.voip_max_us, 0),
                        TextTable::num(r.worst_lag_ms, 2),
                        TextTable::num(r.within_bound, 3), TextTable::num(r.jain, 3)});
+        auto& reg = reporter.registry();
+        const std::string base = "p2." + r.name + ".";
+        reg.gauge(base + "voip_p99_us").set(r.voip_p99_us);
+        reg.gauge(base + "voip_max_us").set(r.voip_max_us);
+        reg.gauge(base + "worst_gps_lag_ms").set(r.worst_lag_ms);
+        reg.gauge(base + "within_bound_fraction").set(r.within_bound);
+        reg.gauge(base + "jain_index").set(r.jain);
     };
 
     {
@@ -106,7 +127,7 @@ int main() {
         scheduler::FairQueueingScheduler wfq(
             cfg, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
                                            {20, 1 << 16}));
-        add(evaluate(wfq));
+        add(evaluate(wfq, reporter.registry()));
     }
     {
         scheduler::FairQueueingScheduler::Config cfg;
@@ -116,7 +137,7 @@ int main() {
         scheduler::FairQueueingScheduler scfq(
             cfg, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
                                            {20, 1 << 16}));
-        add(evaluate(scfq));
+        add(evaluate(scfq, reporter.registry()));
     }
     {
         scheduler::Wf2qScheduler::Config cfg;
@@ -126,36 +147,37 @@ int main() {
             cfg,
             baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}),
             baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}));
-        add(evaluate(wf2q));
+        add(evaluate(wf2q, reporter.registry()));
     }
     {
         scheduler::WrrScheduler wrr;
-        add(evaluate(wrr));
+        add(evaluate(wrr, reporter.registry()));
     }
     {
         scheduler::CbqScheduler cbq;
-        add(evaluate(cbq));
+        add(evaluate(cbq, reporter.registry()));
     }
     {
         scheduler::DrrScheduler drr;
-        add(evaluate(drr));
+        add(evaluate(drr, reporter.registry()));
     }
     {
         scheduler::MdrrScheduler mdrr;  // flow 0 (one VoIP flow) is priority
-        add(evaluate(mdrr));
+        add(evaluate(mdrr, reporter.registry()));
     }
     {
         scheduler::SrrScheduler srr;
-        add(evaluate(srr));
+        add(evaluate(srr, reporter.registry()));
     }
     {
         scheduler::FifoScheduler fifo;
-        add(evaluate(fifo));
+        add(evaluate(fifo, reporter.registry()));
     }
 
     std::printf("%s\n", table.render().c_str());
     std::printf("expected shape (paper §I-B): fair queueing bounds VoIP delay near\n");
     std::printf("the GPS ideal; round robin cannot bound delay for variable-size\n");
     std::printf("packets; FIFO offers no isolation at all.\n");
+    reporter.finish();
     return 0;
 }

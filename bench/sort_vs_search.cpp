@@ -16,11 +16,25 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace wfqs;
 using namespace wfqs::baselines;
 
-int main() {
+namespace {
+
+// Metric names use '.' as a hierarchy separator; queue names like
+// "binary CAM" need flattening first.
+std::string metric_key(std::string name) {
+    for (char& c : name)
+        if (c == ' ' || c == '-' || c == '.') c = '_';
+    return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("sort_vs_search", argc, argv);
     std::printf("== A3: sort model vs search model — serving-path accesses ==\n\n");
 
     const QueueKind kinds[] = {QueueKind::MultibitTree, QueueKind::Heap,
@@ -54,10 +68,18 @@ int main() {
                        TextTable::num(pop_cost.quantile(0.99), 1),
                        TextTable::num(worst_pop),
                        TextTable::num(q->stats().worst_insert_accesses)});
+        auto& reg = reporter.registry();
+        const std::string base = "a3." + metric_key(q->name()) + ".";
+        reg.gauge(base + "pop_accesses_p50").set(pop_cost.quantile(0.5));
+        reg.gauge(base + "pop_accesses_p99").set(pop_cost.quantile(0.99));
+        reg.counter(base + "pop_accesses_worst").inc(worst_pop);
+        reg.counter(base + "insert_accesses_worst")
+            .inc(q->stats().worst_insert_accesses);
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("expected shape: sort-model structures serve in near-constant\n");
     std::printf("accesses (the tree's retrieval is a head read + bounded cleanup);\n");
     std::printf("search-model structures show a long tail up to their worst case.\n");
+    reporter.finish();
     return 0;
 }

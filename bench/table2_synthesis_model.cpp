@@ -9,16 +9,19 @@
 // the cycle-accurate sorter to confirm the per-stage cycle budgets behind
 // the 4-cycle initiation interval.
 #include <cstdio>
+#include <iterator>
 
 #include "common/rng.hpp"
 #include "core/synthesis_model.hpp"
 #include "core/tag_sorter.hpp"
 #include "hw/simulation.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace wfqs;
 using namespace wfqs::core;
 
-int main() {
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("table2_synthesis_model", argc, argv);
     std::printf("== Table II substitute: synthesis model (130-nm calibration) ==\n\n");
 
     struct Variant {
@@ -34,10 +37,19 @@ int main() {
          {tree::TreeGeometry::binary(12), std::size_t{1} << 20, 24}},
     };
 
-    for (const auto& v : variants) {
+    const char* variant_keys[] = {"paper_12bit", "variant_15bit", "binary_12bit"};
+    for (std::size_t i = 0; i < std::size(variants); ++i) {
+        const auto& v = variants[i];
         const SynthesisReport r =
             synthesize(v.config, matcher::MatcherKind::SelectLookahead);
         std::printf("-- %s --\n%s\n", v.label, format_synthesis_report(r).c_str());
+        const std::string base = std::string("t2.") + variant_keys[i] + ".";
+        auto& reg = reporter.registry();
+        reg.counter(base + "tree_memory_bits").inc(r.tree_memory_bits);
+        reg.counter(base + "translation_memory_bits").inc(r.translation_memory_bits);
+        reg.gauge(base + "logic_area_ge").set(r.logic_area_ge);
+        reg.gauge(base + "clock_mhz").set(r.clock_mhz);
+        reg.gauge(base + "mpps").set(r.mpps);
     }
 
     std::printf("Paper §IV claims: >35.8 Mpps, 40 Gb/s at 140-byte packets,\n");
@@ -48,6 +60,8 @@ int main() {
     // figure divides the clock by.
     hw::Simulation sim;
     TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
+    sorter.register_metrics(reporter.registry());
+    sim.register_metrics(reporter.registry());
     Rng rng(7);
     sorter.insert(0, 0);
     for (int i = 0; i < 20000; ++i)
@@ -62,5 +76,6 @@ int main() {
                 static_cast<unsigned long long>(stats.worst_insert_cycles));
     std::printf("  pipelined initiation interval: 4 cycles (tree stage == list\n");
     std::printf("  stage == 4; see DESIGN.md S5 on stage overlap)\n");
+    reporter.finish();
     return 0;
 }

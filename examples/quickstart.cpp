@@ -14,9 +14,17 @@
 
 #include "core/tag_sorter.hpp"
 #include "hw/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 int main() {
     wfqs::hw::Simulation sim;
+
+    // Observability: a tracer timestamps every sorter operation with the
+    // simulated clock (1 trace-µs = 1 cycle); the resulting JSON loads
+    // directly into chrome://tracing or https://ui.perfetto.dev.
+    wfqs::obs::Tracer tracer(&sim.clock());
+    wfqs::obs::Tracer::install(&tracer);
 
     // The paper's silicon geometry: 3 levels x 4-bit literals = 12-bit
     // tags, 16-way branching; a 4096-slot external tag store.
@@ -55,5 +63,19 @@ int main() {
         std::printf("  %-18s %6llu words x %2u bits\n", mem->name().c_str(),
                     static_cast<unsigned long long>(mem->num_words()),
                     mem->word_bits());
+
+    // Metrics snapshot: the sorter and the SRAM inventory register live
+    // views; the table below is rendered from the same registry a bench
+    // would export with --json.
+    wfqs::obs::MetricsRegistry registry;
+    sorter.register_metrics(registry);
+    sim.register_metrics(registry);
+    std::printf("\nmetrics snapshot:\n%s", registry.to_table().c_str());
+
+    wfqs::obs::Tracer::install(nullptr);
+    tracer.save("quickstart_trace.json");
+    std::printf("\nwrote quickstart_trace.json (%zu events) — open it in\n",
+                tracer.event_count());
+    std::printf("chrome://tracing or https://ui.perfetto.dev\n");
     return 0;
 }

@@ -72,6 +72,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+    if (std::isnan(x)) {
+        // static_cast of NaN to an integer is UB; count it separately
+        // instead of crediting an arbitrary bin.
+        ++nan_rejects_;
+        return;
+    }
     const double span = hi_ - lo_;
     double idx = (x - lo_) / span * static_cast<double>(counts_.size());
     if (idx < 0) idx = 0;
@@ -90,6 +96,7 @@ double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 void Histogram::reset() {
     std::fill(counts_.begin(), counts_.end(), 0);
     total_ = 0;
+    nan_rejects_ = 0;
 }
 
 std::string Histogram::ascii_bars(std::size_t height) const {

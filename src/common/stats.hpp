@@ -46,13 +46,16 @@ private:
 };
 
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp into the
-/// first/last bin. Used to reproduce the Fig. 6 tag-value distribution.
+/// first/last bin. NaN samples are rejected into a dedicated counter —
+/// casting NaN to an index is UB and would land in an arbitrary bin.
+/// Used to reproduce the Fig. 6 tag-value distribution.
 class Histogram {
 public:
     Histogram(double lo, double hi, std::size_t bins);
 
     void add(double x);
     std::uint64_t total() const { return total_; }
+    std::uint64_t nan_rejects() const { return nan_rejects_; }
     std::size_t bin_count() const { return counts_.size(); }
     std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
     double bin_lo(std::size_t i) const;
@@ -67,6 +70,7 @@ private:
     double hi_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+    std::uint64_t nan_rejects_ = 0;
 };
 
 }  // namespace wfqs

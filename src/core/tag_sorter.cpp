@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "obs/tracer.hpp"
 
 namespace wfqs::core {
 
@@ -103,7 +104,31 @@ void TagSorter::advance_window(std::uint64_t new_head_physical) {
     }
 }
 
+void TagSorter::register_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+    const auto cnt = [&](const char* name, const std::uint64_t SorterStats::*field) {
+        registry.register_counter_fn(prefix + "." + name,
+                                     [this, field] { return stats_.*field; });
+    };
+    cnt("inserts", &SorterStats::inserts);
+    cnt("pops", &SorterStats::pops);
+    cnt("combined_ops", &SorterStats::combined_ops);
+    cnt("duplicate_inserts", &SorterStats::duplicate_inserts);
+    cnt("marker_retirements", &SorterStats::marker_retirements);
+    cnt("sector_invalidations", &SorterStats::sector_invalidations);
+    cnt("wrap_fallback_searches", &SorterStats::wrap_fallback_searches);
+    cnt("head_undercuts", &SorterStats::head_undercuts);
+    cnt("worst_insert_cycles", &SorterStats::worst_insert_cycles);
+    cnt("worst_pop_cycles", &SorterStats::worst_pop_cycles);
+    registry.register_gauge_fn(prefix + ".occupancy",
+                               [this] { return static_cast<double>(size()); });
+    registry.register_histogram(prefix + ".insert_cycles", &insert_cycles_hist_);
+    registry.register_histogram(prefix + ".pop_cycles", &pop_cycles_hist_);
+    registry.register_histogram(prefix + ".combined_cycles", &combined_cycles_hist_);
+}
+
 void TagSorter::insert(std::uint64_t tag, std::uint32_t payload) {
+    WFQS_TRACE_SPAN("sorter.insert", "sorter");
     if (full()) throw std::overflow_error("TagSorter: tag memory full");
     validate_incoming(tag);
     const std::uint64_t t0 = clock_.now();
@@ -138,6 +163,7 @@ void TagSorter::insert(std::uint64_t tag, std::uint32_t payload) {
     const std::uint64_t cycles = clock_.now() - t0;
     stats_.insert_cycles_total += cycles;
     stats_.worst_insert_cycles = std::max(stats_.worst_insert_cycles, cycles);
+    insert_cycles_hist_.record(static_cast<double>(cycles));
 }
 
 std::optional<SortedTag> TagSorter::peek_min() const {
@@ -148,6 +174,7 @@ std::optional<SortedTag> TagSorter::peek_min() const {
 
 std::optional<SortedTag> TagSorter::pop_min() {
     if (empty()) return std::nullopt;
+    WFQS_TRACE_SPAN("sorter.pop_min", "sorter");
     const std::uint64_t t0 = clock_.now();
 
     const std::optional<std::uint64_t> second = store_.peek_second_tag();
@@ -168,10 +195,12 @@ std::optional<SortedTag> TagSorter::pop_min() {
     const std::uint64_t cycles = clock_.now() - t0;
     stats_.pop_cycles_total += cycles;
     stats_.worst_pop_cycles = std::max(stats_.worst_pop_cycles, cycles);
+    pop_cycles_hist_.record(static_cast<double>(cycles));
     return result;
 }
 
 SortedTag TagSorter::insert_and_pop(std::uint64_t tag, std::uint32_t payload) {
+    WFQS_TRACE_SPAN("sorter.insert_and_pop", "sorter");
     WFQS_REQUIRE(!empty(), "insert_and_pop needs a non-empty sorter");
     validate_incoming(tag);
     const std::uint64_t t0 = clock_.now();
@@ -224,6 +253,7 @@ SortedTag TagSorter::insert_and_pop(std::uint64_t tag, std::uint32_t payload) {
     const std::uint64_t cycles = clock_.now() - t0;
     stats_.insert_cycles_total += cycles;
     stats_.worst_insert_cycles = std::max(stats_.worst_insert_cycles, cycles);
+    combined_cycles_hist_.record(static_cast<double>(cycles));
     return result;
 }
 

@@ -30,6 +30,7 @@
 
 #include "hw/simulation.hpp"
 #include "matcher/matcher.hpp"
+#include "obs/metrics.hpp"
 #include "storage/linked_tag_store.hpp"
 #include "storage/translation_table.hpp"
 #include "tree/multibit_tree.hpp"
@@ -117,6 +118,19 @@ public:
     const storage::LinkedTagStore& store() const { return store_; }
     const storage::TranslationTable& table() const { return table_; }
 
+    /// Per-operation latency distributions in clock cycles, one bin per
+    /// cycle. Always maintained (a handful of adds per op); the registry
+    /// hook below exposes them without copying.
+    const obs::CycleHistogram& insert_cycles() const { return insert_cycles_hist_; }
+    const obs::CycleHistogram& pop_cycles() const { return pop_cycles_hist_; }
+    const obs::CycleHistogram& combined_cycles() const { return combined_cycles_hist_; }
+
+    /// Register every SorterStats counter and the three cycle histograms
+    /// as `<prefix>.*` views in `registry` (snapshot-time sampling; the
+    /// registry must not outlive this sorter).
+    void register_metrics(obs::MetricsRegistry& registry,
+                          const std::string& prefix = "sorter") const;
+
 private:
     std::uint64_t to_physical(std::uint64_t logical) const;
     void validate_incoming(std::uint64_t logical) const;
@@ -140,6 +154,11 @@ private:
     std::uint64_t max_logical_ = 0;   ///< largest live logical tag
     unsigned lead_sector_ = 0;        ///< root sector containing the head
     SorterStats stats_;
+    // Worst observed op is ~13 cycles; 32 one-cycle bins leave headroom
+    // for deeper geometries while keeping the distribution exact.
+    obs::CycleHistogram insert_cycles_hist_{0.0, 32.0, 32};
+    obs::CycleHistogram pop_cycles_hist_{0.0, 32.0, 32};
+    obs::CycleHistogram combined_cycles_hist_{0.0, 32.0, 32};
 };
 
 }  // namespace wfqs::core

@@ -1,5 +1,7 @@
 #include "hw/simulation.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace wfqs::hw {
 
 Sram& Simulation::make_sram(std::string name, std::size_t num_words, unsigned word_bits,
@@ -27,6 +29,31 @@ std::uint64_t Simulation::total_memory_bits() const {
 
 void Simulation::reset_stats() {
     for (const auto& m : memories_) m->reset_stats();
+}
+
+void Simulation::register_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) const {
+    registry.register_counter_fn("hw.cycles", [this] { return clock_.now(); });
+    for (const auto& owned : memories_) {
+        const Sram* m = owned.get();
+        const std::string base = prefix + "." + m->name() + ".";
+        registry.register_counter_fn(base + "reads",
+                                     [m] { return m->stats().reads; });
+        registry.register_counter_fn(base + "writes",
+                                     [m] { return m->stats().writes; });
+        registry.register_counter_fn(base + "flash_clears",
+                                     [m] { return m->stats().flash_clears; });
+        registry.register_counter_fn(base + "peak_per_cycle", [m] {
+            return static_cast<std::uint64_t>(m->peak_accesses_per_cycle());
+        });
+        registry.register_counter_fn(base + "capacity_bits",
+                                     [m] { return m->bit_capacity(); });
+    }
+    registry.register_counter_fn(prefix + ".total.accesses", [this] {
+        return total_memory_stats().total();
+    });
+    registry.register_counter_fn(prefix + ".total.capacity_bits",
+                                 [this] { return total_memory_bits(); });
 }
 
 }  // namespace wfqs::hw

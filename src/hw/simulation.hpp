@@ -15,6 +15,10 @@
 #include "hw/clock.hpp"
 #include "hw/sram.hpp"
 
+namespace wfqs::obs {
+class MetricsRegistry;
+}
+
 namespace wfqs::hw {
 
 class Simulation {
@@ -31,6 +35,16 @@ public:
     /// Aggregate statistics across every memory block.
     SramStats total_memory_stats() const;
     std::uint64_t total_memory_bits() const;
+
+    /// Expose the whole inventory to a metrics registry as read-through
+    /// views: `<prefix>.<sram-name>.{reads,writes,flash_clears,
+    /// peak_per_cycle,capacity_bits}` per block, `<prefix>.total.*`
+    /// aggregates, and `hw.cycles` for the clock. Snapshot-time sampling —
+    /// the datapath is untouched. The registry must not outlive this
+    /// simulation. Memories created after the call are not covered;
+    /// register after circuit construction.
+    void register_metrics(obs::MetricsRegistry& registry,
+                          const std::string& prefix = "sram") const;
 
     void reset_stats();
 

@@ -4,9 +4,12 @@
 #include <queue>
 
 #include "common/assert.hpp"
+#include "obs/tracer.hpp"
 
 namespace wfqs::net {
 namespace {
+
+constexpr double ns_to_trace_us(TimeNs t) { return static_cast<double>(t) / 1000.0; }
 
 struct PendingArrival {
     TimeNs time;
@@ -25,8 +28,26 @@ SimDriver::SimDriver(std::uint64_t link_rate_bps) : rate_(link_rate_bps) {
     WFQS_REQUIRE(link_rate_bps > 0, "link rate must be positive");
 }
 
+void SimDriver::attach_metrics(obs::MetricsRegistry& registry) {
+    metrics_ = &registry;
+    // Create the metrics up front so an idle run still exports them.
+    registry.counter("net.offered_packets");
+    registry.counter("net.dropped_packets");
+    registry.counter("net.delivered_packets");
+    // Delay distribution: 0–10 ms in 10 µs bins (outliers clamp into the
+    // last bin; exact min/mean/max come from the embedded RunningStats).
+    registry.histogram("net.delay_us", 0.0, 10'000.0, 1000);
+}
+
 SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flows) {
     SimResult result;
+    // Resolve metric handles once; the per-packet path must not pay a
+    // name lookup.
+    obs::Counter* m_offered = metrics_ ? &metrics_->counter("net.offered_packets") : nullptr;
+    obs::Counter* m_dropped = metrics_ ? &metrics_->counter("net.dropped_packets") : nullptr;
+    obs::Counter* m_delivered =
+        metrics_ ? &metrics_->counter("net.delivered_packets") : nullptr;
+    obs::CycleHistogram* m_delay = metrics_ ? &metrics_->histogram("net.delay_us") : nullptr;
     std::priority_queue<PendingArrival, std::vector<PendingArrival>,
                         std::greater<PendingArrival>>
         arrivals;
@@ -51,7 +72,13 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
                          a.size_bytes, a.time};
         result.all_arrivals.push_back(pkt);
         ++result.offered_packets;
-        if (!sched.enqueue(pkt, a.time)) ++result.dropped_packets;
+        WFQS_TRACE_INSTANT("arrival", "net", ns_to_trace_us(a.time));
+        if (m_offered) m_offered->inc();
+        if (!sched.enqueue(pkt, a.time)) {
+            ++result.dropped_packets;
+            WFQS_TRACE_INSTANT("drop", "net", ns_to_trace_us(a.time));
+            if (m_dropped) m_dropped->inc();
+        }
         if (const auto next = flows[a.source].source->next()) {
             WFQS_ASSERT_MSG(next->time_ns >= a.time,
                             "traffic source went backwards in time");
@@ -75,6 +102,11 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
         WFQS_ASSERT_MSG(pkt.has_value(), "scheduler claimed packets but gave none");
         const TimeNs done = service_start + transmission_ns(pkt->size_bytes, rate_);
         result.records.push_back(PacketRecord{*pkt, service_start, done});
+        WFQS_TRACE_INSTANT("departure", "net", ns_to_trace_us(done));
+        if (m_delivered) {
+            m_delivered->inc();
+            m_delay->record(static_cast<double>(done - pkt->arrival_ns) / 1000.0);
+        }
         result.last_departure_ns = done;
         link_free_at = done;
     }

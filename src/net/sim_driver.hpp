@@ -10,6 +10,7 @@
 
 #include "net/packet.hpp"
 #include "net/traffic_gen.hpp"
+#include "obs/metrics.hpp"
 #include "scheduler/scheduler.hpp"
 
 namespace wfqs::net {
@@ -26,13 +27,22 @@ class SimDriver {
 public:
     explicit SimDriver(std::uint64_t link_rate_bps);
 
+    /// Count arrivals/drops/departures and record the per-packet delay
+    /// distribution (microseconds) into `registry` under `net.*` during
+    /// run(). The registry must outlive the driver's last run.
+    void attach_metrics(obs::MetricsRegistry& registry);
+
     /// Registers every flow with the scheduler (in order — flow ids are
     /// the indices of `flows`) and runs to completion: all arrivals
-    /// delivered and the scheduler drained.
+    /// delivered and the scheduler drained. When a Tracer is installed
+    /// (obs::Tracer::install), every arrival, drop, and departure is
+    /// emitted as an instant event stamped with packet time
+    /// (1 trace-us = 1 simulated us).
     SimResult run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flows);
 
 private:
     std::uint64_t rate_;
+    obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace wfqs::net

@@ -1,0 +1,81 @@
+#include "obs/bench_io.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+
+namespace wfqs::obs {
+
+namespace {
+
+bool is_directory(const std::string& path) {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::string expand_dir(const std::string& raw, const std::string& bench_name) {
+    if (raw.empty()) return raw;
+    if (raw.back() == '/' || is_directory(raw)) {
+        const std::string sep = raw.back() == '/' ? "" : "/";
+        return raw + sep + "BENCH_" + bench_name + ".json";
+    }
+    return raw;
+}
+
+}  // namespace
+
+std::optional<std::string> bench_json_path(const std::string& bench_name,
+                                           int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--json") == 0) {
+            // argv parsing in a CLI: report and exit instead of an
+            // uncaught throw aborting through std::terminate.
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --json needs a path argument\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            return expand_dir(argv[i + 1], bench_name);
+        }
+        if (std::strncmp(a, "--json=", 7) == 0)
+            return expand_dir(a + 7, bench_name);
+    }
+    if (const char* env = std::getenv("WFQS_METRICS_JSON"); env && *env)
+        return expand_dir(env, bench_name);
+    return std::nullopt;
+}
+
+void write_bench_json(const MetricsRegistry& registry,
+                      const std::string& bench_name, const std::string& path) {
+    std::ofstream os(path);
+    WFQS_REQUIRE(os.good(), "cannot open metrics output file '" + path + "'");
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("bench", bench_name);
+    w.field("schema", std::uint64_t{1});
+    w.key("metrics");
+    registry.write_json(w);
+    w.end_object();
+    os << '\n';
+}
+
+void BenchReporter::finish() {
+    if (!path_) return;
+    try {
+        write_bench_json(registry_, name_, *path_);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "[metrics] export failed: %s\n", e.what());
+        std::exit(2);
+    }
+    std::printf("[metrics] wrote %s (%zu metrics)\n", path_->c_str(),
+                registry_.size());
+}
+
+}  // namespace wfqs::obs

@@ -1,0 +1,55 @@
+// Machine-readable export for the bench binaries.
+//
+// Every bench keeps printing its human-readable tables, and additionally
+// accepts
+//
+//     <bench> --json <path>        (also --json=<path>)
+//     WFQS_METRICS_JSON=<path>     (env; a directory — trailing '/' or an
+//                                   existing dir — expands to
+//                                   <dir>/BENCH_<name>.json)
+//
+// to write its MetricsRegistry snapshot as JSON. The emitted document is
+//
+//     {"bench": <name>, "schema": 1, "metrics": {counters, gauges,
+//      histograms}}
+//
+// with sorted metric names, so committed BENCH_*.json artifacts diff
+// cleanly between runs and feed the perf trajectory.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace wfqs::obs {
+
+/// Resolve the export path from argv/env as described above; nullopt
+/// means "no export requested".
+std::optional<std::string> bench_json_path(const std::string& bench_name,
+                                           int argc, char** argv);
+
+/// Write the snapshot document to `path`.
+void write_bench_json(const MetricsRegistry& registry,
+                      const std::string& bench_name, const std::string& path);
+
+/// The one-liner benches use: registry + "did the run ask for JSON?".
+/// finish() exports if a path was requested and reports where.
+class BenchReporter {
+public:
+    BenchReporter(std::string bench_name, int argc, char** argv)
+        : name_(std::move(bench_name)), path_(bench_json_path(name_, argc, argv)) {}
+
+    MetricsRegistry& registry() { return registry_; }
+    const std::optional<std::string>& path() const { return path_; }
+
+    /// Export (if requested) and print a one-line note to stdout.
+    void finish();
+
+private:
+    std::string name_;
+    std::optional<std::string> path_;
+    MetricsRegistry registry_;
+};
+
+}  // namespace wfqs::obs

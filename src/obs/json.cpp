@@ -1,0 +1,127 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace wfqs::obs {
+
+void JsonWriter::pre_value() {
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        WFQS_ASSERT_MSG(stack_.back() == Ctx::Array,
+                        "JSON object members need a key() before the value");
+        if (!first_.back()) os_ << ',';
+        first_.back() = false;
+    }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    pre_value();
+    os_ << '{';
+    stack_.push_back(Ctx::Object);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    WFQS_ASSERT(!stack_.empty() && stack_.back() == Ctx::Object);
+    os_ << '}';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    pre_value();
+    os_ << '[';
+    stack_.push_back(Ctx::Array);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    WFQS_ASSERT(!stack_.empty() && stack_.back() == Ctx::Array);
+    os_ << ']';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    WFQS_ASSERT_MSG(!stack_.empty() && stack_.back() == Ctx::Object,
+                    "JSON key() outside of an object");
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+    os_ << '"' << escape(k) << "\":";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+    pre_value();
+    os_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    if (!std::isfinite(v)) return null();
+    pre_value();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    pre_value();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    pre_value();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    pre_value();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+    pre_value();
+    os_ << "null";
+    return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace wfqs::obs

@@ -1,0 +1,55 @@
+// Minimal streaming JSON writer for telemetry export (metrics snapshots,
+// Chrome trace-event files). Deliberately tiny: objects, arrays, scalar
+// values, automatic comma placement, RFC 8259 string escaping. Keys are
+// emitted in the order given by the caller — MetricsRegistry sorts its
+// metric names so exported snapshots diff cleanly run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfqs::obs {
+
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Emit an object key; must be followed by a value or container open.
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(double v);  ///< NaN/Inf are not JSON: emitted as null
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(bool v);
+    JsonWriter& null();
+
+    /// key + scalar in one call.
+    template <typename T>
+    JsonWriter& field(std::string_view k, const T& v) {
+        key(k);
+        return value(v);
+    }
+
+    static std::string escape(std::string_view s);
+
+private:
+    void pre_value();  ///< comma bookkeeping before any value/open
+
+    enum class Ctx { Object, Array };
+    std::ostream& os_;
+    std::vector<Ctx> stack_;
+    std::vector<bool> first_;
+    bool after_key_ = false;
+};
+
+}  // namespace wfqs::obs

@@ -1,0 +1,127 @@
+// MetricsRegistry: one named place for every counter, gauge, and
+// cycle-latency histogram the simulated circuit produces, with uniform
+// JSON and plain-table snapshot export.
+//
+// Two registration styles, matching how the codebase already keeps its
+// numbers:
+//
+//   * owned metrics — `registry.counter("drops").inc()` — for code that
+//     has no tally of its own (benches, examples);
+//   * views — `register_counter_fn`, `register_histogram` — read-through
+//     adapters over tallies a component already maintains (SorterStats
+//     fields, SramStats, scheduler counters). The component stays the
+//     single writer; the registry samples at snapshot time, so attaching
+//     a registry adds zero cost to the hot path.
+//
+// Snapshots sort metric names so exported JSON diffs cleanly between
+// runs — the property the BENCH_*.json perf-trajectory artifacts rely on.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace wfqs::obs {
+
+class JsonWriter;
+
+/// Monotonic event count.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Point-in-time scalar.
+class Gauge {
+public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+private:
+    double value_ = 0.0;
+};
+
+/// Latency distribution in clock cycles: exact streaming moments
+/// (RunningStats) plus fixed bins (Histogram) for approximate quantiles.
+/// The default geometry — one bin per cycle over [0, 64) — makes the
+/// per-cycle distribution of the paper's 4-cycle pipeline stages exact.
+class CycleHistogram {
+public:
+    CycleHistogram(double lo = 0.0, double hi = 64.0, std::size_t bins = 64)
+        : hist_(lo, hi, bins) {}
+
+    void record(double v) {
+        if (std::isnan(v)) {
+            hist_.add(v);  // lands in the histogram's NaN-reject counter
+            return;
+        }
+        stats_.add(v);
+        hist_.add(v);
+    }
+
+    const RunningStats& stats() const { return stats_; }
+    const Histogram& bins() const { return hist_; }
+
+    /// Quantile estimated from the bins (upper edge of the covering bin,
+    /// clamped to the exact max). Good to ±1 bin width.
+    double approx_quantile(double q) const;
+
+    void write_json(JsonWriter& w) const;
+
+private:
+    RunningStats stats_;
+    Histogram hist_;
+};
+
+class MetricsRegistry {
+public:
+    // -- owned metrics (find-or-create by name) ---------------------------
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    CycleHistogram& histogram(const std::string& name, double lo = 0.0,
+                              double hi = 64.0, std::size_t bins = 64);
+
+    // -- views over component-owned tallies -------------------------------
+    // Callables are sampled at snapshot time, so the component they read
+    // must outlive the last snapshot taken from this registry.
+    void register_counter_fn(const std::string& name,
+                             std::function<std::uint64_t()> fn);
+    void register_gauge_fn(const std::string& name, std::function<double()> fn);
+    /// Non-owning histogram view; `h` must outlive the last snapshot.
+    void register_histogram(const std::string& name, const CycleHistogram* h);
+
+    // -- snapshot export ---------------------------------------------------
+    /// Flat sorted name → value maps, resolving views.
+    std::map<std::string, std::uint64_t> counter_values() const;
+    std::map<std::string, double> gauge_values() const;
+    std::map<std::string, const CycleHistogram*> histograms() const;
+
+    bool contains(const std::string& name) const;
+    std::size_t size() const;
+
+    /// {"counters":{...},"gauges":{...},"histograms":{...}}
+    void write_json(JsonWriter& w) const;
+    std::string to_json() const;
+    /// Human-readable snapshot (TextTable): one row per metric.
+    std::string to_table() const;
+
+private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<CycleHistogram>> owned_histograms_;
+    std::map<std::string, std::function<std::uint64_t()>> counter_fns_;
+    std::map<std::string, std::function<double()>> gauge_fns_;
+    std::map<std::string, const CycleHistogram*> histogram_views_;
+};
+
+}  // namespace wfqs::obs

@@ -1,0 +1,109 @@
+#include "obs/tracer.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "hw/clock.hpp"
+#include "obs/json.hpp"
+
+namespace wfqs::obs {
+
+Tracer* Tracer::current_ = nullptr;
+
+Tracer::~Tracer() {
+    if (current_ == this) current_ = nullptr;
+}
+
+std::uint64_t Tracer::now_cycles() const { return clock_ ? clock_->now() : 0; }
+
+std::uint64_t Tracer::wall_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void Tracer::begin_span(const char* name, const char* category) {
+    open_.push_back(OpenSpan{name, category,
+                             clock_ ? clock_->now() : wall_ns() / 1000,
+                             wall_ns()});
+}
+
+void Tracer::end_span() {
+    WFQS_ASSERT_MSG(!open_.empty(), "Tracer::end_span with no open span");
+    const OpenSpan s = open_.back();
+    open_.pop_back();
+    const std::uint64_t end_cycle = clock_ ? clock_->now() : wall_ns() / 1000;
+    events_.push_back(Event{s.name, s.category, 'X',
+                            static_cast<double>(s.begin_cycle),
+                            static_cast<double>(end_cycle - s.begin_cycle),
+                            s.begin_wall_ns, wall_ns() - s.begin_wall_ns, 0.0});
+}
+
+void Tracer::instant(const char* name, const char* category, double ts_us) {
+    events_.push_back(Event{name, category, 'i', ts_us, 0.0, wall_ns(), 0, 0.0});
+}
+
+void Tracer::counter(const char* name, double ts_us, double value) {
+    events_.push_back(Event{name, "counter", 'C', ts_us, 0.0, wall_ns(), 0, value});
+}
+
+void Tracer::clear() {
+    events_.clear();
+    open_.clear();
+}
+
+void Tracer::write_json(std::ostream& os) {
+    while (!open_.empty()) end_span();
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("traceEvents").begin_array();
+    for (const Event& e : events_) {
+        w.begin_object();
+        w.field("name", e.name);
+        w.field("cat", e.category);
+        w.field("ph", std::string(1, e.phase));
+        w.field("ts", e.ts_us);
+        if (e.phase == 'X') w.field("dur", e.dur_us);
+        w.field("pid", std::uint64_t{1});
+        w.field("tid", std::uint64_t{1});
+        w.key("args").begin_object();
+        if (e.phase == 'X') {
+            w.field("wall_ns", e.wall_ns);
+            w.field("wall_dur_ns", e.wall_dur_ns);
+        } else if (e.phase == 'C') {
+            w.field("value", e.value);
+        }
+        w.end_object();
+        w.end_object();
+    }
+    // Name the process track after the timebase so the viewer reads
+    // "1 trace-us = 1 clock cycle" without guessing.
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", std::uint64_t{1});
+    w.key("args").begin_object();
+    w.field("name", clock_ ? "circuit (1us = 1 cycle)" : "host (wall time)");
+    w.end_object();
+    w.end_object();
+    w.end_array();
+    w.field("displayTimeUnit", "ns");
+    w.end_object();
+}
+
+std::string Tracer::to_json() {
+    std::ostringstream os;
+    write_json(os);
+    return os.str();
+}
+
+void Tracer::save(const std::string& path) {
+    std::ofstream os(path);
+    WFQS_REQUIRE(os.good(), "cannot open trace output file '" + path + "'");
+    write_json(os);
+}
+
+}  // namespace wfqs::obs

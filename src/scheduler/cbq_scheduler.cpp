@@ -28,7 +28,7 @@ net::FlowId CbqScheduler::add_flow(std::uint32_t weight) {
     return add_flow_to_class(add_class(weight), 1);
 }
 
-bool CbqScheduler::enqueue(const net::Packet& packet, net::TimeNs /*now*/) {
+bool CbqScheduler::do_enqueue(const net::Packet& packet, net::TimeNs /*now*/) {
     WFQS_REQUIRE(packet.flow < flows_.size(), "unknown flow");
     const auto ref = buffer_.store(packet);
     if (!ref) return false;
@@ -89,7 +89,7 @@ std::optional<net::Packet> CbqScheduler::serve_from_class(std::uint32_t cid) {
     return std::nullopt;
 }
 
-std::optional<net::Packet> CbqScheduler::dequeue(net::TimeNs /*now*/) {
+std::optional<net::Packet> CbqScheduler::do_dequeue(net::TimeNs /*now*/) {
     while (!active_classes_.empty()) {
         const std::uint32_t cid = active_classes_.front();
         Class& c = classes_[cid];

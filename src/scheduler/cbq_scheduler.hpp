@@ -30,8 +30,8 @@ public:
     /// same weight holding just this flow (degenerates to plain DRR).
     net::FlowId add_flow(std::uint32_t weight) override;
 
-    bool enqueue(const net::Packet& packet, net::TimeNs now) override;
-    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    bool do_enqueue(const net::Packet& packet, net::TimeNs now) override;
+    std::optional<net::Packet> do_dequeue(net::TimeNs now) override;
 
     bool has_packets() const override { return queued_ > 0; }
     std::size_t queued_packets() const override { return queued_; }

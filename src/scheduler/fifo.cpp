@@ -9,14 +9,14 @@ net::FlowId FifoScheduler::add_flow(std::uint32_t /*weight*/) {
     return flow_count_++;  // FIFO ignores weights
 }
 
-bool FifoScheduler::enqueue(const net::Packet& packet, net::TimeNs /*now*/) {
+bool FifoScheduler::do_enqueue(const net::Packet& packet, net::TimeNs /*now*/) {
     const auto ref = buffer_.store(packet);
     if (!ref) return false;
     q_.push_back(*ref);
     return true;
 }
 
-std::optional<net::Packet> FifoScheduler::dequeue(net::TimeNs /*now*/) {
+std::optional<net::Packet> FifoScheduler::do_dequeue(net::TimeNs /*now*/) {
     if (q_.empty()) return std::nullopt;
     const BufferRef ref = q_.front();
     q_.pop_front();

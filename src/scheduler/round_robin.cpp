@@ -18,7 +18,7 @@ net::FlowId PerFlowScheduler::add_flow(std::uint32_t weight) {
     return static_cast<net::FlowId>(flows_.size() - 1);
 }
 
-bool PerFlowScheduler::enqueue(const net::Packet& packet, net::TimeNs /*now*/) {
+bool PerFlowScheduler::do_enqueue(const net::Packet& packet, net::TimeNs /*now*/) {
     WFQS_REQUIRE(packet.flow < flows_.size(), "unknown flow");
     const auto ref = buffer_.store(packet);
     if (!ref) return false;
@@ -43,7 +43,7 @@ net::Packet PerFlowScheduler::serve_head(net::FlowId f) {
 
 // ------------------------------------------------------------------- WRR
 
-std::optional<net::Packet> WrrScheduler::dequeue(net::TimeNs /*now*/) {
+std::optional<net::Packet> WrrScheduler::do_dequeue(net::TimeNs /*now*/) {
     if (queued_ == 0) return std::nullopt;
     credits_.resize(flows_.size(), 0);
     // Two sweeps: first spend remaining credits, then start a new round.
@@ -83,7 +83,7 @@ void DrrScheduler::on_backlogged(net::FlowId f) {
     }
 }
 
-std::optional<net::Packet> DrrScheduler::dequeue(net::TimeNs /*now*/) {
+std::optional<net::Packet> DrrScheduler::do_dequeue(net::TimeNs /*now*/) {
     while (!active_.empty()) {
         const net::FlowId f = active_.front();
         if (flows_[f].q.empty()) {
@@ -135,7 +135,7 @@ void MdrrScheduler::on_backlogged(net::FlowId f) {
     }
 }
 
-std::optional<net::Packet> MdrrScheduler::dequeue(net::TimeNs /*now*/) {
+std::optional<net::Packet> MdrrScheduler::do_dequeue(net::TimeNs /*now*/) {
     // Strict-priority low-latency queue first (the Cisco VoIP queue).
     if (priority_flow_ < flows_.size() && !flows_[priority_flow_].q.empty())
         return serve_head(priority_flow_);
@@ -202,7 +202,7 @@ void SrrScheduler::on_backlogged(net::FlowId f) {
     }
 }
 
-std::optional<net::Packet> SrrScheduler::dequeue(net::TimeNs /*now*/) {
+std::optional<net::Packet> SrrScheduler::do_dequeue(net::TimeNs /*now*/) {
     while (!active_strata_.empty()) {
         const std::size_t k = active_strata_.front();
         Stratum& s = strata_[k];

@@ -31,7 +31,7 @@ public:
     explicit PerFlowScheduler(const SharedPacketBuffer::Config& buffer = {});
 
     net::FlowId add_flow(std::uint32_t weight) override;
-    bool enqueue(const net::Packet& packet, net::TimeNs now) override;
+    bool do_enqueue(const net::Packet& packet, net::TimeNs now) override;
     bool has_packets() const override { return queued_ > 0; }
     std::size_t queued_packets() const override { return queued_; }
 
@@ -58,7 +58,7 @@ protected:
 class WrrScheduler final : public PerFlowScheduler {
 public:
     using PerFlowScheduler::PerFlowScheduler;
-    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    std::optional<net::Packet> do_dequeue(net::TimeNs now) override;
     std::string name() const override { return "WRR"; }
 
 protected:
@@ -73,7 +73,7 @@ class DrrScheduler final : public PerFlowScheduler {
 public:
     explicit DrrScheduler(std::uint32_t quantum_bytes = 1500,
                           const SharedPacketBuffer::Config& buffer = {});
-    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    std::optional<net::Packet> do_dequeue(net::TimeNs now) override;
     std::string name() const override { return "DRR"; }
 
 protected:
@@ -96,7 +96,7 @@ public:
     /// default; override with this.
     void set_priority_flow(net::FlowId f);
 
-    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    std::optional<net::Packet> do_dequeue(net::TimeNs now) override;
     std::string name() const override { return "MDRR"; }
 
 protected:
@@ -116,7 +116,7 @@ public:
     explicit SrrScheduler(std::uint32_t quantum_bytes = 1500,
                           const SharedPacketBuffer::Config& buffer = {});
     net::FlowId add_flow(std::uint32_t weight) override;
-    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    std::optional<net::Packet> do_dequeue(net::TimeNs now) override;
     std::string name() const override { return "SRR"; }
 
     std::size_t stratum_count() const { return strata_.size(); }

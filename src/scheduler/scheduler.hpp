@@ -1,5 +1,13 @@
 // Abstract packet scheduler driven by the simulation loop: packets are
 // enqueued on arrival and dequeued whenever the output link is free.
+//
+// The public enqueue/dequeue entry points are non-virtual wrappers that
+// maintain a uniform set of telemetry counters for every implementation
+// (offered/rejected/served packets and bytes); concrete schedulers
+// override the protected do_enqueue/do_dequeue hooks. register_metrics
+// exposes the counters through a MetricsRegistry as read-through views
+// under `sched.<name>.*`, so benches compare schedulers without
+// per-implementation glue.
 #pragma once
 
 #include <cstdint>
@@ -7,8 +15,18 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace wfqs::scheduler {
+
+/// Tallies every scheduler accumulates at its public boundary.
+struct SchedulerCounters {
+    std::uint64_t offered_packets = 0;   ///< enqueue() calls
+    std::uint64_t offered_bytes = 0;
+    std::uint64_t rejected_packets = 0;  ///< enqueue() returned false (drop)
+    std::uint64_t served_packets = 0;    ///< dequeue() produced a packet
+    std::uint64_t served_bytes = 0;
+};
 
 class Scheduler {
 public:
@@ -19,14 +37,57 @@ public:
 
     /// Offer a packet at time `now`. Returns false if the scheduler had to
     /// drop it (buffer exhausted).
-    virtual bool enqueue(const net::Packet& packet, net::TimeNs now) = 0;
+    bool enqueue(const net::Packet& packet, net::TimeNs now) {
+        const bool accepted = do_enqueue(packet, now);
+        ++counters_.offered_packets;
+        counters_.offered_bytes += packet.size_bytes;
+        if (!accepted) ++counters_.rejected_packets;
+        return accepted;
+    }
 
     /// Select the next packet to transmit at time `now`.
-    virtual std::optional<net::Packet> dequeue(net::TimeNs now) = 0;
+    std::optional<net::Packet> dequeue(net::TimeNs now) {
+        std::optional<net::Packet> pkt = do_dequeue(now);
+        if (pkt) {
+            ++counters_.served_packets;
+            counters_.served_bytes += pkt->size_bytes;
+        }
+        return pkt;
+    }
 
     virtual bool has_packets() const = 0;
     virtual std::size_t queued_packets() const = 0;
     virtual std::string name() const = 0;
+
+    const SchedulerCounters& counters() const { return counters_; }
+
+    /// Register the boundary counters as `<prefix>.*` views (default
+    /// prefix: `sched.<name()>`). Snapshot-time sampling; the registry
+    /// must not outlive this scheduler.
+    void register_metrics(obs::MetricsRegistry& registry,
+                          std::string prefix = "") const {
+        if (prefix.empty()) prefix = "sched." + name();
+        const auto cnt = [&](const char* field_name,
+                             const std::uint64_t SchedulerCounters::*field) {
+            registry.register_counter_fn(prefix + "." + field_name,
+                                         [this, field] { return counters_.*field; });
+        };
+        cnt("offered_packets", &SchedulerCounters::offered_packets);
+        cnt("offered_bytes", &SchedulerCounters::offered_bytes);
+        cnt("rejected_packets", &SchedulerCounters::rejected_packets);
+        cnt("served_packets", &SchedulerCounters::served_packets);
+        cnt("served_bytes", &SchedulerCounters::served_bytes);
+        registry.register_gauge_fn(prefix + ".queued_packets", [this] {
+            return static_cast<double>(queued_packets());
+        });
+    }
+
+protected:
+    virtual bool do_enqueue(const net::Packet& packet, net::TimeNs now) = 0;
+    virtual std::optional<net::Packet> do_dequeue(net::TimeNs now) = 0;
+
+private:
+    SchedulerCounters counters_;
 };
 
 }  // namespace wfqs::scheduler

@@ -34,7 +34,7 @@ std::uint32_t Wf2qScheduler::allocate_slot(std::uint64_t finish_tag, BufferRef r
     return slot;
 }
 
-bool Wf2qScheduler::enqueue(const net::Packet& packet, net::TimeNs now) {
+bool Wf2qScheduler::do_enqueue(const net::Packet& packet, net::TimeNs now) {
     const auto ref = buffer_.store(packet);
     if (!ref) return false;
     // Sort #1: by virtual start (eligibility order).
@@ -57,7 +57,7 @@ void Wf2qScheduler::promote_eligible() {
     }
 }
 
-std::optional<net::Packet> Wf2qScheduler::dequeue(net::TimeNs now) {
+std::optional<net::Packet> Wf2qScheduler::do_dequeue(net::TimeNs now) {
     computer_.advance_to(now);
     promote_eligible();
     if (finish_queue_->empty() && !start_queue_->empty()) {

@@ -37,8 +37,8 @@ public:
                   std::unique_ptr<baselines::TagQueue> finish_queue);
 
     net::FlowId add_flow(std::uint32_t weight) override;
-    bool enqueue(const net::Packet& packet, net::TimeNs now) override;
-    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    bool do_enqueue(const net::Packet& packet, net::TimeNs now) override;
+    std::optional<net::Packet> do_dequeue(net::TimeNs now) override;
 
     bool has_packets() const override;
     std::size_t queued_packets() const override;

@@ -18,7 +18,7 @@ net::FlowId FairQueueingScheduler::add_flow(std::uint32_t weight) {
     return computer_->add_flow(weight);
 }
 
-bool FairQueueingScheduler::enqueue(const net::Packet& packet, net::TimeNs now) {
+bool FairQueueingScheduler::do_enqueue(const net::Packet& packet, net::TimeNs now) {
     const auto ref = buffer_.store(packet);
     if (!ref) return false;  // tail drop
     const Fixed finish = computer_->on_arrival(packet.flow, now, packet.size_bits());
@@ -26,7 +26,7 @@ bool FairQueueingScheduler::enqueue(const net::Packet& packet, net::TimeNs now) 
     return true;
 }
 
-std::optional<net::Packet> FairQueueingScheduler::dequeue(net::TimeNs now) {
+std::optional<net::Packet> FairQueueingScheduler::do_dequeue(net::TimeNs now) {
     const auto entry = queue_->pop_min();
     if (!entry) return std::nullopt;
     // Feed the served tag back into the virtual clock (SCFQ/WF2Q+ hooks;

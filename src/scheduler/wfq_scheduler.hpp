@@ -36,8 +36,8 @@ public:
                           std::unique_ptr<baselines::TagQueue> queue);
 
     net::FlowId add_flow(std::uint32_t weight) override;
-    bool enqueue(const net::Packet& packet, net::TimeNs now) override;
-    std::optional<net::Packet> dequeue(net::TimeNs now) override;
+    bool do_enqueue(const net::Packet& packet, net::TimeNs now) override;
+    std::optional<net::Packet> do_dequeue(net::TimeNs now) override;
 
     bool has_packets() const override { return !queue_->empty(); }
     std::size_t queued_packets() const override { return queue_->size(); }

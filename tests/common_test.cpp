@@ -224,6 +224,36 @@ TEST(RunningStats, MergeWithEmpty) {
     EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
 }
 
+TEST(RunningStats, MergeEmptyWithEmpty) {
+    RunningStats a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    // The merged-into accumulator must still work afterwards.
+    a.add(3.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(RunningStats, MergeAgreesWithSinglePass) {
+    Rng r(29);
+    RunningStats parts[4], whole;
+    for (int i = 0; i < 4000; ++i) {
+        const double x = r.next_normal(2.0, 5.0);
+        whole.add(x);
+        parts[i % 4].add(x);
+    }
+    RunningStats merged;
+    for (const auto& p : parts) merged.merge(p);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
 TEST(Quantiles, MedianAndTails) {
     Quantiles q;
     for (int i = 1; i <= 101; ++i) q.add(i);
@@ -231,6 +261,25 @@ TEST(Quantiles, MedianAndTails) {
     EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
     EXPECT_DOUBLE_EQ(q.quantile(1.0), 101.0);
     EXPECT_NEAR(q.quantile(0.99), 100.0, 1.0);
+}
+
+TEST(Quantiles, InterpolatesBetweenSamples) {
+    // rank = q * (n - 1), linear between neighbours.
+    Quantiles q;
+    q.add(10.0);
+    q.add(20.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.25), 12.5);
+    EXPECT_DOUBLE_EQ(q.quantile(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(q.quantile(1.0), 20.0);
+}
+
+TEST(Quantiles, SingleSampleEveryQuantile) {
+    Quantiles q;
+    q.add(7.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.37), 7.0);
+    EXPECT_DOUBLE_EQ(q.quantile(1.0), 7.0);
 }
 
 TEST(Histogram, BinningAndClamping) {
@@ -253,6 +302,22 @@ TEST(Histogram, Reset) {
     h.reset();
     EXPECT_EQ(h.total(), 0u);
     EXPECT_EQ(h.bin(0), 0u);
+}
+
+TEST(Histogram, RejectsNaN) {
+    // NaN must not clamp into a bin (the comparison chain would otherwise
+    // funnel it into the last bin); it lands in a dedicated reject tally.
+    Histogram h(0.0, 10.0, 10);
+    h.add(std::nan(""));
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.nan_rejects(), 1u);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bin(i), 0u);
+    h.add(2.5);
+    h.add(std::nan(""));
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.nan_rejects(), 2u);
+    h.reset();
+    EXPECT_EQ(h.nan_rejects(), 0u);
 }
 
 TEST(Histogram, AsciiBarsShape) {
