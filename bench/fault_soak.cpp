@@ -1,0 +1,251 @@
+// Chaos soak for the fault/ECC/self-healing layer (DESIGN.md "Fault
+// model and recovery"): drive the cycle-accurate sorter for millions of
+// operations while a seeded FaultInjector flips stored bits, and
+// cross-check every pop against a std::multiset reference model.
+//
+//     fault_soak [--ops N] [--rate P] [--stuck N] [--ecc none|parity|secded]
+//                [--seed N] [--json PATH]
+//
+//   --ops    verified operations to complete        (default 1,000,000)
+//   --rate   bit-flip probability per SRAM access   (default 1e-6)
+//   --stuck  stuck-at cells in the tag-store SRAM   (default 0)
+//   --ecc    word protection mode                   (default secded)
+//
+// A faulted operation triggers the Scrubber (relaunder → audit →
+// repair/rebuild), the reference is resynchronised from the recovered
+// sorter, and the soak continues — the headline numbers are how many
+// faults were survived and whether any pop ever came out of order. With
+// SECDED every single-bit upset is corrected in place, so the expected
+// report is "N faults recovered, 0 order mismatches, 0 entries lost".
+//
+// The bench also measures a fault-free baseline (no injector, no ECC)
+// with the line_rate drive pattern, so the exported JSON shows the
+// robustness layer's hot-path cost next to BENCH_line_rate.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/tag_sorter.hpp"
+#include "fault/ecc.hpp"
+#include "fault/injector.hpp"
+#include "fault/scrubber.hpp"
+#include "hw/simulation.hpp"
+#include "obs/bench_io.hpp"
+
+using namespace wfqs;
+
+namespace {
+
+struct Options {
+    std::uint64_t ops = 1'000'000;
+    double rate = 1e-6;
+    std::size_t stuck = 0;
+    fault::Protection ecc = fault::Protection::kSecded;
+};
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    const auto value_of = [&](int& i, const char* flag) -> const char* {
+        const std::size_t n = std::strlen(flag);
+        if (std::strncmp(argv[i], flag, n) != 0) return nullptr;
+        if (argv[i][n] == '=') return argv[i] + n + 1;
+        if (argv[i][n] == '\0' && i + 1 < argc) return argv[++i];
+        return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (const char* v = value_of(i, "--ops")) {
+            opt.ops = std::strtoull(v, nullptr, 10);
+        } else if (const char* v = value_of(i, "--rate")) {
+            opt.rate = std::strtod(v, nullptr);
+        } else if (const char* v = value_of(i, "--stuck")) {
+            opt.stuck = std::strtoull(v, nullptr, 10);
+        } else if (const char* v = value_of(i, "--ecc")) {
+            const auto p = fault::protection_from_string(v);
+            if (!p) {
+                std::fprintf(stderr, "%s: --ecc wants none|parity|secded, got '%s'\n",
+                             argv[0], v);
+                std::exit(2);
+            }
+            opt.ecc = *p;
+        }
+        // --json/--seed belong to BenchReporter; anything else is ignored.
+    }
+    return opt;
+}
+
+constexpr unsigned kTagBits = 12;
+constexpr std::uint64_t kRange = std::uint64_t{1} << kTagBits;
+constexpr std::size_t kCapacity = 4096;
+constexpr std::uint32_t kPayloadMask = 0xFF'FFFF;
+
+/// Mirror the sorter's live tags (logical values) back into `ref` —
+/// after a recovery the sorter is the ground truth, since a rebuild may
+/// legitimately have dropped entries whose tags were destroyed.
+void resync_reference(const core::TagSorter& sorter,
+                      std::multiset<std::uint64_t>& ref) {
+    ref.clear();
+    if (sorter.empty()) return;
+    const auto snap = sorter.store().snapshot();
+    const std::uint64_t head_logical = sorter.peek_min()->tag;
+    const std::uint64_t head_physical = snap.front().tag;
+    for (const auto& e : snap)
+        ref.insert(head_logical + ((e.tag - head_physical) & (kRange - 1)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    obs::BenchReporter reporter("fault_soak", argc, argv);
+    const Options opt = parse_options(argc, argv);
+    const std::uint64_t seed = reporter.seed(42);
+
+    std::printf("== fault soak: %llu ops, flip rate %g/access, ecc %s, "
+                "%zu stuck bits, seed %llu ==\n\n",
+                static_cast<unsigned long long>(opt.ops), opt.rate,
+                fault::to_string(opt.ecc), opt.stuck,
+                static_cast<unsigned long long>(seed));
+
+    // --- fault-free baseline (the hot-path cost yardstick) --------------
+    double baseline_cycles = 0.0;
+    {
+        hw::Simulation sim;
+        core::TagSorter sorter({tree::TreeGeometry::paper(), kCapacity, 24}, sim);
+        Rng rng(seed);
+        sorter.insert(0, 0);
+        const std::uint64_t c0 = sim.clock().now();
+        constexpr int kBaselineOps = 100000;
+        for (int i = 0; i < kBaselineOps; ++i)
+            sorter.insert_and_pop(sorter.peek_min()->tag + rng.next_below(60), 0);
+        baseline_cycles = static_cast<double>(sim.clock().now() - c0) / kBaselineOps;
+        std::printf("baseline (no injection, no ECC): %.2f cycles/op over %d ops\n",
+                    baseline_cycles, kBaselineOps);
+    }
+
+    // --- chaos run ------------------------------------------------------
+    hw::Simulation sim;
+    sim.enable_protection(opt.ecc);
+    fault::FaultInjector injector(seed);
+    fault::MemoryFaultModel model;
+    model.bit_flip_per_access = opt.rate;
+    injector.set_default_model(model);
+    sim.attach_fault_injector(&injector);
+
+    core::TagSorter sorter({tree::TreeGeometry::paper(), kCapacity, 24}, sim);
+    if (opt.stuck > 0) {
+        // Stuck-at cells land in the tag-store SRAM — the biggest target.
+        fault::MemoryFaultModel store_model = model;
+        Rng placer(seed ^ 0x5743'4b42);  // independent of the flip stream
+        auto& store_mem = sorter.store().memory();
+        for (std::size_t i = 0; i < opt.stuck; ++i)
+            store_model.stuck_bits.push_back(
+                {placer.next_below(store_mem.num_words()),
+                 static_cast<unsigned>(placer.next_below(store_mem.word_bits())),
+                 placer.next_bool()});
+        injector.set_model(store_mem.name(), store_model);
+    }
+
+    fault::Scrubber scrubber(sorter);
+    sorter.register_metrics(reporter.registry());
+    sim.register_metrics(reporter.registry());
+    injector.register_metrics(reporter.registry());
+    scrubber.register_metrics(reporter.registry());
+
+    std::multiset<std::uint64_t> ref;
+    Rng rng(seed + 1);  // drive stream, distinct from the injector's
+    std::uint64_t done = 0, inserts = 0, pops = 0;
+    std::uint64_t faults_recovered = 0, order_mismatches = 0, entries_lost = 0;
+    std::uint64_t last_min = 0;
+    const std::uint64_t c0 = sim.clock().now();
+
+    while (done < opt.ops) {
+        const std::uint64_t current_min = ref.empty() ? last_min : *ref.begin();
+        const bool do_insert =
+            ref.size() < 16 || (ref.size() < 512 && rng.next_bool(0.55));
+        try {
+            if (do_insert) {
+                const std::uint64_t tag = current_min + rng.next_below(60);
+                sorter.insert(tag, static_cast<std::uint32_t>(done) & kPayloadMask);
+                ref.insert(tag);
+                ++inserts;
+            } else {
+                const auto popped = sorter.pop_min();
+                if (!popped) {
+                    // Sorter disagrees that anything is stored: silent loss
+                    // (only reachable without ECC). Resync and move on.
+                    ++order_mismatches;
+                    resync_reference(sorter, ref);
+                    continue;
+                }
+                if (ref.empty() || popped->tag != *ref.begin()) {
+                    ++order_mismatches;
+                    const auto hit = ref.find(popped->tag);
+                    ref.erase(hit != ref.end() ? hit : ref.begin());
+                } else {
+                    ref.erase(ref.begin());
+                }
+                last_min = popped->tag;
+                ++pops;
+            }
+            ++done;
+        } catch (const fault::FaultError&) {
+            // The op died mid-flight; the scrubber restores consistency
+            // and the sorter becomes the authority on what survived.
+            ++faults_recovered;
+            const auto outcome = scrubber.scrub();
+            entries_lost += outcome.entries_lost;
+            resync_reference(sorter, ref);
+        }
+    }
+    const double soak_cycles = static_cast<double>(sim.clock().now() - c0) /
+                               static_cast<double>(opt.ops);
+
+    const auto& sstats = scrubber.stats();
+    std::printf("soak               : %.2f cycles/op (recovery included)\n", soak_cycles);
+    std::printf("ops                : %llu (%llu inserts, %llu pops)\n",
+                static_cast<unsigned long long>(done),
+                static_cast<unsigned long long>(inserts),
+                static_cast<unsigned long long>(pops));
+    std::printf("bit flips injected : %llu (+%llu stuck-bit forces)\n",
+                static_cast<unsigned long long>(injector.stats().transient_flips),
+                static_cast<unsigned long long>(injector.stats().stuck_forces));
+    std::printf("ecc corrected      : %llu, uncorrectable: %llu\n",
+                static_cast<unsigned long long>(sim.total_memory_stats().ecc_corrected),
+                static_cast<unsigned long long>(
+                    sim.total_memory_stats().ecc_uncorrectable));
+    std::printf("faults recovered   : %llu (scrubs: %llu clean, %llu repaired, "
+                "%llu rebuilt)\n",
+                static_cast<unsigned long long>(faults_recovered),
+                static_cast<unsigned long long>(sstats.clean),
+                static_cast<unsigned long long>(sstats.repaired),
+                static_cast<unsigned long long>(sstats.rebuilt));
+    std::printf("order mismatches   : %llu\n",
+                static_cast<unsigned long long>(order_mismatches));
+    std::printf("entries lost       : %llu\n",
+                static_cast<unsigned long long>(entries_lost));
+
+    auto& reg = reporter.registry();
+    reg.counter("soak.ops").inc(done);
+    reg.counter("soak.inserts").inc(inserts);
+    reg.counter("soak.pops").inc(pops);
+    reg.counter("soak.faults_recovered").inc(faults_recovered);
+    reg.counter("soak.order_mismatches").inc(order_mismatches);
+    reg.counter("soak.entries_lost").inc(entries_lost);
+    reg.gauge("soak.baseline_cycles_per_op").set(baseline_cycles);
+    reg.gauge("soak.cycles_per_op").set(soak_cycles);
+    reg.gauge("soak.flip_rate").set(opt.rate);
+    reporter.finish();
+
+    // With ECC protection every upset must be invisible in the pop
+    // stream; an order mismatch there is a real bug, not bad luck.
+    const bool ordered = order_mismatches == 0;
+    if (opt.ecc != fault::Protection::kNone && !ordered) {
+        std::printf("\nFAIL: pop order diverged from the reference model\n");
+        return 1;
+    }
+    std::printf("\nPASS: pop order %s the reference model\n",
+                ordered ? "identical to" : "diverged (unprotected run) from");
+    return 0;
+}

@@ -144,7 +144,9 @@ int main(int argc, char** argv) {
     {
         std::vector<net::FlowSpec> flows;
         for (int i = 0; i < 40; ++i)
-            flows.push_back({std::make_unique<net::VoipSource>(4 * kSecond, 100 + i), 8});
+            flows.push_back({std::make_unique<net::VoipSource>(
+                                 4 * kSecond, reporter.seed(100 + std::uint64_t(i))),
+                             8});
         profile_distribution("streaming VoIP (expected: weighted to the left)",
                              std::move(flows), 2'000'000);
     }
@@ -153,14 +155,17 @@ int main(int argc, char** argv) {
     {
         std::vector<net::FlowSpec> flows;
         flows.push_back({std::make_unique<net::CbrSource>(4'000'000, 700, 0, 4 * kSecond), 6});
-        flows.push_back(
-            {std::make_unique<net::VideoSource>(30.0, 20000, 1500, 4 * kSecond, 5), 8});
-        flows.push_back(
-            {std::make_unique<net::PoissonSource>(900.0, 200, 1400, 4 * kSecond, 6), 4});
+        flows.push_back({std::make_unique<net::VideoSource>(30.0, 20000, 1500, 4 * kSecond,
+                                                            reporter.seed(5)),
+                         8});
+        flows.push_back({std::make_unique<net::PoissonSource>(900.0, 200, 1400, 4 * kSecond,
+                                                              reporter.seed(6)),
+                         4});
         flows.push_back({std::make_unique<net::OnOffParetoSource>(
-                             8'000'000, 1200, 0.05, 0.15, 1.6, 4 * kSecond, 7),
+                             8'000'000, 1200, 0.05, 0.15, 1.6, 4 * kSecond,
+                             reporter.seed(7)),
                          2});
-        flows.push_back({std::make_unique<net::VoipSource>(4 * kSecond, 8), 4});
+        flows.push_back({std::make_unique<net::VoipSource>(4 * kSecond, reporter.seed(8)), 4});
         profile_distribution("diverse mix (expected: bell-ish curve)",
                              std::move(flows), 16'000'000);
     }
@@ -171,7 +176,7 @@ int main(int argc, char** argv) {
     core::TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
     sorter.register_metrics(reporter.registry());
     sim.register_metrics(reporter.registry());
-    Rng rng(3);
+    Rng rng(reporter.seed(3));
     sorter.insert(0, 0);
     for (int i = 0; i < 200000; ++i)
         sorter.insert_and_pop(sorter.peek_min()->tag + rng.next_below(50), 0);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
     sorter.register_metrics(reporter.registry());
     sim.register_metrics(reporter.registry());
-    Rng rng(1);
+    Rng rng(reporter.seed(1));
 
     // Steady-state combined insert+serve stream (the sustained line-rate
     // pattern: one tag in, one tag out per packet).

@@ -44,23 +44,27 @@ struct Row {
 constexpr std::size_t kVoipFlows = 4;
 constexpr std::size_t kCrossFlows = 6;
 
-std::vector<net::FlowSpec> make_workload() {
+std::vector<net::FlowSpec> make_workload(std::uint64_t seed_shift) {
     // 4 VoIP flows (weight 8) against 6 heavy on-off Pareto flows
     // (weight 1) that keep the link saturated: the adversarial case for
     // round robin, whose per-round latency grows with the number of
     // backlogged queues and their packet sizes.
     std::vector<net::FlowSpec> flows;
     for (std::size_t i = 0; i < kVoipFlows; ++i)
-        flows.push_back({std::make_unique<net::VoipSource>(2 * kSecond, 40 + i), 8});
+        flows.push_back({std::make_unique<net::VoipSource>(2 * kSecond,
+                                                           seed_shift + 40 + i),
+                         8});
     for (std::size_t i = 0; i < kCrossFlows; ++i)
         flows.push_back({std::make_unique<net::OnOffParetoSource>(
-                             20'000'000, 1500, 0.2, 0.1, 1.5, 2 * kSecond, 70 + i),
+                             20'000'000, 1500, 0.2, 0.1, 1.5, 2 * kSecond,
+                             seed_shift + 70 + i),
                          1});
     return flows;
 }
 
-Row evaluate(scheduler::Scheduler& sched, obs::MetricsRegistry& reg) {
-    auto flows = make_workload();
+Row evaluate(scheduler::Scheduler& sched, obs::MetricsRegistry& reg,
+             std::uint64_t seed_shift) {
+    auto flows = make_workload(seed_shift);
     std::vector<std::uint32_t> weights;
     for (const auto& f : flows) weights.push_back(f.weight);
     net::SimDriver driver(kRate);
@@ -98,6 +102,10 @@ Row evaluate(scheduler::Scheduler& sched, obs::MetricsRegistry& reg) {
 
 int main(int argc, char** argv) {
     obs::BenchReporter reporter("qos_comparison", argc, argv);
+    // Every scheduler sees the identical workload; --seed N shifts all
+    // traffic-source seeds together (default shift 0 keeps the
+    // historical workload).
+    const std::uint64_t kSeedShift = reporter.seed(0);
     std::printf("== P2: QoS comparison — WFQ vs round robin vs FIFO ==\n");
     std::printf("4 VoIP flows (weight 8) vs 6 saturating Pareto flows (weight 1),\n");
     std::printf("20 Mb/s link, 2 s. GPS bound = L_max/r = %.2f ms.\n\n",
@@ -127,7 +135,7 @@ int main(int argc, char** argv) {
         scheduler::FairQueueingScheduler wfq(
             cfg, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
                                            {20, 1 << 16}));
-        add(evaluate(wfq, reporter.registry()));
+        add(evaluate(wfq, reporter.registry(), kSeedShift));
     }
     {
         scheduler::FairQueueingScheduler::Config cfg;
@@ -137,7 +145,7 @@ int main(int argc, char** argv) {
         scheduler::FairQueueingScheduler scfq(
             cfg, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
                                            {20, 1 << 16}));
-        add(evaluate(scfq, reporter.registry()));
+        add(evaluate(scfq, reporter.registry(), kSeedShift));
     }
     {
         scheduler::Wf2qScheduler::Config cfg;
@@ -147,31 +155,31 @@ int main(int argc, char** argv) {
             cfg,
             baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}),
             baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}));
-        add(evaluate(wf2q, reporter.registry()));
+        add(evaluate(wf2q, reporter.registry(), kSeedShift));
     }
     {
         scheduler::WrrScheduler wrr;
-        add(evaluate(wrr, reporter.registry()));
+        add(evaluate(wrr, reporter.registry(), kSeedShift));
     }
     {
         scheduler::CbqScheduler cbq;
-        add(evaluate(cbq, reporter.registry()));
+        add(evaluate(cbq, reporter.registry(), kSeedShift));
     }
     {
         scheduler::DrrScheduler drr;
-        add(evaluate(drr, reporter.registry()));
+        add(evaluate(drr, reporter.registry(), kSeedShift));
     }
     {
         scheduler::MdrrScheduler mdrr;  // flow 0 (one VoIP flow) is priority
-        add(evaluate(mdrr, reporter.registry()));
+        add(evaluate(mdrr, reporter.registry(), kSeedShift));
     }
     {
         scheduler::SrrScheduler srr;
-        add(evaluate(srr, reporter.registry()));
+        add(evaluate(srr, reporter.registry(), kSeedShift));
     }
     {
         scheduler::FifoScheduler fifo;
-        add(evaluate(fifo, reporter.registry()));
+        add(evaluate(fifo, reporter.registry(), kSeedShift));
     }
 
     std::printf("%s\n", table.render().c_str());

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
                      "insert worst"});
     for (const QueueKind kind : kinds) {
         auto q = make_tag_queue(kind, {12, 4096});
-        Rng rng(7);
+        Rng rng(reporter.seed(7));
         Quantiles pop_cost;
         std::uint64_t min_live = 0;
         std::uint64_t worst_pop = 0;

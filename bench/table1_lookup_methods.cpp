@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
     for (const QueueKind kind : all_queue_kinds()) {
         auto q = make_tag_queue(kind, {12, 4096});
-        Rng rng(2024);
+        Rng rng(reporter.seed(2024));
         std::uint64_t min_live = 0;
         for (int i = 0; i < 40000; ++i) {
             if (q->size() < 512 && (q->empty() || rng.next_bool(0.55))) {

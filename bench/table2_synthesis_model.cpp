@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
     sorter.register_metrics(reporter.registry());
     sim.register_metrics(reporter.registry());
-    Rng rng(7);
+    Rng rng(reporter.seed(7));
     sorter.insert(0, 0);
     for (int i = 0; i < 20000; ++i)
         sorter.insert_and_pop(sorter.peek_min()->tag + rng.next_below(40), 0);

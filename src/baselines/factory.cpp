@@ -13,6 +13,7 @@
 #include <bit>
 #include <algorithm>
 #include "core/tag_sorter.hpp"
+#include "fault/scrubber.hpp"
 
 namespace wfqs::baselines {
 namespace {
@@ -62,6 +63,14 @@ public:
     std::string name() const override { return name_; }
     std::string model() const override { return "sort"; }
     std::string complexity() const override { return complexity_; }
+
+    bool recover() override {
+        fault::Scrubber scrubber(sorter_);
+        (void)scrubber.scrub();  // always leaves the sorter consistent
+        return true;
+    }
+
+    hw::Simulation* simulation() override { return &sim_; }
 
 private:
     hw::Simulation sim_;

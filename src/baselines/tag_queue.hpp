@@ -16,6 +16,10 @@
 #include <optional>
 #include <string>
 
+namespace wfqs::hw {
+class Simulation;
+}
+
 namespace wfqs::baselines {
 
 struct QueueEntry {
@@ -57,6 +61,18 @@ public:
     /// Binning is deliberately approximate (§II-B: "inherently
     /// inaccurate"); everything else returns the exact minimum.
     virtual bool exact() const { return true; }
+
+    /// After an operation threw fault::FaultError: restore internal
+    /// consistency (scrub/repair/rebuild) so the caller may retry.
+    /// Returns false when this structure has no recovery story (the
+    /// software baselines — std containers don't get SEUs).
+    virtual bool recover() { return false; }
+
+    /// The cycle-level memory inventory behind this queue, when it has
+    /// one (the sorter-backed queues); nullptr for software baselines.
+    /// Lets harnesses attach fault injectors and ECC without knowing the
+    /// concrete type.
+    virtual hw::Simulation* simulation() { return nullptr; }
 
     const QueueStats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "fault/errors.hpp"
 #include "obs/tracer.hpp"
 
 namespace wfqs::core {
@@ -61,8 +62,13 @@ std::optional<std::uint64_t> TagSorter::wrapped_search_insert(std::uint64_t phys
     if (empty()) return match;  // caller treats result as "list was empty"
     if (physical >= head_physical) {
         // Not across the seam: the minimum's marker bounds the search from
-        // below, so a match is guaranteed and logically correct.
-        WFQS_ASSERT(match && *match >= head_physical);
+        // below, so a match is guaranteed and logically correct — unless a
+        // fault cleared the minimum's marker.
+        if (!match || *match < head_physical) {
+            throw fault::IntegrityError(
+                fault::IntegrityKind::kTreeInvariant,
+                "search below the stored minimum: the head marker is missing");
+        }
         return match;
     }
     // Below the seam (the tag wrapped past zero): markers ≤ physical are
@@ -73,8 +79,11 @@ std::optional<std::uint64_t> TagSorter::wrapped_search_insert(std::uint64_t phys
     if (!match) {
         ++stats_.wrap_fallback_searches;
         match = tree_.closest_leq(range_ - 1);
-        WFQS_ASSERT_MSG(match && *match >= head_physical,
-                        "wrap fallback must land in the upper segment");
+        if (!match || *match < head_physical) {
+            throw fault::IntegrityError(
+                fault::IntegrityKind::kTreeInvariant,
+                "wrap fallback found no marker in the upper segment");
+        }
     }
     return match;
 }
@@ -120,6 +129,11 @@ void TagSorter::register_metrics(obs::MetricsRegistry& registry,
     cnt("head_undercuts", &SorterStats::head_undercuts);
     cnt("worst_insert_cycles", &SorterStats::worst_insert_cycles);
     cnt("worst_pop_cycles", &SorterStats::worst_pop_cycles);
+    cnt("audits", &SorterStats::audits);
+    cnt("repairs", &SorterStats::repairs);
+    cnt("rebuilds", &SorterStats::rebuilds);
+    cnt("rebuild_recovered", &SorterStats::rebuild_recovered);
+    cnt("rebuild_lost", &SorterStats::rebuild_lost);
     registry.register_gauge_fn(prefix + ".occupancy",
                                [this] { return static_cast<double>(size()); });
     registry.register_histogram(prefix + ".insert_cycles", &insert_cycles_hist_);
@@ -129,6 +143,8 @@ void TagSorter::register_metrics(obs::MetricsRegistry& registry,
 
 void TagSorter::insert(std::uint64_t tag, std::uint32_t payload) {
     WFQS_TRACE_SPAN("sorter.insert", "sorter");
+    // Both precondition failures throw *before* any state is touched, so
+    // a caller that catches them can keep operating on an intact sorter.
     if (full()) throw std::overflow_error("TagSorter: tag memory full");
     validate_incoming(tag);
     const std::uint64_t t0 = clock_.now();
@@ -136,25 +152,44 @@ void TagSorter::insert(std::uint64_t tag, std::uint32_t payload) {
     const bool was_empty = empty();
     const bool undercut = !was_empty && tag < head_logical_;
 
+    // An IntegrityError can surface *after* the tree pass has planted the
+    // new marker (e.g. the predecessor's translation entry is corrupt); a
+    // marker without a list entry would itself be corruption, so roll it
+    // back before rethrowing.
+    const bool had_marker = tree_.contains(physical);
     storage::Addr new_addr;
-    if (was_empty || undercut) {
-        // New global minimum: no predecessor exists; the tree still gets
-        // the marker (same pipeline pass, search result unused).
-        tree_.search_and_insert(physical);
-        new_addr = store_.insert_at_head({physical, payload});
-        head_logical_ = tag;
-        lead_sector_ = static_cast<unsigned>(
-            physical / (range_ / config_.geometry.branching()));
-        if (undercut) ++stats_.head_undercuts;
-        if (was_empty) max_logical_ = tag;
-    } else {
-        const std::optional<std::uint64_t> match = wrapped_search_insert(physical);
-        WFQS_ASSERT(match.has_value());
-        if (*match == physical) ++stats_.duplicate_inserts;
-        const std::optional<storage::Addr> pred = table_.lookup(*match);
-        WFQS_ASSERT_MSG(pred.has_value(),
-                        "translation entry missing for a marked value");
-        new_addr = store_.insert_after(*pred, {physical, payload});
+    try {
+        if (was_empty || undercut) {
+            // New global minimum: no predecessor exists; the tree still gets
+            // the marker (same pipeline pass, search result unused).
+            tree_.search_and_insert(physical);
+            new_addr = store_.insert_at_head({physical, payload});
+            head_logical_ = tag;
+            lead_sector_ = static_cast<unsigned>(
+                physical / (range_ / config_.geometry.branching()));
+            if (undercut) ++stats_.head_undercuts;
+            if (was_empty) max_logical_ = tag;
+        } else {
+            const std::optional<std::uint64_t> match = wrapped_search_insert(physical);
+            WFQS_ASSERT(match.has_value());
+            if (*match == physical) ++stats_.duplicate_inserts;
+            const std::optional<storage::Addr> pred = table_.lookup(*match);
+            if (!pred.has_value()) {
+                throw fault::IntegrityError(
+                    fault::IntegrityKind::kTranslationMissing,
+                    "no translation entry for marked value " + std::to_string(*match));
+            }
+            if (*pred >= store_.capacity()) {
+                throw fault::IntegrityError(
+                    fault::IntegrityKind::kTranslationDangling,
+                    "translation entry for value " + std::to_string(*match) +
+                        " points outside the store");
+            }
+            new_addr = store_.insert_after(*pred, {physical, payload});
+        }
+    } catch (...) {
+        if (!had_marker && tree_.contains(physical)) tree_.erase(physical);
+        throw;
     }
     max_logical_ = std::max(max_logical_, tag);
     table_.set(physical, new_addr);
@@ -225,7 +260,17 @@ SortedTag TagSorter::insert_and_pop(std::uint64_t tag, std::uint32_t payload) {
         // points at the head slot that is about to be reused — which is
         // exactly the "new head" case of the combined list operation.
         const std::optional<storage::Addr> pred = table_.lookup(*match);
-        WFQS_ASSERT(pred.has_value());
+        if (!pred.has_value()) {
+            throw fault::IntegrityError(
+                fault::IntegrityKind::kTranslationMissing,
+                "no translation entry for marked value " + std::to_string(*match));
+        }
+        if (*pred >= store_.capacity()) {
+            throw fault::IntegrityError(
+                fault::IntegrityKind::kTranslationDangling,
+                "translation entry for value " + std::to_string(*match) +
+                    " points outside the store");
+        }
         pred_addr = *pred;
     }
 

@@ -28,6 +28,7 @@
 #include <memory>
 #include <optional>
 
+#include "fault/audit.hpp"
 #include "hw/simulation.hpp"
 #include "matcher/matcher.hpp"
 #include "obs/metrics.hpp"
@@ -57,6 +58,11 @@ struct SorterStats {
     std::uint64_t worst_pop_cycles = 0;
     std::uint64_t insert_cycles_total = 0;
     std::uint64_t pop_cycles_total = 0;
+    std::uint64_t audits = 0;              ///< integrity audits run
+    std::uint64_t repairs = 0;             ///< targeted repairs applied
+    std::uint64_t rebuilds = 0;            ///< drain-and-resort recoveries
+    std::uint64_t rebuild_recovered = 0;   ///< entries surviving a rebuild
+    std::uint64_t rebuild_lost = 0;        ///< entries a rebuild could not save
 };
 
 class TagSorter {
@@ -103,6 +109,28 @@ public:
     /// departing slot. Precondition: non-empty.
     SortedTag insert_and_pop(std::uint64_t tag, std::uint32_t payload);
 
+    // -- integrity (core/tag_sorter_integrity.cpp) -------------------------
+
+    /// Cross-check the linked list, empty list, translation table, and
+    /// tree markers against each other. Pure inspection: ECC-corrected
+    /// peeks only, no cycles, no state change. Never throws — corruption
+    /// is returned as issues, not exceptions.
+    fault::AuditReport audit() const;
+
+    /// Fix every repairable issue in `report` using the linked list as
+    /// ground truth: rewrite wrong/orphaned translation entries, retire
+    /// orphaned tree markers and re-mark missing ones, rebuild interior
+    /// tree levels from the leaves, and relink the empty list from the
+    /// live-slot complement. Returns false (and does nothing) when the
+    /// report contains an unrepairable issue — call rebuild() instead.
+    bool repair(const fault::AuditReport& report);
+
+    /// Last-resort drain-and-resort: salvage every list entry still
+    /// reachable, wipe all three structures, and re-insert in sorted
+    /// order. Logical tag continuity is preserved (the head keeps its
+    /// logical value). Returns the number of entries lost.
+    std::size_t rebuild();
+
     // -- observers ---------------------------------------------------------
 
     std::size_t size() const { return store_.size(); }
@@ -117,6 +145,13 @@ public:
     const tree::MultibitTree& search_tree() const { return tree_; }
     const storage::LinkedTagStore& store() const { return store_; }
     const storage::TranslationTable& table() const { return table_; }
+
+    /// Mutable entity access for corruption tests and the scrubber (the
+    /// datapath never needs these).
+    tree::MultibitTree& search_tree() { return tree_; }
+    storage::LinkedTagStore& store() { return store_; }
+    storage::TranslationTable& table() { return table_; }
+    hw::Clock& clock() { return clock_; }
 
     /// Per-operation latency distributions in clock cycles, one bin per
     /// cycle. Always maintained (a handful of adds per op); the registry

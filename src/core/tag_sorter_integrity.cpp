@@ -1,0 +1,334 @@
+// TagSorter integrity machinery: audit / repair / rebuild.
+//
+// The three entities are mutually redundant (see fault/audit.hpp), with
+// the linked list as the richest copy: it alone carries tags, payloads,
+// and order. Audit cross-checks everything against the list; repair
+// reconstructs the tree and table *from* the list; rebuild drains the
+// list itself and re-sorts when even the list is damaged.
+//
+// Everything here runs off the datapath: inspection uses ECC-corrected
+// peeks and repairs use maintenance pokes (no ports, no cycles) — except
+// rebuild's re-insertion, which replays through the normal insert
+// pipeline and therefore costs real cycles, exactly like the hardware
+// draining its state through the sort circuit after a scrub.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "core/tag_sorter.hpp"
+
+namespace wfqs::core {
+
+namespace {
+using storage::Addr;
+using storage::kNullAddr;
+
+/// Live-list ground truth harvested in one peek-only walk.
+struct ListWalk {
+    bool intact = true;
+    std::size_t reached = 0;                 ///< entries walked before a break
+    std::vector<bool> live;                  ///< slot address -> is live
+    std::map<std::uint64_t, Addr> newest;    ///< value -> newest (last) slot
+    Addr tail = kNullAddr;
+    Addr tail_next = kNullAddr;              ///< the tail slot's stored next
+};
+
+ListWalk walk_list(const storage::LinkedTagStore& store, std::uint64_t head_physical,
+                   std::uint64_t range, std::uint64_t window_span,
+                   fault::AuditReport* report) {
+    ListWalk w;
+    const std::size_t cap = store.capacity();
+    const std::size_t n = store.size();
+    w.live.assign(cap, false);
+    const auto issue = [&](fault::IntegrityKind kind, std::string detail) {
+        if (report != nullptr) report->issues.push_back({kind, std::move(detail), false});
+        w.intact = false;
+    };
+
+    Addr a = store.head_addr();
+    std::uint64_t prev_offset = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a == kNullAddr || a >= cap) {
+            issue(fault::IntegrityKind::kBrokenLink,
+                  "list chain breaks after " + std::to_string(i) + " of " +
+                      std::to_string(n) + " entries");
+            return w;
+        }
+        if (w.live[a]) {
+            issue(fault::IntegrityKind::kBrokenLink,
+                  "list chain cycles back to slot " + std::to_string(a));
+            return w;
+        }
+        const auto slot = store.peek_slot(a);
+        const std::uint64_t offset = (slot.entry.tag - head_physical) & (range - 1);
+        if (offset < prev_offset || offset >= window_span) {
+            issue(fault::IntegrityKind::kTagOrder,
+                  "entry " + std::to_string(i) + " (slot " + std::to_string(a) +
+                      ", tag " + std::to_string(slot.entry.tag) +
+                      ") violates the sorted window order");
+            return w;
+        }
+        prev_offset = offset;
+        w.live[a] = true;
+        w.newest[slot.entry.tag] = a;
+        w.tail = a;
+        w.tail_next = slot.next;
+        ++w.reached;
+        a = slot.next;
+    }
+    return w;
+}
+
+}  // namespace
+
+fault::AuditReport TagSorter::audit() const {
+    // Inspection-only, but the audit itself is an observable event.
+    ++const_cast<TagSorter*>(this)->stats_.audits;
+
+    fault::AuditReport report;
+    const std::size_t cap = store_.capacity();
+    const std::uint64_t head_physical = empty() ? 0 : to_physical(head_logical_);
+    const auto issue = [&](fault::IntegrityKind kind, std::string detail,
+                           bool repairable) {
+        report.issues.push_back({kind, std::move(detail), repairable});
+    };
+
+    // 0. The anchor: the head slot's stored tag must agree with the
+    // head-register logical value. Every other check keys off stored
+    // tags while the insert datapath validates against the register, so
+    // a divergence here poisons both sides: repairs would align the tree
+    // and table to a head value the datapath will never look up. Only a
+    // rebuild (which re-derives logical tags from the register) can
+    // re-anchor them, so the issue is unrepairable by construction.
+    if (!empty()) {
+        const Addr head_addr = store_.head_addr();
+        if (head_addr != kNullAddr && head_addr < cap) {
+            const std::uint64_t stored = store_.peek_slot(head_addr).entry.tag;
+            if (((stored ^ head_physical) & (range_ - 1)) != 0) {
+                issue(fault::IntegrityKind::kTagOrder,
+                      "head slot stores tag " + std::to_string(stored) +
+                          " but the head register expects " +
+                          std::to_string(head_physical),
+                      /*repairable=*/false);
+                return report;
+            }
+        }
+    }
+
+    // 1. The linked list: reachable, acyclic, sorted within the window.
+    const ListWalk walk =
+        walk_list(store_, head_physical, range_, window_span(), &report);
+    report.entries_walked = walk.reached;
+    if (!walk.intact) return report;  // everything else needs the ground truth
+    if (walk.tail != kNullAddr && walk.tail_next != kNullAddr) {
+        issue(fault::IntegrityKind::kBrokenLink,
+              "tail slot " + std::to_string(walk.tail) + " has a non-null next",
+              /*repairable=*/true);
+    }
+
+    // 2. Tree markers and translation entries for every live value.
+    for (const auto& [value, newest_addr] : walk.newest) {
+        if (!tree_.contains(value)) {
+            issue(fault::IntegrityKind::kTreeInvariant,
+                  "live value " + std::to_string(value) + " has no tree marker",
+                  /*repairable=*/true);
+        }
+        const auto entry = table_.peek(value);
+        if (!entry) {
+            issue(fault::IntegrityKind::kTranslationMissing,
+                  "live value " + std::to_string(value) + " has no translation entry",
+                  /*repairable=*/true);
+        } else if (*entry != newest_addr) {
+            issue(fault::IntegrityKind::kTranslationDangling,
+                  "translation entry for value " + std::to_string(value) +
+                      " points at slot " + std::to_string(*entry) + " instead of " +
+                      std::to_string(newest_addr),
+                  /*repairable=*/true);
+        }
+    }
+
+    // 3. Orphaned translation entries (value no longer live).
+    for (std::uint64_t value = 0; value < table_.entries(); ++value) {
+        if (table_.peek(value) && walk.newest.find(value) == walk.newest.end()) {
+            issue(fault::IntegrityKind::kTranslationDangling,
+                  "orphaned translation entry for value " + std::to_string(value),
+                  /*repairable=*/true);
+        }
+    }
+
+    // 4. Orphaned leaf markers, and interior nodes out of sync with their
+    // children (a parent bit must be set iff the child node is non-empty).
+    const tree::TreeGeometry& g = config_.geometry;
+    const unsigned B = g.branching();
+    const unsigned leaf = g.levels - 1;
+    for (std::uint64_t idx = 0; idx < g.nodes_at_level(leaf); ++idx) {
+        std::uint64_t word = tree_.node_word(leaf, idx) & low_mask(B);
+        while (word != 0) {
+            const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+            word &= word - 1;
+            const std::uint64_t value = idx * B + bit;
+            if (walk.newest.find(value) == walk.newest.end()) {
+                issue(fault::IntegrityKind::kTreeInvariant,
+                      "orphaned tree marker for value " + std::to_string(value),
+                      /*repairable=*/true);
+            }
+        }
+    }
+    for (unsigned l = 0; l < leaf; ++l) {
+        for (std::uint64_t idx = 0; idx < g.nodes_at_level(l); ++idx) {
+            std::uint64_t expected = 0;
+            for (unsigned b = 0; b < B; ++b) {
+                if ((tree_.node_word(l + 1, idx * B + b) & low_mask(B)) != 0)
+                    expected = set_bit(expected, b);
+            }
+            if ((tree_.node_word(l, idx) & low_mask(B)) != expected) {
+                issue(fault::IntegrityKind::kTreeInvariant,
+                      "interior node " + std::to_string(idx) + " at level " +
+                          std::to_string(l) + " disagrees with its children",
+                      /*repairable=*/true);
+            }
+        }
+    }
+
+    // 5. The empty list: chain must cover every freed slot exactly once
+    // without touching a live one.
+    const std::size_t free_n = store_.empty_list_length();
+    if (free_n > 0) {
+        std::vector<bool> seen(cap, false);
+        Addr f = store_.empty_head();
+        for (std::size_t i = 0; i < free_n; ++i) {
+            if (f == kNullAddr || f >= store_.fresh_count()) {
+                issue(fault::IntegrityKind::kFreeList,
+                      "empty-list chain breaks after " + std::to_string(i) + " of " +
+                          std::to_string(free_n) + " freed slots",
+                      /*repairable=*/true);
+                break;
+            }
+            if (walk.live[f]) {
+                issue(fault::IntegrityKind::kFreeList,
+                      "empty-list chain enters live slot " + std::to_string(f),
+                      /*repairable=*/true);
+                break;
+            }
+            if (seen[f]) {
+                issue(fault::IntegrityKind::kFreeList,
+                      "empty-list chain cycles back to slot " + std::to_string(f),
+                      /*repairable=*/true);
+                break;
+            }
+            seen[f] = true;
+            f = store_.peek_slot(f).next;
+        }
+    }
+
+    return report;
+}
+
+bool TagSorter::repair(const fault::AuditReport& report) {
+    if (!report.fully_repairable()) return false;
+    if (report.clean()) return true;
+
+    // Re-harvest the ground truth (the audit proved the walk intact).
+    const std::uint64_t head_physical = empty() ? 0 : to_physical(head_logical_);
+    const ListWalk walk =
+        walk_list(store_, head_physical, range_, window_span(), nullptr);
+    WFQS_ASSERT_MSG(walk.intact, "repair() requires an intact list walk");
+
+    // Tail hygiene: a live tail must terminate the chain.
+    if (walk.tail != kNullAddr && walk.tail_next != kNullAddr) {
+        auto tail = store_.peek_slot(walk.tail);
+        tail.next = kNullAddr;
+        store_.poke_slot(walk.tail, tail);
+    }
+
+    // Translation table := value -> newest live slot, nothing else.
+    for (std::uint64_t value = 0; value < table_.entries(); ++value) {
+        const auto it = walk.newest.find(value);
+        const std::optional<Addr> desired =
+            it == walk.newest.end() ? std::nullopt : std::optional<Addr>(it->second);
+        if (table_.peek(value) != desired) table_.poke(value, desired);
+    }
+
+    // Tree leaves := the live value set; interior levels and the marker
+    // count follow from the leaves.
+    for (std::uint64_t value = 0; value < range_; ++value)
+        tree_.set_leaf_marker(value, walk.newest.find(value) != walk.newest.end());
+    tree_.repair_from_leaves();
+
+    // Empty list := every fresh-allocated slot that is not live, as an
+    // explicit chain (the stale-pointer encoding cannot be reconstructed).
+    std::vector<Addr> free_slots;
+    free_slots.reserve(store_.empty_list_length());
+    for (Addr a = 0; a < store_.fresh_count(); ++a)
+        if (!walk.live[a]) free_slots.push_back(a);
+    store_.relink_free_list(free_slots);
+
+    ++stats_.repairs;
+    return true;
+}
+
+std::size_t TagSorter::rebuild() {
+    const std::size_t cap = store_.capacity();
+    const std::size_t expected = store_.size();
+
+    // Salvage: follow the chain as far as it stays plausible, keeping
+    // every entry whose tag still fits the logical window.
+    struct Salvaged {
+        std::uint64_t offset;
+        std::uint32_t payload;
+    };
+    std::vector<Salvaged> saved;
+    saved.reserve(expected);
+    if (expected > 0) {
+        std::vector<bool> seen(cap, false);
+        const std::uint64_t head_physical = to_physical(head_logical_);
+        Addr a = store_.head_addr();
+        for (std::size_t i = 0; i < expected; ++i) {
+            if (a == kNullAddr || a >= cap || seen[a]) break;
+            seen[a] = true;
+            const auto slot = store_.peek_slot(a);
+            const std::uint64_t offset = (slot.entry.tag - head_physical) & (range_ - 1);
+            if (offset < window_span()) saved.push_back({offset, slot.entry.payload});
+            a = slot.next;
+        }
+    }
+    // Corruption may have scrambled the order; re-sort. stable_sort keeps
+    // FIFO order among duplicates of one value.
+    std::stable_sort(saved.begin(), saved.end(),
+                     [](const Salvaged& x, const Salvaged& y) {
+                         return x.offset < y.offset;
+                     });
+
+    // Wipe all three entities and replay through the normal insert
+    // pipeline. `base` anchors logical continuity: the rebuilt head keeps
+    // the old head's logical tag, so downstream virtual-time bookkeeping
+    // is unaffected.
+    const std::uint64_t base = head_logical_;
+    store_.reset();
+    table_.clear();
+    tree_.clear_all();
+    head_logical_ = 0;
+    max_logical_ = 0;
+    lead_sector_ = 0;
+
+    std::size_t recovered = 0;
+    for (const Salvaged& s : saved) {
+        try {
+            insert(base + s.offset, s.payload);
+            ++recovered;
+        } catch (...) {
+            // An injector can strike during the replay itself; the entry
+            // is lost but the rebuild carries on.
+        }
+    }
+
+    const std::size_t lost = expected - recovered;
+    ++stats_.rebuilds;
+    stats_.rebuild_recovered += recovered;
+    stats_.rebuild_lost += lost;
+    return lost;
+}
+
+}  // namespace wfqs::core

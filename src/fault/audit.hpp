@@ -1,0 +1,49 @@
+// Audit report types shared by the integrity machinery.
+//
+// The sorter's three entities store the same information three ways: a
+// value with live entries has (1) linked-list slots carrying the tag,
+// (2) a tree marker, and (3) a translation entry naming its newest slot,
+// while every freed slot is exactly a fresh-allocated slot that is not
+// live. TagSorter::audit() cross-checks that redundancy and returns one
+// AuditIssue per discrepancy; TagSorter::repair() fixes every issue the
+// redundancy can reconstruct (the linked list is the ground truth), and
+// TagSorter::rebuild() is the last resort when the list itself is broken.
+//
+// This header is deliberately leaf-level (no core/ includes) so hw and
+// storage code can reference the types without cycles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fault/errors.hpp"
+
+namespace wfqs::fault {
+
+struct AuditIssue {
+    IntegrityKind kind;
+    std::string detail;
+    /// True when repair() can reconstruct the damaged structure from the
+    /// surviving redundancy; false means only rebuild() helps.
+    bool repairable = false;
+};
+
+struct AuditReport {
+    std::vector<AuditIssue> issues;
+    std::size_t entries_walked = 0;  ///< list entries reached before any break
+
+    bool clean() const { return issues.empty(); }
+    bool fully_repairable() const {
+        for (const AuditIssue& i : issues)
+            if (!i.repairable) return false;
+        return true;
+    }
+    std::size_t count(IntegrityKind kind) const {
+        std::size_t n = 0;
+        for (const AuditIssue& i : issues) n += i.kind == kind ? 1 : 0;
+        return n;
+    }
+};
+
+}  // namespace wfqs::fault

@@ -1,0 +1,135 @@
+#include "fault/ecc.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace wfqs::fault {
+
+const char* to_string(Protection p) {
+    switch (p) {
+        case Protection::kNone: return "none";
+        case Protection::kParity: return "parity";
+        case Protection::kSecded: return "secded";
+    }
+    return "unknown";
+}
+
+std::optional<Protection> protection_from_string(const std::string& s) {
+    if (s == "none") return Protection::kNone;
+    if (s == "parity") return Protection::kParity;
+    if (s == "secded") return Protection::kSecded;
+    return std::nullopt;
+}
+
+namespace {
+unsigned parity64(std::uint64_t x) {
+    return static_cast<unsigned>(std::popcount(x)) & 1u;
+}
+bool is_pow2(std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+EccCodec::EccCodec(Protection protection, unsigned data_bits)
+    : protection_(protection), data_bits_(data_bits) {
+    WFQS_REQUIRE(data_bits >= 1 && data_bits <= 64, "ECC data width must be 1..64");
+    if (protection_ == Protection::kNone) return;
+    if (protection_ == Protection::kParity) {
+        check_width_ = 1;
+        return;
+    }
+    // SECDED: smallest r with 2^r >= data_bits + r + 1, plus the overall
+    // parity bit. 64-bit words land on the standard Hamming(72,64) r=7.
+    unsigned r = 1;
+    while ((std::uint64_t{1} << r) < data_bits_ + r + 1) ++r;
+    hamming_bits_ = r;
+    check_width_ = r + 1;
+    WFQS_ASSERT(check_width_ <= 64);
+    const std::uint32_t codeword_len = data_bits_ + r;  // positions 1..len
+    position_.reserve(data_bits_);
+    data_at_.assign(codeword_len + 1, -1);
+    for (std::uint32_t pos = 1; pos <= codeword_len; ++pos) {
+        if (is_pow2(pos)) continue;  // power-of-two positions hold check bits
+        data_at_[pos] = static_cast<std::int32_t>(position_.size());
+        position_.push_back(pos);
+    }
+    WFQS_ASSERT(position_.size() == data_bits_);
+}
+
+// Hamming check word = XOR of the positions of all set data bits (XOR of
+// 2^i over the set bits of a position is the position itself, so the r
+// check bits come out in one word).
+std::uint64_t EccCodec::hamming_of(std::uint64_t data) const {
+    std::uint64_t hamming = 0;
+    while (data != 0) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(data));
+        data &= data - 1;
+        hamming ^= position_[bit];
+    }
+    return hamming;
+}
+
+std::uint64_t EccCodec::encode(std::uint64_t data) const {
+    switch (protection_) {
+        case Protection::kNone:
+            return 0;
+        case Protection::kParity:
+            return parity64(data);
+        case Protection::kSecded: {
+            const std::uint64_t hamming = hamming_of(data);
+            const std::uint64_t overall =
+                static_cast<std::uint64_t>(parity64(data) ^ parity64(hamming));
+            return hamming | (overall << hamming_bits_);
+        }
+    }
+    return 0;
+}
+
+Decoded EccCodec::decode(std::uint64_t data, std::uint64_t check) const {
+    Decoded out{data, check, DecodeStatus::kClean};
+    switch (protection_) {
+        case Protection::kNone:
+            return out;
+        case Protection::kParity:
+            if ((parity64(data) ^ (check & 1u)) != 0)
+                out.status = DecodeStatus::kUncorrectable;
+            return out;
+        case Protection::kSecded: {
+            const std::uint64_t hamming_rx = check & ((std::uint64_t{1} << hamming_bits_) - 1);
+            const unsigned overall_rx = static_cast<unsigned>((check >> hamming_bits_) & 1u);
+            const std::uint64_t syndrome = hamming_rx ^ hamming_of(data);
+            const unsigned overall_err =
+                parity64(data) ^ parity64(hamming_rx) ^ overall_rx;
+            if (syndrome == 0 && overall_err == 0) return out;
+            if (overall_err == 0) {
+                // Even number of flipped bits with a nonzero syndrome:
+                // a double error — detectable, not correctable.
+                out.status = DecodeStatus::kUncorrectable;
+                return out;
+            }
+            // Odd error count: assume single and correct it.
+            out.status = DecodeStatus::kCorrected;
+            if (syndrome == 0) {
+                // The overall parity bit itself flipped.
+                out.check = check ^ (std::uint64_t{1} << hamming_bits_);
+            } else if (syndrome < data_at_.size() && data_at_[syndrome] >= 0) {
+                out.data = data ^ (std::uint64_t{1} << data_at_[syndrome]);
+            } else if (is_pow2(static_cast<std::uint32_t>(syndrome)) &&
+                       syndrome < data_at_.size()) {
+                // A Hamming check bit flipped (power-of-two position).
+                const unsigned idx =
+                    static_cast<unsigned>(std::countr_zero(syndrome));
+                out.check = check ^ (std::uint64_t{1} << idx);
+            } else {
+                // Syndrome points outside the codeword: ≥3 flips landed in
+                // a pattern that mimics a single error somewhere invalid.
+                out.status = DecodeStatus::kUncorrectable;
+                out.data = data;
+                out.check = check;
+            }
+            return out;
+        }
+    }
+    return out;
+}
+
+}  // namespace wfqs::fault

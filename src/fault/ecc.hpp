@@ -1,0 +1,78 @@
+// Word protection codecs for the SRAM model: even parity (detect-only)
+// and SECDED (single-error-correct, double-error-detect) Hamming codes.
+//
+// Check bits are stored *beside* the data word (hw::Sram keeps a side
+// array), the way real SRAM macros widen the physical word; the data
+// word itself stays bit-identical to the unprotected layout so packing
+// code (linked-list slots, translation entries, tree nodes) never sees
+// the code.
+//
+// The SECDED construction uses the classic positional-parity identity:
+// with every data bit assigned a non-power-of-two codeword position, the
+// Hamming check word equals the XOR of the positions of all set data
+// bits, and the syndrome of a received word is the XOR of that recompute
+// with the received check word — zero when clean, the error position for
+// a single flip. An appended overall-parity bit separates single
+// (correctable) from double (detect-only) errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wfqs::fault {
+
+enum class Protection {
+    kNone,    ///< raw storage (the seed behaviour)
+    kParity,  ///< one even-parity bit per word: detects any odd-bit flip
+    kSecded,  ///< Hamming + overall parity: corrects 1, detects 2
+};
+
+const char* to_string(Protection p);
+/// Parse "none"/"parity"/"secded" (bench CLI); nullopt on anything else.
+std::optional<Protection> protection_from_string(const std::string& s);
+
+enum class DecodeStatus {
+    kClean,          ///< word matched its code
+    kCorrected,      ///< single-bit error fixed (data or check bit)
+    kUncorrectable,  ///< detected but unfixable; data returned raw
+};
+
+struct Decoded {
+    std::uint64_t data = 0;   ///< corrected data (raw when uncorrectable)
+    std::uint64_t check = 0;  ///< corrected check word
+    DecodeStatus status = DecodeStatus::kClean;
+};
+
+/// Encoder/decoder for one word geometry. Construction precomputes the
+/// position tables so the per-read decode is O(popcount), cheap enough
+/// to leave on for multi-million-operation soak runs.
+class EccCodec {
+public:
+    EccCodec() = default;  ///< Protection::kNone, zero check bits
+    EccCodec(Protection protection, unsigned data_bits);
+
+    Protection protection() const { return protection_; }
+    /// Number of stored check bits (0 for kNone, 1 for parity,
+    /// r+1 for SECDED).
+    unsigned check_width() const { return check_width_; }
+
+    /// Check word for `data` (bits above `data_bits` must be clear).
+    std::uint64_t encode(std::uint64_t data) const;
+
+    /// Validate and correct `data` against `check`.
+    Decoded decode(std::uint64_t data, std::uint64_t check) const;
+
+private:
+    std::uint64_t hamming_of(std::uint64_t data) const;
+
+    Protection protection_ = Protection::kNone;
+    unsigned data_bits_ = 0;
+    unsigned check_width_ = 0;
+    unsigned hamming_bits_ = 0;           ///< r (SECDED only)
+    std::vector<std::uint32_t> position_; ///< data bit -> codeword position
+    std::vector<std::int32_t> data_at_;   ///< codeword position -> data bit, -1 = check
+};
+
+}  // namespace wfqs::fault

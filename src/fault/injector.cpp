@@ -1,0 +1,54 @@
+#include "fault/injector.hpp"
+
+#include "hw/sram.hpp"
+#include "obs/metrics.hpp"
+
+namespace wfqs::fault {
+
+const MemoryFaultModel& FaultInjector::model_for(const std::string& memory) const {
+    const auto it = overrides_.find(memory);
+    return it == overrides_.end() ? default_ : it->second;
+}
+
+void FaultInjector::on_access(hw::Sram& memory, std::size_t addr) {
+    const MemoryFaultModel& model = model_for(memory.name());
+    if (model.quiet()) return;
+    ++stats_.accesses_seen;
+
+    if (model.bit_flip_per_access > 0.0 &&
+        rng_.next_bool(model.bit_flip_per_access)) {
+        // One upset, uniform over the physical cells of the word: data
+        // bits and (when protection is on) the stored check bits are
+        // equally exposed silicon.
+        const unsigned data_bits = memory.word_bits();
+        const unsigned total = data_bits + memory.check_width();
+        const unsigned bit = static_cast<unsigned>(rng_.next_below(total));
+        if (bit < data_bits)
+            memory.corrupt(addr, std::uint64_t{1} << bit);
+        else
+            memory.corrupt(addr, 0, std::uint64_t{1} << (bit - data_bits));
+        ++stats_.transient_flips;
+    }
+
+    for (const StuckBit& stuck : model.stuck_bits) {
+        if (stuck.addr != addr || stuck.bit >= memory.word_bits()) continue;
+        const bool current = ((memory.peek(addr) >> stuck.bit) & 1u) != 0;
+        if (current != stuck.value) {
+            memory.corrupt(addr, std::uint64_t{1} << stuck.bit);
+            ++stats_.stuck_forces;
+        }
+    }
+}
+
+void FaultInjector::register_metrics(obs::MetricsRegistry& registry,
+                                     const std::string& prefix) const {
+    registry.register_counter_fn(prefix + ".accesses_seen",
+                                 [this] { return stats_.accesses_seen; });
+    registry.register_counter_fn(prefix + ".transient_flips",
+                                 [this] { return stats_.transient_flips; });
+    registry.register_counter_fn(prefix + ".stuck_forces",
+                                 [this] { return stats_.stuck_forces; });
+    registry.register_counter_fn(prefix + ".seed", [this] { return seed_; });
+}
+
+}  // namespace wfqs::fault

@@ -1,0 +1,92 @@
+// Deterministic, seeded SEU injection for the SRAM model.
+//
+// The injector is attached to a Simulation (or a single Sram) and is
+// invoked by the memory on every datapath access. Two fault classes:
+//
+//   * transient bit-flips — with a configurable per-access probability,
+//     one uniformly-chosen stored bit of the accessed word (data or ECC
+//     check bit) is flipped *in storage*, modelling a particle upset that
+//     persists until the word is rewritten or corrected;
+//   * stuck-at bits — named (addr, bit, value) cells that are re-forced
+//     to their stuck value on every access, surviving writes and flash
+//     clears, modelling manufacturing/wear-out defects.
+//
+// Rates are configurable per memory block (the external tag-store SRAM
+// of the paper is a much bigger soft-error target than the 272 bits of
+// register tree levels) with a default for unnamed blocks. Everything is
+// driven by one xoshiro stream seeded from a single value, so a soak
+// failure replays exactly from its printed seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace wfqs::obs {
+class MetricsRegistry;
+}
+
+namespace wfqs::hw {
+class Sram;
+}
+
+namespace wfqs::fault {
+
+struct StuckBit {
+    std::size_t addr = 0;
+    unsigned bit = 0;    ///< data bit index (must be < word_bits)
+    bool value = false;  ///< the level the cell is stuck at
+};
+
+struct MemoryFaultModel {
+    /// Probability that one stored bit of the accessed word flips, per
+    /// datapath access (read, write, or flash-clear).
+    double bit_flip_per_access = 0.0;
+    std::vector<StuckBit> stuck_bits;
+
+    bool quiet() const { return bit_flip_per_access <= 0.0 && stuck_bits.empty(); }
+};
+
+struct InjectorStats {
+    std::uint64_t accesses_seen = 0;
+    std::uint64_t transient_flips = 0;  ///< bits actually flipped
+    std::uint64_t stuck_forces = 0;     ///< stuck cells re-forced to a new value
+};
+
+class FaultInjector {
+public:
+    explicit FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+    std::uint64_t seed() const { return seed_; }
+
+    /// Model for memories without a named override.
+    void set_default_model(const MemoryFaultModel& model) { default_ = model; }
+    /// Per-memory override, keyed by the Sram's name.
+    void set_model(const std::string& memory, const MemoryFaultModel& model) {
+        overrides_[memory] = model;
+    }
+    const MemoryFaultModel& model_for(const std::string& memory) const;
+
+    /// Hook called by hw::Sram on every datapath access to `addr`,
+    /// *before* ECC decode on reads. Mutates the stored word through the
+    /// memory's corrupt()/raw inspection API.
+    void on_access(hw::Sram& memory, std::size_t addr);
+
+    const InjectorStats& stats() const { return stats_; }
+
+    /// `<prefix>.{accesses_seen,transient_flips,stuck_forces,seed}` views.
+    void register_metrics(obs::MetricsRegistry& registry,
+                          const std::string& prefix = "fault") const;
+
+private:
+    std::uint64_t seed_;
+    Rng rng_;
+    MemoryFaultModel default_;
+    std::map<std::string, MemoryFaultModel> overrides_;
+    InjectorStats stats_;
+};
+
+}  // namespace wfqs::fault

@@ -8,7 +8,26 @@ Sram& Simulation::make_sram(std::string name, std::size_t num_words, unsigned wo
                             unsigned ports) {
     memories_.push_back(
         std::make_unique<Sram>(std::move(name), num_words, word_bits, clock_, ports));
-    return *memories_.back();
+    Sram& sram = *memories_.back();
+    if (protection_ != fault::Protection::kNone) sram.enable_protection(protection_);
+    if (injector_ != nullptr) sram.set_fault_injector(injector_);
+    return sram;
+}
+
+Sram* Simulation::find_memory(const std::string& name) {
+    for (const auto& m : memories_)
+        if (m->name() == name) return m.get();
+    return nullptr;
+}
+
+void Simulation::enable_protection(fault::Protection protection) {
+    protection_ = protection;
+    for (const auto& m : memories_) m->enable_protection(protection);
+}
+
+void Simulation::attach_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+    for (const auto& m : memories_) m->set_fault_injector(injector);
 }
 
 SramStats Simulation::total_memory_stats() const {
@@ -17,6 +36,8 @@ SramStats Simulation::total_memory_stats() const {
         total.reads += m->stats().reads;
         total.writes += m->stats().writes;
         total.flash_clears += m->stats().flash_clears;
+        total.ecc_corrected += m->stats().ecc_corrected;
+        total.ecc_uncorrectable += m->stats().ecc_uncorrectable;
     }
     return total;
 }
@@ -48,10 +69,24 @@ void Simulation::register_metrics(obs::MetricsRegistry& registry,
         });
         registry.register_counter_fn(base + "capacity_bits",
                                      [m] { return m->bit_capacity(); });
+        if (m->protection() != fault::Protection::kNone) {
+            registry.register_counter_fn(base + "ecc_corrected",
+                                         [m] { return m->stats().ecc_corrected; });
+            registry.register_counter_fn(base + "ecc_uncorrectable",
+                                         [m] { return m->stats().ecc_uncorrectable; });
+        }
     }
     registry.register_counter_fn(prefix + ".total.accesses", [this] {
         return total_memory_stats().total();
     });
+    if (protection_ != fault::Protection::kNone) {
+        registry.register_counter_fn(prefix + ".total.ecc_corrected", [this] {
+            return total_memory_stats().ecc_corrected;
+        });
+        registry.register_counter_fn(prefix + ".total.ecc_uncorrectable", [this] {
+            return total_memory_stats().ecc_uncorrectable;
+        });
+    }
     registry.register_counter_fn(prefix + ".total.capacity_bits",
                                  [this] { return total_memory_bits(); });
 }

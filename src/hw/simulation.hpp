@@ -32,6 +32,19 @@ public:
 
     const std::vector<std::unique_ptr<Sram>>& memories() const { return memories_; }
 
+    /// Memory block by name; nullptr when absent. Used by fault models and
+    /// tests to target a specific structure (e.g. the tag-store SRAM).
+    Sram* find_memory(const std::string& name);
+
+    /// Turn on word protection for every memory created so far *and* any
+    /// created later (the setting is sticky).
+    void enable_protection(fault::Protection protection);
+    fault::Protection protection() const { return protection_; }
+
+    /// Attach a fault injector to every memory created so far and any
+    /// created later; nullptr detaches.
+    void attach_fault_injector(fault::FaultInjector* injector);
+
     /// Aggregate statistics across every memory block.
     SramStats total_memory_stats() const;
     std::uint64_t total_memory_bits() const;
@@ -51,6 +64,8 @@ public:
 private:
     Clock clock_;
     std::vector<std::unique_ptr<Sram>> memories_;
+    fault::Protection protection_ = fault::Protection::kNone;
+    fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace wfqs::hw

@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "fault/errors.hpp"
+#include "fault/injector.hpp"
 
 namespace wfqs::hw {
 
@@ -20,6 +22,14 @@ Sram::Sram(std::string name, std::size_t num_words, unsigned word_bits, Clock& c
     WFQS_REQUIRE(ports >= 1, "SRAM needs at least one port");
 }
 
+void Sram::check_addr(std::size_t addr, const char* op) const {
+    if (addr < words_.size()) return;
+    throw fault::SramAddressError(name_, addr,
+                                  "SRAM '" + name_ + "' " + op + " out of range: address " +
+                                      std::to_string(addr) + " >= " +
+                                      std::to_string(words_.size()));
+}
+
 void Sram::charge_port() {
     if (clock_.now() != last_cycle_) {
         last_cycle_ = clock_.now();
@@ -27,37 +37,126 @@ void Sram::charge_port() {
     }
     ++used_this_cycle_;
     peak_per_cycle_ = std::max(peak_per_cycle_, used_this_cycle_);
-    WFQS_ASSERT_MSG(used_this_cycle_ <= ports_,
-                    "SRAM port conflict on '" + name_ + "': more than " +
-                        std::to_string(ports_) + " accesses in cycle " +
-                        std::to_string(clock_.now()));
+    if (used_this_cycle_ > ports_) {
+        throw fault::SramPortConflict(
+            name_, "SRAM port conflict on '" + name_ + "': more than " +
+                       std::to_string(ports_) + " accesses in cycle " +
+                       std::to_string(clock_.now()));
+    }
+}
+
+void Sram::inject(std::size_t addr) {
+    if (injector_ != nullptr) injector_->on_access(*this, addr);
 }
 
 std::uint64_t Sram::read(std::size_t addr) {
-    WFQS_ASSERT_MSG(addr < words_.size(), "SRAM '" + name_ + "' read out of range");
+    check_addr(addr, "read");
     charge_port();
     ++stats_.reads;
+    inject(addr);
+    if (check_words_.empty()) return words_[addr];
+    const fault::Decoded decoded = codec_.decode(words_[addr], check_words_[addr]);
+    switch (decoded.status) {
+        case fault::DecodeStatus::kClean:
+            break;
+        case fault::DecodeStatus::kCorrected:
+            // Scrub-on-read: write the corrected word back so the upset
+            // does not accumulate into a double error.
+            ++stats_.ecc_corrected;
+            words_[addr] = decoded.data;
+            check_words_[addr] = decoded.check;
+            break;
+        case fault::DecodeStatus::kUncorrectable:
+            ++stats_.ecc_uncorrectable;
+            throw fault::UncorrectableEccError(name_, addr);
+    }
     return words_[addr];
 }
 
 void Sram::write(std::size_t addr, std::uint64_t value) {
-    WFQS_ASSERT_MSG(addr < words_.size(), "SRAM '" + name_ + "' write out of range");
+    check_addr(addr, "write");
     charge_port();
     ++stats_.writes;
     words_[addr] = value & word_mask_;
+    if (!check_words_.empty()) check_words_[addr] = codec_.encode(words_[addr]);
+    inject(addr);
 }
 
 void Sram::flash_clear(std::size_t addr, std::size_t count) {
-    WFQS_ASSERT_MSG(addr + count <= words_.size(),
-                    "SRAM '" + name_ + "' flash_clear out of range");
+    if (count > words_.size() || addr > words_.size() - count) {
+        throw fault::SramAddressError(
+            name_, addr, "SRAM '" + name_ + "' flash_clear out of range: [" +
+                             std::to_string(addr) + ", " + std::to_string(addr + count) +
+                             ") exceeds " + std::to_string(words_.size()) + " words");
+    }
     charge_port();
     ++stats_.flash_clears;
     std::fill_n(words_.begin() + static_cast<std::ptrdiff_t>(addr), count, 0);
+    if (!check_words_.empty()) {
+        const std::uint64_t zero_check = codec_.encode(0);
+        std::fill_n(check_words_.begin() + static_cast<std::ptrdiff_t>(addr), count,
+                    zero_check);
+    }
+    if (count > 0) inject(addr);
+}
+
+void Sram::enable_protection(fault::Protection protection) {
+    codec_ = fault::EccCodec(protection, word_bits_);
+    if (protection == fault::Protection::kNone) {
+        check_words_.clear();
+        return;
+    }
+    check_words_.resize(words_.size());
+    for (std::size_t addr = 0; addr < words_.size(); ++addr)
+        check_words_[addr] = codec_.encode(words_[addr]);
+}
+
+void Sram::corrupt(std::size_t addr, std::uint64_t data_xor, std::uint64_t check_xor) {
+    check_addr(addr, "corrupt");
+    words_[addr] ^= data_xor & word_mask_;
+    if (!check_words_.empty()) check_words_[addr] ^= check_xor;
+}
+
+void Sram::relaunder() {
+    if (check_words_.empty()) return;
+    for (std::size_t addr = 0; addr < words_.size(); ++addr) {
+        const fault::Decoded d = codec_.decode(words_[addr], check_words_[addr]);
+        switch (d.status) {
+            case fault::DecodeStatus::kClean:
+                break;
+            case fault::DecodeStatus::kCorrected:
+                ++stats_.ecc_corrected;
+                words_[addr] = d.data;
+                check_words_[addr] = d.check;
+                break;
+            case fault::DecodeStatus::kUncorrectable:
+                ++stats_.ecc_uncorrectable;
+                check_words_[addr] = codec_.encode(words_[addr]);
+                break;
+        }
+    }
+}
+
+void Sram::poke(std::size_t addr, std::uint64_t value) {
+    check_addr(addr, "poke");
+    words_[addr] = value & word_mask_;
+    if (!check_words_.empty()) check_words_[addr] = codec_.encode(words_[addr]);
 }
 
 std::uint64_t Sram::peek(std::size_t addr) const {
-    WFQS_ASSERT_MSG(addr < words_.size(), "SRAM '" + name_ + "' peek out of range");
+    check_addr(addr, "peek");
     return words_[addr];
+}
+
+std::uint64_t Sram::peek_check(std::size_t addr) const {
+    check_addr(addr, "peek_check");
+    return check_words_.empty() ? 0 : check_words_[addr];
+}
+
+std::uint64_t Sram::peek_corrected(std::size_t addr) const {
+    check_addr(addr, "peek_corrected");
+    if (check_words_.empty()) return words_[addr];
+    return codec_.decode(words_[addr], check_words_[addr]).data;
 }
 
 }  // namespace wfqs::hw

@@ -1,11 +1,23 @@
-// Behavioural SRAM model with per-cycle port accounting.
+// Behavioural SRAM model with per-cycle port accounting, optional word
+// protection (parity / SECDED ECC), and a fault-injection hook.
 //
-// Models the paper's on-chip SRAM blocks (tree level 3, translation table)
-// and the external SRAM holding the tag storage linked list. Reads and
-// writes complete functionally in the calling cycle; what the model
-// enforces is the *port budget*: at most `ports` accesses may occur in any
-// one clock cycle (single-port for all memories in the paper). Violations
-// abort — they would be a bus conflict in silicon.
+// Models the paper's on-chip SRAM blocks (tree level 3, translation
+// table) and the external SRAM holding the tag storage linked list.
+// Reads and writes complete functionally in the calling cycle; what the
+// model enforces is the *port budget*: at most `ports` accesses may
+// occur in any one clock cycle (single-port for all memories in the
+// paper). Violations throw fault::SramPortConflict — they would be a bus
+// conflict in silicon — as do out-of-range addresses
+// (fault::SramAddressError), which a corrupted pointer can legally
+// produce once a FaultInjector is attached.
+//
+// Protection (enable_protection) stores a check word beside each data
+// word, exactly like a widened SRAM macro: reads decode, transparently
+// correct single-bit upsets in place (scrub-on-read, no extra cycle —
+// a simplification over a real read-modify-write scrubber), and throw
+// fault::UncorrectableEccError on detected-but-unfixable words. The
+// corrected/uncorrectable tallies live in SramStats and surface through
+// Simulation::register_metrics.
 //
 // Access counters feed Table I ("worst-case memory accesses per lookup")
 // and the Table II area/power model.
@@ -15,7 +27,12 @@
 #include <string>
 #include <vector>
 
+#include "fault/ecc.hpp"
 #include "hw/clock.hpp"
+
+namespace wfqs::fault {
+class FaultInjector;
+}
 
 namespace wfqs::hw {
 
@@ -23,6 +40,8 @@ struct SramStats {
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
     std::uint64_t flash_clears = 0;
+    std::uint64_t ecc_corrected = 0;      ///< single-bit errors fixed on read
+    std::uint64_t ecc_uncorrectable = 0;  ///< detected-but-unfixable reads
 
     std::uint64_t total() const { return reads + writes + flash_clears; }
 };
@@ -43,9 +62,47 @@ public:
     /// word-by-word sweep).
     void flash_clear(std::size_t addr, std::size_t count);
 
-    /// Inspection without touching ports or counters (for tests/analysis
-    /// only; not part of the simulated datapath).
+    // -- protection & faults ----------------------------------------------
+
+    /// Switch on word protection; existing contents are re-encoded. The
+    /// data word layout is unchanged — check bits live in a side array.
+    void enable_protection(fault::Protection protection);
+    fault::Protection protection() const { return codec_.protection(); }
+    /// Stored check bits per word under the current protection.
+    unsigned check_width() const { return codec_.check_width(); }
+
+    /// Attach (or detach with nullptr) a fault injector; it is invoked on
+    /// every datapath access before ECC decode.
+    void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
+
+    /// Flip stored bits in place — the physical upset primitive used by
+    /// the injector and by corruption tests. No ports, no counters, no
+    /// re-encode: the word is now inconsistent with its check bits.
+    void corrupt(std::size_t addr, std::uint64_t data_xor, std::uint64_t check_xor = 0);
+
+    /// Maintenance write used by the scrubber's repairs: stores `value`
+    /// and re-encodes its check word, bypassing ports, counters, and the
+    /// injector (background repair traffic absorbed by banking headroom).
+    void poke(std::size_t addr, std::uint64_t value);
+
+    /// Maintenance sweep over the whole block: correct every correctable
+    /// word in place and re-encode the check bits of uncorrectable ones
+    /// (their raw data becomes authoritative, so the datapath stops
+    /// throwing on them and the auditor judges the *content* instead).
+    /// Corrections and writedowns are tallied in the ECC counters.
+    void relaunder();
+
+    // -- inspection (tests/analysis/audit only; no ports, no counters) ----
+
+    /// Raw stored data word, exactly as the cells hold it.
     std::uint64_t peek(std::size_t addr) const;
+    /// Raw stored check word (0 when unprotected).
+    std::uint64_t peek_check(std::size_t addr) const;
+    /// The word as a datapath read would return it: decoded through the
+    /// protection with single-bit correction applied (but *not* written
+    /// back). Uncorrectable words are returned raw — the auditor treats
+    /// them as corrupt. Identical to peek() when unprotected.
+    std::uint64_t peek_corrected(std::size_t addr) const;
 
     const std::string& name() const { return name_; }
     std::size_t num_words() const { return words_.size(); }
@@ -58,7 +115,9 @@ public:
     unsigned peak_accesses_per_cycle() const { return peak_per_cycle_; }
 
 private:
+    void check_addr(std::size_t addr, const char* op) const;
     void charge_port();
+    void inject(std::size_t addr);
 
     std::string name_;
     unsigned word_bits_;
@@ -66,6 +125,9 @@ private:
     Clock& clock_;
     unsigned ports_;
     std::vector<std::uint64_t> words_;
+    fault::EccCodec codec_;
+    std::vector<std::uint64_t> check_words_;  ///< empty until protected
+    fault::FaultInjector* injector_ = nullptr;
     SramStats stats_;
     std::uint64_t last_cycle_ = ~std::uint64_t{0};
     unsigned used_this_cycle_ = 0;

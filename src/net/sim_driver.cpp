@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/assert.hpp"
+#include "fault/errors.hpp"
 #include "obs/tracer.hpp"
 
 namespace wfqs::net {
@@ -34,6 +35,7 @@ void SimDriver::attach_metrics(obs::MetricsRegistry& registry) {
     registry.counter("net.offered_packets");
     registry.counter("net.dropped_packets");
     registry.counter("net.delivered_packets");
+    registry.counter("net.sorter_faults");
     // Delay distribution: 0–10 ms in 10 µs bins (outliers clamp into the
     // last bin; exact min/mean/max come from the embedded RunningStats).
     registry.histogram("net.delay_us", 0.0, 10'000.0, 1000);
@@ -47,6 +49,7 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
     obs::Counter* m_dropped = metrics_ ? &metrics_->counter("net.dropped_packets") : nullptr;
     obs::Counter* m_delivered =
         metrics_ ? &metrics_->counter("net.delivered_packets") : nullptr;
+    obs::Counter* m_faults = metrics_ ? &metrics_->counter("net.sorter_faults") : nullptr;
     obs::CycleHistogram* m_delay = metrics_ ? &metrics_->histogram("net.delay_us") : nullptr;
     std::priority_queue<PendingArrival, std::vector<PendingArrival>,
                         std::greater<PendingArrival>>
@@ -64,6 +67,17 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
     TimeNs link_free_at = 0;
     TimeNs now = 0;
 
+    // Fault recovery: a FaultError from the scheduler's sorter is survivable
+    // when the scheduler has a scrub path — recover, note a trace instant,
+    // and retry the operation. Recovery that fails (or faults that strike
+    // faster than scrubbing can keep up with) propagate to the caller.
+    constexpr int kMaxRecoveries = 3;
+    const auto note_fault = [&](TimeNs at) {
+        ++result.sorter_faults;
+        WFQS_TRACE_INSTANT("sorter-fault", "net", ns_to_trace_us(at));
+        if (m_faults) m_faults->inc();
+    };
+
     auto deliver_next_arrival = [&] {
         const PendingArrival a = arrivals.top();
         arrivals.pop();
@@ -74,7 +88,17 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
         ++result.offered_packets;
         WFQS_TRACE_INSTANT("arrival", "net", ns_to_trace_us(a.time));
         if (m_offered) m_offered->inc();
-        if (!sched.enqueue(pkt, a.time)) {
+        bool accepted = false;
+        for (int attempt = 0;; ++attempt) {
+            try {
+                accepted = sched.enqueue(pkt, a.time);
+                break;
+            } catch (const fault::FaultError&) {
+                note_fault(a.time);
+                if (attempt >= kMaxRecoveries || !sched.recover()) throw;
+            }
+        }
+        if (!accepted) {
             ++result.dropped_packets;
             WFQS_TRACE_INSTANT("drop", "net", ns_to_trace_us(a.time));
             if (m_dropped) m_dropped->inc();
@@ -98,8 +122,24 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
             deliver_next_arrival();
             continue;
         }
-        const auto pkt = sched.dequeue(service_start);
-        WFQS_ASSERT_MSG(pkt.has_value(), "scheduler claimed packets but gave none");
+        std::optional<Packet> pkt;
+        bool faulted = false;
+        for (int attempt = 0;; ++attempt) {
+            try {
+                pkt = sched.dequeue(service_start);
+                break;
+            } catch (const fault::FaultError&) {
+                faulted = true;
+                note_fault(service_start);
+                if (attempt >= kMaxRecoveries || !sched.recover()) throw;
+            }
+        }
+        if (!pkt) {
+            // A recovery can legally shrink the queue (a rebuild lost the
+            // entry that was about to be served); re-evaluate the loop.
+            WFQS_ASSERT_MSG(faulted, "scheduler claimed packets but gave none");
+            continue;
+        }
         const TimeNs done = service_start + transmission_ns(pkt->size_bytes, rate_);
         result.records.push_back(PacketRecord{*pkt, service_start, done});
         WFQS_TRACE_INSTANT("departure", "net", ns_to_trace_us(done));

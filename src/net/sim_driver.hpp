@@ -20,6 +20,7 @@ struct SimResult {
     std::vector<Packet> all_arrivals;     ///< every offered packet (incl. drops)
     std::uint64_t offered_packets = 0;
     std::uint64_t dropped_packets = 0;
+    std::uint64_t sorter_faults = 0;      ///< FaultErrors recovered in-run
     TimeNs last_departure_ns = 0;
 };
 

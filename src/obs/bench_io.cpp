@@ -52,14 +52,42 @@ std::optional<std::string> bench_json_path(const std::string& bench_name,
     return std::nullopt;
 }
 
+std::optional<std::uint64_t> bench_seed_override(int argc, char** argv) {
+    const auto parse = [&](const char* text) -> std::uint64_t {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(text, &end, 10);
+        if (end == text || *end != '\0') {
+            std::fprintf(stderr, "%s: seed must be an unsigned integer, got '%s'\n",
+                         argv[0], text);
+            std::exit(2);
+        }
+        return v;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--seed") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --seed needs a value argument\n", argv[0]);
+                std::exit(2);
+            }
+            return parse(argv[i + 1]);
+        }
+        if (std::strncmp(a, "--seed=", 7) == 0) return parse(a + 7);
+    }
+    if (const char* env = std::getenv("WFQS_SEED"); env && *env) return parse(env);
+    return std::nullopt;
+}
+
 void write_bench_json(const MetricsRegistry& registry,
-                      const std::string& bench_name, const std::string& path) {
+                      const std::string& bench_name, const std::string& path,
+                      std::optional<std::uint64_t> seed) {
     std::ofstream os(path);
     WFQS_REQUIRE(os.good(), "cannot open metrics output file '" + path + "'");
     JsonWriter w(os);
     w.begin_object();
     w.field("bench", bench_name);
     w.field("schema", std::uint64_t{1});
+    if (seed) w.field("seed", *seed);
     w.key("metrics");
     registry.write_json(w);
     w.end_object();
@@ -69,7 +97,7 @@ void write_bench_json(const MetricsRegistry& registry,
 void BenchReporter::finish() {
     if (!path_) return;
     try {
-        write_bench_json(registry_, name_, *path_);
+        write_bench_json(registry_, name_, *path_, seed_);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "[metrics] export failed: %s\n", e.what());
         std::exit(2);

@@ -15,8 +15,18 @@
 //
 // with sorted metric names, so committed BENCH_*.json artifacts diff
 // cleanly between runs and feed the perf trajectory.
+// Benches additionally accept
+//
+//     <bench> --seed <n>           (also --seed=<n>)
+//     WFQS_SEED=<n>                (env; the flag wins)
+//
+// to shift every RNG seeding site in the bench while keeping distinct
+// sites distinct (see BenchReporter::seed). The resolved seed of the
+// first site is exported as a top-level "seed" field so every committed
+// artifact records how to reproduce it.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -29,19 +39,39 @@ namespace wfqs::obs {
 std::optional<std::string> bench_json_path(const std::string& bench_name,
                                            int argc, char** argv);
 
-/// Write the snapshot document to `path`.
+/// Resolve the seed override from `--seed <n>` / `--seed=<n>` / WFQS_SEED;
+/// nullopt means "use each site's default".
+std::optional<std::uint64_t> bench_seed_override(int argc, char** argv);
+
+/// Write the snapshot document to `path`. A resolved `seed` is emitted as
+/// a top-level "seed" field (omitted when the bench has no RNG).
 void write_bench_json(const MetricsRegistry& registry,
-                      const std::string& bench_name, const std::string& path);
+                      const std::string& bench_name, const std::string& path,
+                      std::optional<std::uint64_t> seed = std::nullopt);
 
 /// The one-liner benches use: registry + "did the run ask for JSON?".
 /// finish() exports if a path was requested and reports where.
 class BenchReporter {
 public:
     BenchReporter(std::string bench_name, int argc, char** argv)
-        : name_(std::move(bench_name)), path_(bench_json_path(name_, argc, argv)) {}
+        : name_(std::move(bench_name)),
+          path_(bench_json_path(name_, argc, argv)),
+          seed_override_(bench_seed_override(argc, argv)) {}
 
     MetricsRegistry& registry() { return registry_; }
     const std::optional<std::string>& path() const { return path_; }
+
+    /// Resolve the seed for one RNG seeding site. Without an override the
+    /// site keeps its historical default (committed artifacts stay
+    /// byte-identical); with `--seed N` the site becomes `N + site_default`
+    /// so a bench with several sites still seeds them distinctly. The
+    /// exported "seed" field records the override (what --seed must be
+    /// passed to reproduce the run), or the first site default when the
+    /// run used the defaults.
+    std::uint64_t seed(std::uint64_t site_default) {
+        if (!seed_) seed_ = seed_override_ ? *seed_override_ : site_default;
+        return seed_override_ ? *seed_override_ + site_default : site_default;
+    }
 
     /// Export (if requested) and print a one-line note to stdout.
     void finish();
@@ -49,6 +79,8 @@ public:
 private:
     std::string name_;
     std::optional<std::string> path_;
+    std::optional<std::uint64_t> seed_override_;
+    std::optional<std::uint64_t> seed_;
     MetricsRegistry registry_;
 };
 

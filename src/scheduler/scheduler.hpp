@@ -59,6 +59,12 @@ public:
     virtual std::size_t queued_packets() const = 0;
     virtual std::string name() const = 0;
 
+    /// After enqueue/dequeue threw fault::FaultError: restore internal
+    /// consistency so the caller may retry the operation. Returns false
+    /// when this scheduler cannot recover (default — only hardware-model
+    /// schedulers have a scrub path).
+    virtual bool recover() { return false; }
+
     const SchedulerCounters& counters() const { return counters_; }
 
     /// Register the boundary counters as `<prefix>.*` views (default

@@ -22,7 +22,14 @@ bool FairQueueingScheduler::do_enqueue(const net::Packet& packet, net::TimeNs no
     const auto ref = buffer_.store(packet);
     if (!ref) return false;  // tail drop
     const Fixed finish = computer_->on_arrival(packet.flow, now, packet.size_bits());
-    queue_->insert(quantizer_.quantize(finish), *ref);
+    try {
+        queue_->insert(quantizer_.quantize(finish), *ref);
+    } catch (...) {
+        // A faulted insert must not leak the buffer cell: release it so a
+        // post-recovery retry re-stores the packet cleanly.
+        buffer_.retrieve(*ref);
+        throw;
+    }
     return true;
 }
 

@@ -42,6 +42,7 @@ public:
     bool has_packets() const override { return !queue_->empty(); }
     std::size_t queued_packets() const override { return queue_->size(); }
     std::string name() const override;
+    bool recover() override { return queue_->recover(); }
 
     const SharedPacketBuffer& buffer() const { return buffer_; }
     const baselines::TagQueue& tag_queue() const { return *queue_; }

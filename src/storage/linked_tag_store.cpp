@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "fault/errors.hpp"
 
 namespace wfqs::storage {
 namespace {
@@ -73,7 +74,12 @@ Addr LinkedTagStore::allocate_slot() {
     // valid because tags only ever depart from the head, so each freed
     // slot's old pointer names the slot freed right after it (the paper's
     // "the link itself is left unchanged" trick). One read pops the chain.
-    WFQS_ASSERT(empty_head_ != kNullAddr);
+    if (empty_head_ == kNullAddr || empty_head_ >= config_.capacity) {
+        throw fault::IntegrityError(
+            fault::IntegrityKind::kFreeList,
+            "empty-list head invalid with " + std::to_string(empty_list_length()) +
+                " freed slot(s) outstanding");
+    }
     const Addr slot = empty_head_;
     const Slot s = unpack(sram_.read(slot));
     empty_head_ = s.next;
@@ -139,7 +145,7 @@ std::optional<TagEntry> LinkedTagStore::pop_head() {
     if (empty_list_length() == 0) {
         empty_head_ = old_head;
     } else if (free_tail_stale_next_ != old_head) {
-        Slot tail = unpack(sram_.peek(free_tail_));
+        Slot tail = unpack(sram_.peek_corrected(free_tail_));
         tail.next = old_head;
         sram_.write(free_tail_, pack(tail));
         clock_.advance();
@@ -192,14 +198,19 @@ LinkedTagStore::CombinedResult LinkedTagStore::insert_and_pop_head(
 
 std::optional<TagEntry> LinkedTagStore::peek_head() const {
     if (size_ == 0) return std::nullopt;
-    return unpack(sram_.peek(head_)).entry;
+    return unpack(sram_.peek_corrected(head_)).entry;
 }
 
 std::optional<std::uint64_t> LinkedTagStore::peek_second_tag() const {
     if (size_ < 2) return std::nullopt;
-    const Slot head = unpack(sram_.peek(head_));
-    WFQS_ASSERT(head.next != kNullAddr);
-    return unpack(sram_.peek(head.next)).entry.tag;
+    const Slot head = unpack(sram_.peek_corrected(head_));
+    if (head.next == kNullAddr || head.next >= config_.capacity) {
+        throw fault::IntegrityError(
+            fault::IntegrityKind::kBrokenLink,
+            "head slot's next pointer is invalid with " + std::to_string(size_) +
+                " entries stored");
+    }
+    return unpack(sram_.peek_corrected(head.next)).entry.tag;
 }
 
 std::vector<TagEntry> LinkedTagStore::snapshot() const {
@@ -207,12 +218,54 @@ std::vector<TagEntry> LinkedTagStore::snapshot() const {
     out.reserve(size_);
     Addr a = head_;
     for (std::size_t i = 0; i < size_; ++i) {
-        WFQS_ASSERT(a != kNullAddr);
-        const Slot s = unpack(sram_.peek(a));
+        if (a == kNullAddr || a >= config_.capacity) {
+            throw fault::IntegrityError(
+                fault::IntegrityKind::kBrokenLink,
+                "list chain breaks after " + std::to_string(i) + " of " +
+                    std::to_string(size_) + " entries");
+        }
+        const Slot s = unpack(sram_.peek_corrected(a));
         out.push_back(s.entry);
         a = s.next;
     }
     return out;
+}
+
+LinkedTagStore::SlotView LinkedTagStore::peek_slot(Addr addr) const {
+    const Slot s = unpack(sram_.peek_corrected(addr));
+    return SlotView{s.entry, s.next};
+}
+
+void LinkedTagStore::poke_slot(Addr addr, const SlotView& slot) {
+    sram_.poke(addr, pack(Slot{slot.entry, slot.next}));
+}
+
+void LinkedTagStore::relink_free_list(const std::vector<Addr>& free_slots) {
+    WFQS_REQUIRE(free_slots.size() == empty_list_length(),
+                 "relink_free_list must cover every freed slot");
+    if (free_slots.empty()) {
+        empty_head_ = kNullAddr;
+        free_tail_ = kNullAddr;
+        free_tail_stale_next_ = kNullAddr;
+        return;
+    }
+    for (std::size_t i = 0; i < free_slots.size(); ++i) {
+        SlotView s = peek_slot(free_slots[i]);
+        s.next = i + 1 < free_slots.size() ? free_slots[i + 1] : kNullAddr;
+        poke_slot(free_slots[i], s);
+    }
+    empty_head_ = free_slots.front();
+    free_tail_ = free_slots.back();
+    free_tail_stale_next_ = kNullAddr;
+}
+
+void LinkedTagStore::reset() {
+    head_ = kNullAddr;
+    empty_head_ = kNullAddr;
+    free_tail_ = kNullAddr;
+    free_tail_stale_next_ = kNullAddr;
+    fresh_counter_ = 0;
+    size_ = 0;
 }
 
 std::size_t LinkedTagStore::empty_list_length() const {

@@ -89,12 +89,41 @@ public:
     std::size_t capacity() const { return config_.capacity; }
 
     /// Walk the sorted list (tests/analysis only: peeks, no cycles).
+    /// Throws fault::IntegrityError on a broken chain.
     std::vector<TagEntry> snapshot() const;
-    /// Walk the empty list (tests only).
+    /// Freed-slot count (fresh allocations minus live entries).
     std::size_t empty_list_length() const;
+
+    // -- integrity surface (audit/repair/tests; no ports, no cycles) ------
+
+    /// One stored slot as the auditor sees it: ECC-corrected view of the
+    /// packed word. `next == kNullAddr` is the unpacked null.
+    struct SlotView {
+        TagEntry entry;
+        Addr next = kNullAddr;
+    };
+    SlotView peek_slot(Addr addr) const;
+    /// Maintenance write of a full slot (repairs; re-encodes check bits).
+    void poke_slot(Addr addr, const SlotView& slot);
+
+    Addr empty_head() const { return empty_head_; }
+    Addr free_tail() const { return free_tail_; }
+    std::uint32_t fresh_count() const { return fresh_counter_; }
+
+    /// Rewrite the empty list as the given chain of slots (repair path:
+    /// the stale-pointer trick cannot survive arbitrary corruption, so the
+    /// scrubber materialises an explicit chain with poke writes).
+    void relink_free_list(const std::vector<Addr>& free_slots);
+
+    /// Forget all contents and bookkeeping (rebuild path — the sorter
+    /// drains what it can, resets, and re-inserts). Stats are preserved;
+    /// the backing SRAM words are left as-is and re-used via the fresh
+    /// counter.
+    void reset();
 
     const StoreStats& stats() const { return stats_; }
     const hw::Sram& memory() const { return sram_; }
+    hw::Sram& memory() { return sram_; }  ///< scrubber/corruption-test access
 
 private:
     struct Slot {

@@ -41,4 +41,20 @@ void TranslationTable::invalidate(std::uint64_t value) {
     sram_.write(value, 0);
 }
 
+std::optional<Addr> TranslationTable::peek(std::uint64_t value) const {
+    WFQS_ASSERT(value < entries());
+    const std::uint64_t word = sram_.peek_corrected(value);
+    if ((word & 1u) == 0) return std::nullopt;
+    return static_cast<Addr>(word >> 1);
+}
+
+void TranslationTable::poke(std::uint64_t value, std::optional<Addr> addr) {
+    WFQS_ASSERT(value < entries());
+    sram_.poke(value, addr ? (std::uint64_t{*addr} << 1) | 1u : 0);
+}
+
+void TranslationTable::clear() {
+    for (std::uint64_t value = 0; value < entries(); ++value) sram_.poke(value, 0);
+}
+
 }  // namespace wfqs::storage

@@ -39,8 +39,20 @@ public:
     /// or a sector is recycled). One SRAM write.
     void invalidate(std::uint64_t value);
 
+    // -- integrity surface (audit/repair/tests; no ports, no cycles) ------
+
+    /// ECC-corrected view of one entry; nullopt when the valid bit is
+    /// clear. Never charges a cycle — this is the auditor's read.
+    std::optional<Addr> peek(std::uint64_t value) const;
+    /// Maintenance write: set (or clear, with nullopt) an entry,
+    /// re-encoding its check bits.
+    void poke(std::uint64_t value, std::optional<Addr> addr);
+    /// Clear every entry (rebuild path; maintenance writes, no cycles).
+    void clear();
+
     std::uint64_t entries() const { return std::uint64_t{1} << config_.tag_bits; }
     const hw::Sram& memory() const { return sram_; }
+    hw::Sram& memory() { return sram_; }  ///< scrubber/corruption-test access
 
 private:
     Config config_;

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "fault/errors.hpp"
 
 namespace wfqs::tree {
 
@@ -50,7 +51,15 @@ void MultibitTree::write_node(unsigned level, std::uint64_t index, std::uint64_t
 
 std::uint64_t MultibitTree::node_word(unsigned level, std::uint64_t index) const {
     if (level < config_.first_sram_level) return register_levels_[level][index];
-    return sram_levels_[level - config_.first_sram_level]->peek(index);
+    return sram_levels_[level - config_.first_sram_level]->peek_corrected(index);
+}
+
+void MultibitTree::poke_node(unsigned level, std::uint64_t index, std::uint64_t word) {
+    if (level < config_.first_sram_level) {
+        register_levels_[level][index] = word;
+        return;
+    }
+    sram_levels_[level - config_.first_sram_level]->poke(index, word);
 }
 
 bool MultibitTree::contains(std::uint64_t value) const {
@@ -107,8 +116,12 @@ std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_
         if (w.shadow_active) {
             const std::uint64_t sword = read_node(l, w.shadow_idx);
             shadow_literal = highest_set(sword & low_mask(B));
-            WFQS_ASSERT_MSG(shadow_literal >= 0,
-                            "tree invariant broken: marked node has empty child");
+            if (shadow_literal < 0) {
+                throw fault::IntegrityError(
+                    fault::IntegrityKind::kTreeInvariant,
+                    "marked node has empty child (shadow descent, level " +
+                        std::to_string(l) + ")");
+            }
         }
 
         if (w.mode == Walk::Mode::Exact) {
@@ -160,8 +173,12 @@ std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_
         } else if (w.mode == Walk::Mode::MaxDescent) {
             const std::uint64_t word = read_node(l, w.node_idx);
             const int literal = highest_set(word & low_mask(B));
-            WFQS_ASSERT_MSG(literal >= 0,
-                            "tree invariant broken: marked node has empty child");
+            if (literal < 0) {
+                throw fault::IntegrityError(
+                    fault::IntegrityKind::kTreeInvariant,
+                    "marked node has empty child (max descent, level " +
+                        std::to_string(l) + ")");
+            }
             w.node_idx = w.node_idx * B + static_cast<unsigned>(literal);
             w.prefix = (w.prefix << g.bits_per_level) | static_cast<unsigned>(literal);
         }
@@ -214,16 +231,20 @@ void MultibitTree::erase(std::uint64_t value) {
     // absorb them); the clock is advanced by the caller's FSM.
     std::vector<std::uint64_t> words(g.levels);
     for (unsigned l = 0; l < g.levels; ++l) words[l] = read_node(l, g.node_index(value, l));
-    WFQS_ASSERT_MSG(bit_is_set(words[g.levels - 1], g.literal(value, g.levels - 1)),
-                    "erasing a marker that is not present");
+    if (!bit_is_set(words[g.levels - 1], g.literal(value, g.levels - 1))) {
+        throw fault::IntegrityError(fault::IntegrityKind::kTreeInvariant,
+                                    "erasing a marker that is not present (value " +
+                                        std::to_string(value) + ")");
+    }
 
     for (unsigned l = g.levels; l-- > 0;) {
         const std::uint64_t cleared = clear_bit(words[l], g.literal(value, l));
         write_node(l, g.node_index(value, l), cleared);
         if (cleared != 0) break;  // node still has markers: ancestors keep their bit
     }
-    WFQS_ASSERT(marker_count_ > 0);
-    --marker_count_;
+    // Saturating: corruption can make the count drift from the markers;
+    // repair_from_leaves() resynchronises it.
+    if (marker_count_ > 0) --marker_count_;
     // The whole read-modify-write touches each level memory at most twice,
     // which the banked level memories absorb in a single cycle.
     clock_.advance();
@@ -260,8 +281,51 @@ void MultibitTree::clear_sector(unsigned sector) {
         }
     }
     clock_.advance();
-    WFQS_ASSERT(marker_count_ >= removed);
-    marker_count_ -= removed;
+    marker_count_ -= std::min(marker_count_, removed);  // saturating under corruption
+}
+
+void MultibitTree::relaunder() {
+    for (hw::Sram* level : sram_levels_) level->relaunder();
+}
+
+void MultibitTree::clear_all() {
+    const TreeGeometry& g = config_.geometry;
+    for (unsigned l = 0; l < g.levels; ++l)
+        for (std::uint64_t i = 0; i < g.nodes_at_level(l); ++i) poke_node(l, i, 0);
+    marker_count_ = 0;
+}
+
+void MultibitTree::set_leaf_marker(std::uint64_t value, bool present) {
+    const TreeGeometry& g = config_.geometry;
+    WFQS_ASSERT(value < g.capacity());
+    const unsigned leaf = g.levels - 1;
+    const std::uint64_t idx = g.node_index(value, leaf);
+    const unsigned bit = g.literal(value, leaf);
+    const std::uint64_t word = node_word(leaf, idx);
+    const std::uint64_t updated = present ? set_bit(word, bit) : clear_bit(word, bit);
+    if (updated != word) poke_node(leaf, idx, updated);
+}
+
+void MultibitTree::repair_from_leaves() {
+    const TreeGeometry& g = config_.geometry;
+    const unsigned B = g.branching();
+    const unsigned leaf = g.levels - 1;
+
+    marker_count_ = 0;
+    for (std::uint64_t i = 0; i < g.nodes_at_level(leaf); ++i) {
+        marker_count_ += static_cast<std::uint64_t>(
+            std::popcount(node_word(leaf, i) & low_mask(B)));
+    }
+    for (unsigned l = leaf; l-- > 0;) {
+        for (std::uint64_t i = 0; i < g.nodes_at_level(l); ++i) {
+            std::uint64_t word = 0;
+            for (unsigned b = 0; b < B; ++b) {
+                if ((node_word(l + 1, i * B + b) & low_mask(B)) != 0)
+                    word = set_bit(word, b);
+            }
+            if (node_word(l, i) != word) poke_node(l, i, word);
+        }
+    }
 }
 
 }  // namespace wfqs::tree

@@ -70,11 +70,33 @@ public:
     /// flash-clear per SRAM level).
     void clear_sector(unsigned sector);
 
-    /// Test/inspection helpers: no clock, no port accounting.
+    /// Test/inspection helpers: no clock, no port accounting. Words are
+    /// the ECC-corrected view when the node memory is protected.
     bool contains(std::uint64_t value) const;
     bool empty() const { return marker_count_ == 0; }
     std::uint64_t marker_count() const { return marker_count_; }
     std::uint64_t node_word(unsigned level, std::uint64_t index) const;
+
+    // -- integrity surface (scrubber/rebuild; maintenance, no cycles) -----
+
+    /// Wipe every marker (rebuild path).
+    void clear_all();
+
+    /// Run hw::Sram::relaunder on every SRAM-backed level (scrub pass).
+    void relaunder();
+
+    /// Maintenance: force the *leaf* marker for `value` on or off (no
+    /// cycles, no interior update, marker_count_ untouched). Callers fix
+    /// the interior and the count with repair_from_leaves() afterwards.
+    void set_leaf_marker(std::uint64_t value, bool present);
+
+    /// Recompute every interior level from the leaf level: a parent bit is
+    /// set iff the child node below it holds any marker. Repairs upward
+    /// inconsistencies (a flipped interior bit) using the leaves as ground
+    /// truth, and resynchronises marker_count_. Leaf corruption itself is
+    /// *not* repairable here — the leaves are the authority; the scrubber
+    /// cross-checks them against the translation table instead.
+    void repair_from_leaves();
 
     const TreeSearchStats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }
@@ -82,6 +104,8 @@ public:
 private:
     std::uint64_t read_node(unsigned level, std::uint64_t index);
     void write_node(unsigned level, std::uint64_t index, std::uint64_t word);
+    /// Maintenance write: no ports, no cycles, re-encodes check bits.
+    void poke_node(unsigned level, std::uint64_t index, std::uint64_t word);
     std::optional<std::uint64_t> do_walk(std::uint64_t value, bool do_insert);
 
     Config config_;

@@ -13,6 +13,7 @@
 #include "common/fixed_point.hpp"
 #include "common/rng.hpp"
 #include "core/tag_sorter.hpp"
+#include "fault/errors.hpp"
 #include "hw/simulation.hpp"
 #include "net/sim_driver.hpp"
 #include "net/traffic_gen.hpp"
@@ -75,11 +76,20 @@ TEST(SramEdge, FlashClearWholeMemoryAndSingleWord) {
     for (std::size_t a = 0; a < 8; ++a) EXPECT_EQ(m.peek(a), 0u);
 }
 
-TEST(SramEdge, OutOfRangeAborts) {
+TEST(SramEdge, OutOfRangeThrows) {
     hw::Clock clk;
     hw::Sram m("m", 8, 16, clk);
-    EXPECT_DEATH(m.read(8), "out of range");
-    EXPECT_DEATH(m.flash_clear(4, 5), "out of range");
+    EXPECT_THROW(m.read(8), fault::SramAddressError);
+    EXPECT_THROW(m.flash_clear(4, 5), fault::SramAddressError);
+    EXPECT_THROW(m.write(9, 1), fault::SramAddressError);
+    try {
+        m.read(8);
+        FAIL() << "expected SramAddressError";
+    } catch (const fault::SramAddressError& e) {
+        EXPECT_EQ(e.memory(), "m");
+        EXPECT_EQ(e.addr(), 8u);
+        EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+    }
 }
 
 // ------------------------------------------- tree x all netlist kinds

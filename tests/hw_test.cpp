@@ -2,6 +2,7 @@
 // the simulation inventory.
 #include <gtest/gtest.h>
 
+#include "fault/errors.hpp"
 #include "hw/clock.hpp"
 #include "hw/simulation.hpp"
 #include "hw/sram.hpp"
@@ -49,12 +50,15 @@ TEST(Sram, CountsAccesses) {
     EXPECT_EQ(m.stats().total(), 3u);
 }
 
-TEST(SramDeathTest, PortConflictAborts) {
+TEST(SramDeathTest, PortConflictThrows) {
     Clock clk;
     Sram m("single-port", 8, 16, clk);
     m.read(0);
     // A second access in the same cycle exceeds the single port.
-    EXPECT_DEATH(m.read(1), "port conflict");
+    EXPECT_THROW(m.read(1), fault::SramPortConflict);
+    // The conflict is observable but non-destructive: the next cycle works.
+    clk.advance();
+    EXPECT_EQ(m.read(1), 0u);
 }
 
 TEST(Sram, DualPortAllowsTwoPerCycle) {
