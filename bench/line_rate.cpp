@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
     const double mpps = analysis::circuit_mpps(model.clock_mhz, 4.0);
     reg.gauge("line_rate.mpps_pipelined").set(mpps);
     reg.gauge("line_rate.gbps_at_140B").set(analysis::line_rate_gbps(mpps, 140.0));
+    reporter.record_host_ops(kOps);
     reporter.finish();
     return 0;
 }

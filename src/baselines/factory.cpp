@@ -12,8 +12,7 @@
 #include "common/bits.hpp"
 #include <bit>
 #include <algorithm>
-#include "core/tag_sorter.hpp"
-#include "fault/scrubber.hpp"
+#include "core/sharded_sorter.hpp"
 
 namespace wfqs::baselines {
 namespace {
@@ -21,6 +20,9 @@ namespace {
 /// The paper's sorter behind the TagQueue interface. Memory accesses are
 /// the circuit's real SRAM traffic (tree levels in SRAM, translation
 /// table, tag store); register reads are free, as in the silicon.
+/// Held as a ShardedSorter so QueueParams::num_banks can scale it out;
+/// at one bank (the default) that wrapper is a pass-through and the
+/// queue is bit- and cycle-identical to a bare TagSorter.
 class SorterTagQueue final : public TagQueue {
 public:
     static unsigned payload_bits_for(const tree::TreeGeometry& g, std::size_t capacity) {
@@ -31,10 +33,15 @@ public:
         return std::min(avail, 32u);
     }
 
-    SorterTagQueue(tree::TreeGeometry geometry, std::size_t capacity, std::string name,
-                   std::string complexity)
-        : sorter_({geometry, capacity, payload_bits_for(geometry, capacity)}, sim_),
-          name_(std::move(name)),
+    SorterTagQueue(tree::TreeGeometry geometry, std::size_t capacity,
+                   unsigned num_banks, std::string name, std::string complexity)
+        : sorter_(
+              {{geometry, std::max<std::size_t>(capacity / std::max(num_banks, 1u), 1),
+                payload_bits_for(geometry, capacity)},
+               num_banks},
+              sim_),
+          name_(num_banks > 1 ? name + " x" + std::to_string(num_banks)
+                              : std::move(name)),
           complexity_(std::move(complexity)) {}
 
     void insert(std::uint64_t tag, std::uint32_t payload) override {
@@ -64,17 +71,15 @@ public:
     std::string model() const override { return "sort"; }
     std::string complexity() const override { return complexity_; }
 
-    bool recover() override {
-        fault::Scrubber scrubber(sorter_);
-        (void)scrubber.scrub();  // always leaves the sorter consistent
-        return true;
-    }
+    bool recover() override { return sorter_.recover(); }
 
     hw::Simulation* simulation() override { return &sim_; }
 
+    const core::ShardedSorter& sorter() const { return sorter_; }
+
 private:
     hw::Simulation sim_;
-    core::TagSorter sorter_;
+    core::ShardedSorter sorter_;
     std::string name_;
     std::string complexity_;
 };
@@ -91,12 +96,12 @@ std::unique_ptr<TagQueue> make_tag_queue(QueueKind kind, const QueueParams& para
     switch (kind) {
         case QueueKind::MultibitTree:
             return std::make_unique<SorterTagQueue>(multibit_geometry(params.range_bits),
-                                                    params.capacity, "multi-bit tree",
-                                                    "O(W/k)");
+                                                    params.capacity, params.num_banks,
+                                                    "multi-bit tree", "O(W/k)");
         case QueueKind::BinaryTree:
             return std::make_unique<SorterTagQueue>(
                 tree::TreeGeometry::binary(params.range_bits), params.capacity,
-                "binary tree", "O(W)");
+                params.num_banks, "binary tree", "O(W)");
         case QueueKind::Heap:
             return std::make_unique<HeapTagQueue>();
         case QueueKind::SortedList:

@@ -51,6 +51,19 @@ void RunningStats::merge(const RunningStats& other) {
     n_ += other.n_;
 }
 
+RunningStats RunningStats::from_moments(std::uint64_t n, double mean, double m2,
+                                        double min, double max, double sum) {
+    RunningStats s;
+    if (n == 0) return s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2 < 0.0 ? 0.0 : m2;  // guard tiny negative rounding residue
+    s.min_ = min;
+    s.max_ = max;
+    s.sum_ = sum;
+    return s;
+}
+
 double Quantiles::quantile(double q) {
     WFQS_ASSERT(q >= 0.0 && q <= 1.0);
     WFQS_ASSERT_MSG(!samples_.empty(), "quantile of empty sample set");

@@ -22,6 +22,12 @@ public:
 
     void merge(const RunningStats& other);
 
+    /// Reconstitute an accumulator from externally tracked moments (the
+    /// integer fast lane of obs::CycleHistogram). `m2` is the sum of
+    /// squared deviations from `mean` (n * variance_population).
+    static RunningStats from_moments(std::uint64_t n, double mean, double m2,
+                                     double min, double max, double sum);
+
 private:
     std::uint64_t n_ = 0;
     double mean_ = 0.0;
@@ -54,6 +60,12 @@ public:
     Histogram(double lo, double hi, std::size_t bins);
 
     void add(double x);
+    /// Direct single-bin credit for callers that already know the bin
+    /// index (the integer fast lane). Precondition: bin < bin_count().
+    void bump(std::size_t bin) {
+        ++counts_[bin];
+        ++total_;
+    }
     std::uint64_t total() const { return total_; }
     std::uint64_t nan_rejects() const { return nan_rejects_; }
     std::size_t bin_count() const { return counts_.size(); }

@@ -1,0 +1,244 @@
+#include "core/sharded_sorter.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "common/assert.hpp"
+#include "fault/scrubber.hpp"
+
+namespace wfqs::core {
+
+namespace {
+
+/// splitmix64 finaliser — the flow-hash bank selector. Any fixed mixing
+/// function works; this one spreads sequential flow ids across banks.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedSorter::ShardedSorter(const Config& config, hw::Simulation& sim)
+    : config_(config), clock_(sim.clock()) {
+    WFQS_REQUIRE(config.num_banks >= 1 &&
+                     std::has_single_bit(std::uint64_t{config.num_banks}),
+                 "bank count must be a power of two");
+    shift_ = static_cast<unsigned>(std::countr_zero(std::uint64_t{config.num_banks}));
+    mask_ = config.num_banks - 1;
+    ii_ = std::max(config.bank.geometry.levels + 1u, 4u);
+
+    // Each bank instantiates its own tree/translation/tag-store memories in
+    // the shared inventory, scoped "bank<i>." so the Table II model and the
+    // fault tooling can address them individually. A single bank keeps the
+    // unscoped names — the unsharded inventory, bit for bit.
+    banks_.reserve(config.num_banks);
+    const std::string outer_prefix = sim.sram_name_prefix();
+    for (unsigned i = 0; i < config.num_banks; ++i) {
+        if (config.num_banks > 1)
+            sim.set_sram_name_prefix(outer_prefix + "bank" + std::to_string(i) + ".");
+        banks_.push_back(std::make_unique<TagSorter>(config.bank, sim));
+    }
+    sim.set_sram_name_prefix(outer_prefix);
+
+    head_cache_.resize(config.num_banks);
+    bank_free_at_.assign(config.num_banks, 0);
+    bank_ops_.assign(config.num_banks, 0);
+}
+
+unsigned ShardedSorter::select_bank(std::uint64_t tag, std::uint64_t flow_key) const {
+    if (config_.select == BankSelect::kFlowHash)
+        return static_cast<unsigned>(mix64(flow_key) & mask_);
+    return static_cast<unsigned>(tag & mask_);
+}
+
+std::uint64_t ShardedSorter::to_local(std::uint64_t tag) const {
+    return config_.select == BankSelect::kTagInterleave ? tag >> shift_ : tag;
+}
+
+std::uint64_t ShardedSorter::to_global(std::uint64_t local, unsigned bank) const {
+    return config_.select == BankSelect::kTagInterleave ? (local << shift_) | bank
+                                                        : local;
+}
+
+void ShardedSorter::refresh_head(unsigned i) {
+    const auto head = banks_[i]->peek_min();
+    head_cache_[i] = head ? std::optional<std::uint64_t>(to_global(head->tag, i))
+                          : std::nullopt;
+    // Comparator sweep over the bank head registers. Ascending scan with a
+    // strict compare keeps ties (possible under kFlowHash only) on the
+    // lowest bank index, deterministically.
+    ++stats_.head_merge_updates;
+    min_bank_ = -1;
+    std::uint64_t best = 0;
+    for (unsigned b = 0; b < head_cache_.size(); ++b) {
+        if (!head_cache_[b]) continue;
+        if (min_bank_ < 0 || *head_cache_[b] < best) {
+            best = *head_cache_[b];
+            min_bank_ = static_cast<int>(b);
+        }
+    }
+}
+
+std::uint64_t ShardedSorter::engage_bank(unsigned bank, std::uint64_t arrival) {
+    const std::uint64_t issue = std::max(arrival, bank_free_at_[bank]);
+    stats_.bank_wait_cycles += issue - arrival;
+    bank_free_at_[bank] = issue + ii_;
+    ++bank_ops_[bank];
+    return issue;
+}
+
+void ShardedSorter::finish_op(std::uint64_t issue_cycle, std::uint64_t measured_cycles) {
+    stats_.sequential_cycles += measured_cycles;
+    makespan_ = std::max(makespan_,
+                         issue_cycle + std::max<std::uint64_t>(measured_cycles, ii_));
+    ++arrivals_;
+}
+
+void ShardedSorter::insert(std::uint64_t tag, std::uint32_t payload,
+                           std::uint64_t flow_key) {
+    const unsigned b = select_bank(tag, flow_key);
+    const std::uint64_t t0 = clock_.now();
+    banks_[b]->insert(to_local(tag), payload);
+    finish_op(engage_bank(b, arrivals_), clock_.now() - t0);
+    ++stats_.inserts;
+    refresh_head(b);
+}
+
+std::optional<SortedTag> ShardedSorter::peek_min() const {
+    if (min_bank_ < 0) return std::nullopt;
+    const auto head = banks_[static_cast<unsigned>(min_bank_)]->peek_min();
+    WFQS_ASSERT(head.has_value());
+    return SortedTag{to_global(head->tag, static_cast<unsigned>(min_bank_)),
+                     head->payload};
+}
+
+std::optional<SortedTag> ShardedSorter::pop_min() {
+    if (min_bank_ < 0) return std::nullopt;
+    const unsigned b = static_cast<unsigned>(min_bank_);
+    const std::uint64_t t0 = clock_.now();
+    const auto popped = banks_[b]->pop_min();
+    WFQS_ASSERT(popped.has_value());
+    finish_op(engage_bank(b, arrivals_), clock_.now() - t0);
+    ++stats_.pops;
+    refresh_head(b);
+    return SortedTag{to_global(popped->tag, b), popped->payload};
+}
+
+SortedTag ShardedSorter::insert_and_pop(std::uint64_t tag, std::uint32_t payload,
+                                        std::uint64_t flow_key) {
+    WFQS_REQUIRE(min_bank_ >= 0, "insert_and_pop needs a non-empty sorter");
+    const unsigned a = select_bank(tag, flow_key);
+    const unsigned b = static_cast<unsigned>(min_bank_);
+    const std::uint64_t t0 = clock_.now();
+    SortedTag result;
+    if (a == b) {
+        // The incoming tag targets the departing minimum's bank: the
+        // paper's fused four-cycle store + serve, one engagement.
+        const SortedTag local = banks_[a]->insert_and_pop(to_local(tag), payload);
+        result = SortedTag{to_global(local.tag, a), local.payload};
+        ++stats_.same_bank_combined;
+        finish_op(engage_bank(a, arrivals_), clock_.now() - t0);
+        refresh_head(a);
+    } else {
+        // Split engagement. The insert runs first — it validates before
+        // mutating, so a rejected tag leaves every bank intact — and it
+        // cannot disturb bank b's head, so the old global minimum still
+        // departs (identical serve-then-store semantics to one bank).
+        banks_[a]->insert(to_local(tag), payload);
+        const auto popped = banks_[b]->pop_min();
+        WFQS_ASSERT(popped.has_value());
+        result = SortedTag{to_global(popped->tag, b), popped->payload};
+        ++stats_.cross_bank_combined;
+        const std::uint64_t arrival = arrivals_;
+        const std::uint64_t issue_a = engage_bank(a, arrival);
+        const std::uint64_t issue_b = engage_bank(b, arrival);
+        finish_op(std::max(issue_a, issue_b), clock_.now() - t0);
+        refresh_head(a);
+        refresh_head(b);
+    }
+    ++stats_.combined_ops;
+    return result;
+}
+
+std::size_t ShardedSorter::size() const {
+    std::size_t n = 0;
+    for (const auto& b : banks_) n += b->size();
+    return n;
+}
+
+bool ShardedSorter::full() const {
+    for (const auto& b : banks_)
+        if (b->full()) return true;
+    return false;
+}
+
+std::size_t ShardedSorter::capacity() const {
+    std::size_t n = 0;
+    for (const auto& b : banks_) n += b->capacity();
+    return n;
+}
+
+std::uint64_t ShardedSorter::window_span() const {
+    const std::uint64_t bank_span = banks_[0]->window_span();
+    return config_.select == BankSelect::kTagInterleave ? bank_span << shift_
+                                                        : bank_span;
+}
+
+std::uint64_t ShardedSorter::modeled_cycles() const { return makespan_; }
+
+double ShardedSorter::modeled_cycles_per_op() const {
+    return arrivals_ == 0 ? 0.0
+                          : static_cast<double>(makespan_) /
+                                static_cast<double>(arrivals_);
+}
+
+double ShardedSorter::overlap_factor() const {
+    return makespan_ == 0 ? 1.0
+                          : static_cast<double>(stats_.sequential_cycles) /
+                                static_cast<double>(makespan_);
+}
+
+bool ShardedSorter::recover() {
+    for (auto& b : banks_) {
+        fault::Scrubber scrubber(*b);
+        (void)scrubber.scrub();  // always leaves the bank consistent
+    }
+    return true;
+}
+
+void ShardedSorter::register_metrics(obs::MetricsRegistry& registry,
+                                     const std::string& prefix) const {
+    const auto cnt = [&](const char* name, const std::uint64_t ShardedStats::*field) {
+        registry.register_counter_fn(prefix + "." + name,
+                                     [this, field] { return stats_.*field; });
+    };
+    cnt("inserts", &ShardedStats::inserts);
+    cnt("pops", &ShardedStats::pops);
+    cnt("combined_ops", &ShardedStats::combined_ops);
+    cnt("same_bank_combined", &ShardedStats::same_bank_combined);
+    cnt("cross_bank_combined", &ShardedStats::cross_bank_combined);
+    cnt("bank_wait_cycles", &ShardedStats::bank_wait_cycles);
+    cnt("sequential_cycles", &ShardedStats::sequential_cycles);
+    cnt("head_merge_updates", &ShardedStats::head_merge_updates);
+    registry.register_counter_fn(prefix + ".modeled_cycles",
+                                 [this] { return makespan_; });
+    registry.register_gauge_fn(prefix + ".num_banks", [this] {
+        return static_cast<double>(num_banks());
+    });
+    registry.register_gauge_fn(prefix + ".occupancy",
+                               [this] { return static_cast<double>(size()); });
+    registry.register_gauge_fn(prefix + ".modeled_cycles_per_op",
+                               [this] { return modeled_cycles_per_op(); });
+    registry.register_gauge_fn(prefix + ".overlap_factor",
+                               [this] { return overlap_factor(); });
+    for (unsigned i = 0; i < num_banks(); ++i) {
+        registry.register_counter_fn(prefix + ".bank" + std::to_string(i) + ".ops",
+                                     [this, i] { return bank_ops_[i]; });
+    }
+}
+
+}  // namespace wfqs::core

@@ -1,0 +1,170 @@
+// Sharded multi-bank sorter: N independent TagSorter banks behind one
+// sort/retrieve interface — the paper's scalability move made explicit.
+//
+// The paper's circuit serves one output port at 1 tag / 4 cycles; §IV
+// argues aggregate throughput grows by *replicating* the circuit, not by
+// deepening it. This module models that replication cycle-accurately:
+//
+//   * bank selection — kTagInterleave sends tag t to bank (t mod N) and
+//     stores the compressed local tag (t div N), so consecutive virtual
+//     times round-robin the banks and every bank keeps the paper's exact
+//     geometry. Reconstruction (local*N + bank) is lossless, equal tag
+//     values always land in the same bank (per-bank FIFO among
+//     duplicates is global FIFO), and the aggregate moving window widens
+//     to N x the single-bank span. kFlowHash instead pins a flow's tags
+//     to one bank (full tag stored); cross-bank ties break by bank
+//     index, trading exact duplicate order for flow locality.
+//
+//   * bank arbiter — each bank is the paper's pipelined circuit with a
+//     fixed initiation interval (II = max(levels+1, 4) cycles). The
+//     arbiter models saturated offered load: one operation arrives per
+//     cycle at the input port, queues at its bank, and issues the moment
+//     the bank's pipeline is free. Different banks overlap fully, so the
+//     modeled sustained rate approaches 1 op/cycle once N >= II. The
+//     makespan of that overlapped schedule is `modeled_cycles()`; the
+//     behavioural execution underneath still runs each bank op on the
+//     shared hw::Simulation clock (so SRAM port budgets stay checked and
+//     `sequential_cycles` records what a single engine would have spent).
+//
+//   * head merge — every bank's smallest tag is a head register; a
+//     comparator tree across the N heads (here: a cached linear sweep,
+//     re-evaluated only when a bank head changes) keeps "retrieve
+//     smallest" a fixed-time register read. Logical tags are compared
+//     un-wrapped, so each bank's moving-window wrap discipline stays a
+//     bank-local concern.
+//
+// With num_banks == 1 the module is a pass-through: the same single
+// TagSorter, the same SRAM inventory (same names), the same clock
+// advance per op — bit- and cycle-identical to the unsharded path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/tag_sorter.hpp"
+
+namespace wfqs::core {
+
+struct ShardedStats {
+    std::uint64_t inserts = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t combined_ops = 0;
+    std::uint64_t same_bank_combined = 0;   ///< combined op fused in one bank
+    std::uint64_t cross_bank_combined = 0;  ///< split insert/pop engagements
+    std::uint64_t bank_wait_cycles = 0;     ///< modeled queueing at busy banks
+    std::uint64_t sequential_cycles = 0;    ///< sum of behavioural op latencies
+    std::uint64_t head_merge_updates = 0;   ///< comparator-tree re-evaluations
+};
+
+class ShardedSorter {
+public:
+    enum class BankSelect {
+        kTagInterleave,  ///< bank = tag mod N, store tag div N (default)
+        kFlowHash,       ///< bank = hash(flow_key) mod N, store full tag
+    };
+
+    struct Config {
+        TagSorter::Config bank = {};  ///< per-bank circuit (capacity is per bank)
+        unsigned num_banks = 1;       ///< power of two
+        BankSelect select = BankSelect::kTagInterleave;
+    };
+
+    ShardedSorter(const Config& config, hw::Simulation& sim);
+
+    // -- datapath ----------------------------------------------------------
+
+    /// Sort `tag` into its bank. `flow_key` only matters under kFlowHash.
+    /// Throws std::overflow_error when the target bank is full.
+    void insert(std::uint64_t tag, std::uint32_t payload, std::uint64_t flow_key = 0);
+
+    /// Smallest stored tag across all banks — head-merge register read,
+    /// zero cycles.
+    std::optional<SortedTag> peek_min() const;
+
+    /// Remove and return the smallest tag across all banks.
+    std::optional<SortedTag> pop_min();
+
+    /// Simultaneous store + serve (§III-C semantics: the *previous*
+    /// minimum departs, `tag` enters). Fuses into one bank op when the
+    /// incoming tag targets the minimum's bank; otherwise the pop and the
+    /// insert engage their two banks in the same arbiter slot.
+    /// Precondition: non-empty.
+    SortedTag insert_and_pop(std::uint64_t tag, std::uint32_t payload,
+                             std::uint64_t flow_key = 0);
+
+    // -- observers ---------------------------------------------------------
+
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
+    /// True when some bank is full: a further insert *may* throw,
+    /// depending on which bank its tag selects.
+    bool full() const;
+    std::size_t capacity() const;  ///< sum over banks
+
+    unsigned num_banks() const { return static_cast<unsigned>(banks_.size()); }
+    TagSorter& bank(unsigned i) { return *banks_[i]; }
+    const TagSorter& bank(unsigned i) const { return *banks_[i]; }
+    std::uint64_t bank_ops(unsigned i) const { return bank_ops_[i]; }
+
+    /// Largest logical tag span the aggregate accepts (N x the bank span
+    /// under interleave; the bank span under flow hashing).
+    std::uint64_t window_span() const;
+
+    const ShardedStats& stats() const { return stats_; }
+
+    /// Makespan of the overlapped schedule: the cycle the last modeled
+    /// bank engagement retires. The sustained-throughput numerator.
+    std::uint64_t modeled_cycles() const;
+    /// modeled_cycles() / ops — approaches the per-bank initiation
+    /// interval at N=1 and 1.0 once N >= II under a saturating stream.
+    double modeled_cycles_per_op() const;
+    /// sequential_cycles / modeled_cycles: how much single-engine time the
+    /// bank overlap bought.
+    double overlap_factor() const;
+    unsigned pipeline_interval() const { return ii_; }
+
+    /// Scrub every bank back to consistency after a fault (mirrors
+    /// TagSorter-based recovery; returns true — scrubbing cannot fail).
+    bool recover();
+
+    /// Register aggregate counters/gauges as `<prefix>.*` and per-bank op
+    /// tallies as `<prefix>.bank<i>.ops`.
+    void register_metrics(obs::MetricsRegistry& registry,
+                          const std::string& prefix = "sharded") const;
+
+private:
+    unsigned select_bank(std::uint64_t tag, std::uint64_t flow_key) const;
+    std::uint64_t to_local(std::uint64_t tag) const;
+    std::uint64_t to_global(std::uint64_t local, unsigned bank) const;
+    /// Re-read bank `i`'s head register and re-evaluate the comparator
+    /// sweep (host-side model of the head-merge tree update).
+    void refresh_head(unsigned i);
+    /// One modeled bank engagement in the current arrival slot; returns
+    /// its issue cycle.
+    std::uint64_t engage_bank(unsigned bank, std::uint64_t arrival);
+    /// Close the current op: advance the arrival counter, record latency.
+    void finish_op(std::uint64_t issue_cycle, std::uint64_t measured_cycles);
+
+    Config config_;
+    std::vector<std::unique_ptr<TagSorter>> banks_;
+    hw::Clock& clock_;
+    unsigned shift_ = 0;   ///< log2(num_banks) (interleave compression)
+    std::uint64_t mask_ = 0;
+    unsigned ii_ = 4;      ///< per-bank initiation interval
+
+    // Head-merge state: cached global head tag per bank + current winner.
+    std::vector<std::optional<std::uint64_t>> head_cache_;
+    int min_bank_ = -1;
+
+    // Arbiter state.
+    std::uint64_t arrivals_ = 0;               ///< ops offered (1 per cycle)
+    std::vector<std::uint64_t> bank_free_at_;  ///< pipeline free cycle per bank
+    std::uint64_t makespan_ = 0;
+    std::vector<std::uint64_t> bank_ops_;
+
+    ShardedStats stats_;
+};
+
+}  // namespace wfqs::core

@@ -24,6 +24,9 @@ constexpr double kAvgPacketBytes = 140.0;
 // matchers, as a multiple of the matcher area. The paper's layout shows
 // "most of the logic ... along the right side" dwarfing the matchers.
 constexpr double kControlOverhead = 6.0;
+// Gate equivalents per bit of a registered two-input min comparator stage
+// (compare + select + pipeline latch) in the head-merge tree.
+constexpr double kComparatorGePerBit = 3.0;
 
 }  // namespace
 
@@ -74,6 +77,51 @@ SynthesisReport synthesize(const TagSorter::Config& config,
     r.logic_power_mw = r.logic_area_ge * kActivity * kLogicPjPerGeToggle *
                        r.clock_mhz * 1e6 / 1e9;
     r.total_power_mw = r.memory_power_mw + r.logic_power_mw;
+    r.aggregate_mpps = r.mpps;
+    r.aggregate_gbps_at_140B = r.gbps_at_140B;
+    return r;
+}
+
+SynthesisReport synthesize_sharded(const ShardedSorter::Config& config,
+                                   matcher::MatcherKind kind) {
+    SynthesisReport r = synthesize(config.bank, kind);
+    const unsigned n = config.num_banks;
+    if (n <= 1) return r;
+
+    // Structure replicates per bank.
+    r.num_banks = n;
+    r.tree_memory_bits *= n;
+    r.translation_memory_bits *= n;
+    r.matcher_count *= n;
+    r.logic_area_ge *= n;
+
+    // Head-merge tree: N-1 two-input min comparators over the global tag
+    // width (bank-local bits plus the log2(N) interleave bits).
+    const unsigned global_tag_bits =
+        config.bank.geometry.tag_bits() +
+        static_cast<unsigned>(std::countr_zero(std::uint64_t{n}));
+    r.merge_comparator_ge =
+        static_cast<double>(n - 1) * global_tag_bits * kComparatorGePerBit;
+    r.logic_area_ge += r.merge_comparator_ge;
+
+    // Clock and per-bank initiation interval are untouched; the aggregate
+    // rate overlaps the pipelines and saturates at one tag per cycle.
+    r.aggregate_mpps =
+        r.clock_mhz * std::min(static_cast<double>(n) / r.cycles_per_tag, 1.0);
+    r.aggregate_gbps_at_140B = r.aggregate_mpps * 1e6 * kAvgPacketBytes * 8.0 / 1e9;
+
+    // Area scales with the structure; dynamic power scales with how busy
+    // each bank actually is at the saturated aggregate rate (once N
+    // exceeds the II, extra banks sit idle part of the time).
+    r.bank_utilization =
+        r.aggregate_mpps * r.cycles_per_tag / (static_cast<double>(n) * r.clock_mhz);
+    r.memory_area_mm2 *= n;
+    r.logic_area_mm2 = r.logic_area_ge * kLogicUm2PerGe / 1e6;
+    r.total_area_mm2 = r.memory_area_mm2 + r.logic_area_mm2;
+    r.memory_power_mw *= n * r.bank_utilization;
+    r.logic_power_mw = r.logic_area_ge * kActivity * kLogicPjPerGeToggle *
+                       r.clock_mhz * 1e6 / 1e9 * r.bank_utilization;
+    r.total_power_mw = r.memory_power_mw + r.logic_power_mw;
     return r;
 }
 
@@ -95,6 +143,28 @@ std::string format_synthesis_report(const SynthesisReport& r) {
     t.add_row({"memory power (mW)", TextTable::num(r.memory_power_mw, 2)});
     t.add_row({"logic power (mW)", TextTable::num(r.logic_power_mw, 2)});
     t.add_row({"total power (mW)", TextTable::num(r.total_power_mw, 2)});
+    if (r.num_banks > 1) {
+        t.add_row({"banks", TextTable::num(static_cast<std::int64_t>(r.num_banks))});
+        t.add_row({"merge tree (GE)", TextTable::num(r.merge_comparator_ge, 0)});
+        t.add_row({"bank utilization", TextTable::num(r.bank_utilization, 2)});
+        t.add_row({"aggregate (Mpps)", TextTable::num(r.aggregate_mpps, 1)});
+        t.add_row({"aggregate @140B (Gb/s)",
+                   TextTable::num(r.aggregate_gbps_at_140B, 1)});
+    }
+    return t.render();
+}
+
+std::string format_shard_scaling_table(const std::vector<SynthesisReport>& rows) {
+    TextTable t({"banks", "area (mm^2)", "power (mW)", "cycles/tag", "agg Mpps",
+                 "agg Gb/s @140B", "Mpps/mm^2"});
+    for (const SynthesisReport& r : rows) {
+        t.add_row({TextTable::num(static_cast<std::int64_t>(r.num_banks)), TextTable::num(r.total_area_mm2, 3),
+                   TextTable::num(r.total_power_mw, 2),
+                   TextTable::num(r.cycles_per_tag, 0),
+                   TextTable::num(r.aggregate_mpps, 1),
+                   TextTable::num(r.aggregate_gbps_at_140B, 1),
+                   TextTable::num(r.aggregate_mpps / r.total_area_mm2, 1)});
+    }
     return t.render();
 }
 

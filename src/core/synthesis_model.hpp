@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/sharded_sorter.hpp"
 #include "core/tag_sorter.hpp"
 #include "matcher/matcher.hpp"
 
@@ -40,6 +42,15 @@ struct SynthesisReport {
     double mpps = 0.0;          ///< tags per second / 1e6 (4 cycles per tag)
     double gbps_at_140B = 0.0;  ///< line rate at the paper's 140-byte packets
 
+    // Multi-bank scaling (1 for the plain circuit; see synthesize() below
+    // for the sharded overload). Aggregate throughput saturates at one
+    // tag per cycle once num_banks >= cycles_per_tag.
+    unsigned num_banks = 1;
+    double merge_comparator_ge = 0.0;  ///< (N-1)-comparator head-merge tree
+    double bank_utilization = 1.0;     ///< busy fraction per bank at saturation
+    double aggregate_mpps = 0.0;       ///< all banks, overlapped pipelines
+    double aggregate_gbps_at_140B = 0.0;
+
     // Area / power model
     double memory_area_mm2 = 0.0;
     double logic_area_mm2 = 0.0;
@@ -54,7 +65,21 @@ struct SynthesisReport {
 SynthesisReport synthesize(const TagSorter::Config& config,
                            matcher::MatcherKind kind);
 
+/// Multi-bank variant: memories and per-bank logic replicate N times, an
+/// (N-1)-comparator merge tree is added for the head registers, and the
+/// aggregate throughput model overlaps the bank pipelines —
+/// clock * min(N / cycles_per_tag, 1). The clock itself is unchanged
+/// (the merge tree is registered and off the tag datapath's critical
+/// path). With num_banks == 1 the report equals the single-bank one.
+/// (Named, not overloaded: both Config types brace-initialize alike.)
+SynthesisReport synthesize_sharded(const ShardedSorter::Config& config,
+                                   matcher::MatcherKind kind);
+
 /// Render the report as a Table II–style text table.
 std::string format_synthesis_report(const SynthesisReport& report);
+
+/// Render a bank-count sweep (one synthesize() per row) as a compact
+/// scaling table: banks, area, power, Mpps, Gb/s.
+std::string format_shard_scaling_table(const std::vector<SynthesisReport>& rows);
 
 }  // namespace wfqs::core

@@ -198,7 +198,7 @@ void TagSorter::insert(std::uint64_t tag, std::uint32_t payload) {
     const std::uint64_t cycles = clock_.now() - t0;
     stats_.insert_cycles_total += cycles;
     stats_.worst_insert_cycles = std::max(stats_.worst_insert_cycles, cycles);
-    insert_cycles_hist_.record(static_cast<double>(cycles));
+    insert_cycles_hist_.record_cycles(cycles);
 }
 
 std::optional<SortedTag> TagSorter::peek_min() const {
@@ -230,7 +230,7 @@ std::optional<SortedTag> TagSorter::pop_min() {
     const std::uint64_t cycles = clock_.now() - t0;
     stats_.pop_cycles_total += cycles;
     stats_.worst_pop_cycles = std::max(stats_.worst_pop_cycles, cycles);
-    pop_cycles_hist_.record(static_cast<double>(cycles));
+    pop_cycles_hist_.record_cycles(cycles);
     return result;
 }
 
@@ -298,7 +298,7 @@ SortedTag TagSorter::insert_and_pop(std::uint64_t tag, std::uint32_t payload) {
     const std::uint64_t cycles = clock_.now() - t0;
     stats_.insert_cycles_total += cycles;
     stats_.worst_insert_cycles = std::max(stats_.worst_insert_cycles, cycles);
-    combined_cycles_hist_.record(static_cast<double>(cycles));
+    combined_cycles_hist_.record_cycles(cycles);
     return result;
 }
 

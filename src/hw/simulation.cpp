@@ -6,8 +6,8 @@ namespace wfqs::hw {
 
 Sram& Simulation::make_sram(std::string name, std::size_t num_words, unsigned word_bits,
                             unsigned ports) {
-    memories_.push_back(
-        std::make_unique<Sram>(std::move(name), num_words, word_bits, clock_, ports));
+    memories_.push_back(std::make_unique<Sram>(name_prefix_ + std::move(name),
+                                               num_words, word_bits, clock_, ports));
     Sram& sram = *memories_.back();
     if (protection_ != fault::Protection::kNone) sram.enable_protection(protection_);
     if (injector_ != nullptr) sram.set_fault_injector(injector_);

@@ -27,8 +27,15 @@ public:
     const Clock& clock() const { return clock_; }
 
     /// Create an SRAM owned by this simulation and tracked in the inventory.
+    /// The current name prefix (below) is prepended to `name`.
     Sram& make_sram(std::string name, std::size_t num_words, unsigned word_bits,
                     unsigned ports = 1);
+
+    /// Scope every subsequently created SRAM name with `prefix` (e.g.
+    /// "bank3." while a sharded sorter instantiates bank 3), so multi-bank
+    /// circuits keep a collision-free inventory. Empty string clears it.
+    void set_sram_name_prefix(std::string prefix) { name_prefix_ = std::move(prefix); }
+    const std::string& sram_name_prefix() const { return name_prefix_; }
 
     const std::vector<std::unique_ptr<Sram>>& memories() const { return memories_; }
 
@@ -63,6 +70,7 @@ public:
 
 private:
     Clock clock_;
+    std::string name_prefix_;
     std::vector<std::unique_ptr<Sram>> memories_;
     fault::Protection protection_ = fault::Protection::kNone;
     fault::FaultInjector* injector_ = nullptr;

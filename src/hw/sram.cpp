@@ -30,26 +30,18 @@ void Sram::check_addr(std::size_t addr, const char* op) const {
                                       std::to_string(words_.size()));
 }
 
-void Sram::charge_port() {
-    if (clock_.now() != last_cycle_) {
-        last_cycle_ = clock_.now();
-        used_this_cycle_ = 0;
-    }
-    ++used_this_cycle_;
-    peak_per_cycle_ = std::max(peak_per_cycle_, used_this_cycle_);
-    if (used_this_cycle_ > ports_) {
-        throw fault::SramPortConflict(
-            name_, "SRAM port conflict on '" + name_ + "': more than " +
-                       std::to_string(ports_) + " accesses in cycle " +
-                       std::to_string(clock_.now()));
-    }
+void Sram::throw_port_conflict() const {
+    throw fault::SramPortConflict(
+        name_, "SRAM port conflict on '" + name_ + "': more than " +
+                   std::to_string(ports_) + " accesses in cycle " +
+                   std::to_string(clock_.now()));
 }
 
 void Sram::inject(std::size_t addr) {
     if (injector_ != nullptr) injector_->on_access(*this, addr);
 }
 
-std::uint64_t Sram::read(std::size_t addr) {
+std::uint64_t Sram::read_slow(std::size_t addr) {
     check_addr(addr, "read");
     charge_port();
     ++stats_.reads;
@@ -73,7 +65,7 @@ std::uint64_t Sram::read(std::size_t addr) {
     return words_[addr];
 }
 
-void Sram::write(std::size_t addr, std::uint64_t value) {
+void Sram::write_slow(std::size_t addr, std::uint64_t value) {
     check_addr(addr, "write");
     charge_port();
     ++stats_.writes;
@@ -104,11 +96,12 @@ void Sram::enable_protection(fault::Protection protection) {
     codec_ = fault::EccCodec(protection, word_bits_);
     if (protection == fault::Protection::kNone) {
         check_words_.clear();
-        return;
+    } else {
+        check_words_.resize(words_.size());
+        for (std::size_t addr = 0; addr < words_.size(); ++addr)
+            check_words_[addr] = codec_.encode(words_[addr]);
     }
-    check_words_.resize(words_.size());
-    for (std::size_t addr = 0; addr < words_.size(); ++addr)
-        check_words_[addr] = codec_.encode(words_[addr]);
+    update_fast_path();
 }
 
 void Sram::corrupt(std::size_t addr, std::uint64_t data_xor, std::uint64_t check_xor) {

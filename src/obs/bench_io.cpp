@@ -95,6 +95,20 @@ void write_bench_json(const MetricsRegistry& registry,
 }
 
 void BenchReporter::finish() {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  host_start_)
+            .count();
+    registry_.gauge("host.elapsed_ms").set(elapsed_ms);
+    if (host_ops_ > 0) {
+        const double ops_per_sec =
+            elapsed_ms > 0.0 ? static_cast<double>(host_ops_) * 1000.0 / elapsed_ms
+                             : 0.0;
+        registry_.gauge("host.ops_per_sec").set(ops_per_sec);
+        std::printf("[host] %llu ops in %.1f ms = %.0f ops/s\n",
+                    static_cast<unsigned long long>(host_ops_), elapsed_ms,
+                    ops_per_sec);
+    }
     if (!path_) return;
     try {
         write_bench_json(registry_, name_, *path_, seed_);

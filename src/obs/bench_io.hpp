@@ -26,6 +26,7 @@
 // artifact records how to reproduce it.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -73,7 +74,16 @@ public:
         return seed_override_ ? *seed_override_ + site_default : site_default;
     }
 
-    /// Export (if requested) and print a one-line note to stdout.
+    /// Count host-side benchmark operations toward `host.ops_per_sec`.
+    /// Call once (or accumulate over phases) before finish().
+    void record_host_ops(std::uint64_t ops) { host_ops_ += ops; }
+
+    /// Export (if requested) and print a one-line note to stdout. Also
+    /// stamps host wall-clock gauges into the registry first —
+    /// `host.elapsed_ms` since construction and, when record_host_ops()
+    /// was called, `host.ops_per_sec`. These measure the *host* simulation
+    /// speed (they vary machine to machine); trajectory tooling must
+    /// compare modeled metrics only and treat host.* as informational.
     void finish();
 
 private:
@@ -81,6 +91,9 @@ private:
     std::optional<std::string> path_;
     std::optional<std::uint64_t> seed_override_;
     std::optional<std::uint64_t> seed_;
+    std::chrono::steady_clock::time_point host_start_ =
+        std::chrono::steady_clock::now();
+    std::uint64_t host_ops_ = 0;
     MetricsRegistry registry_;
 };
 

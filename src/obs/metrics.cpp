@@ -8,26 +8,42 @@
 
 namespace wfqs::obs {
 
+RunningStats CycleHistogram::stats() const {
+    RunningStats s = stats_;
+    if (icount_ > 0) {
+        const double n = static_cast<double>(icount_);
+        const double sum = static_cast<double>(isum_);
+        const double mean = sum / n;
+        const double m2 = static_cast<double>(isumsq_) - n * mean * mean;
+        s.merge(RunningStats::from_moments(icount_, mean, m2,
+                                           static_cast<double>(imin_),
+                                           static_cast<double>(imax_), sum));
+    }
+    return s;
+}
+
 double CycleHistogram::approx_quantile(double q) const {
     WFQS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
-    if (stats_.count() == 0) return 0.0;
+    const RunningStats s = stats();
+    if (s.count() == 0) return 0.0;
     const std::uint64_t target =
-        static_cast<std::uint64_t>(q * static_cast<double>(stats_.count() - 1)) + 1;
+        static_cast<std::uint64_t>(q * static_cast<double>(s.count() - 1)) + 1;
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < hist_.bin_count(); ++i) {
         seen += hist_.bin(i);
-        if (seen >= target) return std::min(hist_.bin_hi(i), stats_.max());
+        if (seen >= target) return std::min(hist_.bin_hi(i), s.max());
     }
-    return stats_.max();
+    return s.max();
 }
 
 void CycleHistogram::write_json(JsonWriter& w) const {
+    const RunningStats stats_combined = stats();
     w.begin_object();
-    w.field("count", stats_.count());
-    w.field("mean", stats_.mean());
-    w.field("stddev", stats_.stddev());
-    w.field("min", stats_.min());
-    w.field("max", stats_.max());
+    w.field("count", stats_combined.count());
+    w.field("mean", stats_combined.mean());
+    w.field("stddev", stats_combined.stddev());
+    w.field("min", stats_combined.min());
+    w.field("max", stats_combined.max());
     w.field("p50", approx_quantile(0.50));
     w.field("p90", approx_quantile(0.90));
     w.field("p99", approx_quantile(0.99));
@@ -167,7 +183,7 @@ std::string MetricsRegistry::to_table() const {
     for (const auto& [name, v] : gauge_values())
         t.add_row({name, "gauge", TextTable::num(v, 4)});
     for (const auto& [name, h] : histograms()) {
-        const auto& s = h->stats();
+        const auto s = h->stats();
         t.add_row({name, "histogram",
                    "n=" + TextTable::num(s.count()) +
                        " mean=" + TextTable::num(s.mean(), 2) +

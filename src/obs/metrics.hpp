@@ -55,10 +55,18 @@ private:
 /// (RunningStats) plus fixed bins (Histogram) for approximate quantiles.
 /// The default geometry — one bin per cycle over [0, 64) — makes the
 /// per-cycle distribution of the paper's 4-cycle pipeline stages exact.
+///
+/// Recording is cheap by default: hot paths that produce integer cycle
+/// counts use record_cycles(), which (for unit-width bins starting at 0 —
+/// every cycle histogram in the tree) is a handful of integer adds and
+/// one direct bin increment — no NaN test, no FP divide, no clamping
+/// arithmetic. The moments it tracks are exact for integer inputs;
+/// stats() folds both lanes into one summary.
 class CycleHistogram {
 public:
     CycleHistogram(double lo = 0.0, double hi = 64.0, std::size_t bins = 64)
-        : hist_(lo, hi, bins) {}
+        : hist_(lo, hi, bins),
+          unit_bins_(lo == 0.0 && hi == static_cast<double>(bins)) {}
 
     void record(double v) {
         if (std::isnan(v)) {
@@ -69,7 +77,25 @@ public:
         hist_.add(v);
     }
 
-    const RunningStats& stats() const { return stats_; }
+    /// Integer fast lane (hot paths). Falls back to record() when the bin
+    /// geometry is not one-bin-per-cycle.
+    void record_cycles(std::uint64_t cycles) {
+        if (!unit_bins_) {
+            record(static_cast<double>(cycles));
+            return;
+        }
+        ++icount_;
+        isum_ += cycles;
+        isumsq_ += cycles * cycles;
+        imin_ = cycles < imin_ ? cycles : imin_;
+        imax_ = cycles > imax_ ? cycles : imax_;
+        const std::size_t last = hist_.bin_count() - 1;
+        hist_.bump(cycles < last ? static_cast<std::size_t>(cycles) : last);
+    }
+
+    /// Combined summary over both recording lanes. Exact for the integer
+    /// lane (moments accumulate in uint64), Welford for the double lane.
+    RunningStats stats() const;
     const Histogram& bins() const { return hist_; }
 
     /// Quantile estimated from the bins (upper edge of the covering bin,
@@ -81,6 +107,13 @@ public:
 private:
     RunningStats stats_;
     Histogram hist_;
+    bool unit_bins_;
+    // Integer lane accumulators (record_cycles).
+    std::uint64_t icount_ = 0;
+    std::uint64_t isum_ = 0;
+    std::uint64_t isumsq_ = 0;
+    std::uint64_t imin_ = ~std::uint64_t{0};
+    std::uint64_t imax_ = 0;
 };
 
 class MetricsRegistry {

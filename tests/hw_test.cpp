@@ -113,6 +113,67 @@ TEST(Sram, RejectsBadConfig) {
     EXPECT_THROW(Sram("m", 8, 16, clk, 0), std::invalid_argument);
 }
 
+// The host-speed fast lane (no protection, no injector) must be
+// observably identical to the full path: same values, same stats, same
+// port/peak accounting. Run one access script through both and compare.
+TEST(Sram, FastPathMatchesProtectedPathObservably) {
+    Clock fast_clk, slow_clk;
+    Sram fast("m", 32, 16, fast_clk, 2);
+    Sram slow("m", 32, 16, slow_clk, 2);
+    slow.enable_protection(fault::Protection::kSecded);  // forces the slow lane
+
+    std::vector<std::uint64_t> fast_reads, slow_reads;
+    const auto script = [](Sram& m, Clock& clk, std::vector<std::uint64_t>& reads) {
+        for (std::size_t i = 0; i < 32; ++i) {
+            m.write(i, 0x1234 + i * 7);
+            m.read(i / 2);  // second access same cycle: exercises the ports
+            clk.advance();
+        }
+        m.flash_clear(8, 8);
+        clk.advance();
+        for (std::size_t i = 0; i < 32; ++i) {
+            reads.push_back(m.read(i));
+            clk.advance();
+        }
+    };
+    script(fast, fast_clk, fast_reads);
+    script(slow, slow_clk, slow_reads);
+
+    EXPECT_EQ(fast_reads, slow_reads);
+    EXPECT_EQ(fast.stats().reads, slow.stats().reads);
+    EXPECT_EQ(fast.stats().writes, slow.stats().writes);
+    EXPECT_EQ(fast.stats().flash_clears, slow.stats().flash_clears);
+    EXPECT_EQ(fast.peak_accesses_per_cycle(), slow.peak_accesses_per_cycle());
+    EXPECT_EQ(fast.peak_accesses_per_cycle(), 2u);
+}
+
+TEST(Sram, FastPathStillEnforcesPortBudget) {
+    Clock clk;
+    Sram m("m", 8, 16, clk);  // unprotected, no injector: fast lane active
+    m.read(0);
+    EXPECT_THROW(m.read(1), fault::SramPortConflict);
+    clk.advance();
+    EXPECT_EQ(m.read(1), 0u);
+}
+
+TEST(Sram, FastPathStillChecksBounds) {
+    Clock clk;
+    Sram m("m", 8, 16, clk);
+    EXPECT_THROW(m.read(8), fault::SramAddressError);
+    EXPECT_THROW(m.write(100, 1), fault::SramAddressError);
+    // A rejected access consumes neither a counter nor a port.
+    EXPECT_EQ(m.stats().total(), 0u);
+    EXPECT_EQ(m.read(0), 0u);  // the port is still free this cycle
+}
+
+TEST(Sram, FastPathMasksWordWidth) {
+    Clock clk;
+    Sram m("m", 4, 8, clk);
+    m.write(0, 0x1FF);
+    clk.advance();
+    EXPECT_EQ(m.read(0), 0xFFu);
+}
+
 TEST(Simulation, InventoryAggregates) {
     Simulation sim;
     Sram& a = sim.make_sram("a", 16, 16);

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: compare a fresh bench JSON against the committed artifact.
+
+Usage: perf_smoke.py <committed.json> <fresh.json> [--tolerance FRAC]
+
+Checks (all on *modeled*, machine-independent metrics):
+  1. every committed gauge whose name contains "cycles_per_op" must not
+     regress: fresh <= committed * (1 + tolerance)  [lower is better];
+  2. the "hw.cycles" counter, when present, must match exactly — the
+     cycle-accurate simulation is deterministic at a fixed seed, so any
+     drift means the modeled circuit changed without the artifact being
+     regenerated;
+  3. the "shard_scaling.n1_identical_to_single" gauge, when present, must
+     be 1.0 in the fresh run (the bench also exits non-zero on its own).
+
+host.* gauges (wall-clock speed) vary machine to machine and are ignored.
+Exits 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics", {})
+    flat = {}
+    flat.update(metrics.get("counters", {}))
+    flat.update(metrics.get("gauges", {}))
+    return flat
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed fractional cycles/op regression (default 5%%)")
+    args = parser.parse_args()
+
+    committed = load_metrics(args.committed)
+    fresh = load_metrics(args.fresh)
+    failures = []
+    checked = 0
+
+    for name, base in sorted(committed.items()):
+        if "host." in name:
+            continue  # wall-clock numbers: machine-dependent, informational
+        if "cycles_per_op" in name:
+            now = fresh.get(name)
+            if now is None:
+                failures.append(f"{name}: missing from fresh run")
+                continue
+            checked += 1
+            limit = base * (1.0 + args.tolerance)
+            status = "ok" if now <= limit else "REGRESSED"
+            print(f"  {name}: {base:.4f} -> {now:.4f} (limit {limit:.4f}) {status}")
+            if now > limit:
+                failures.append(f"{name}: {now:.4f} > {limit:.4f}")
+
+    if "hw.cycles" in committed:
+        now = fresh.get("hw.cycles")
+        checked += 1
+        if now != committed["hw.cycles"]:
+            failures.append(
+                f"hw.cycles: {now} != committed {committed['hw.cycles']} "
+                "(modeled circuit changed; regenerate the artifact if intended)")
+        else:
+            print(f"  hw.cycles: {now} (exact match)")
+
+    gate = "shard_scaling.n1_identical_to_single"
+    if gate in fresh:
+        checked += 1
+        if fresh[gate] != 1.0:
+            failures.append(f"{gate}: N=1 sharded run diverged from the bare sorter")
+        else:
+            print(f"  {gate}: 1 (N=1 bit/cycle identity holds)")
+
+    if checked == 0:
+        failures.append("no comparable modeled metrics found — wrong file pair?")
+
+    if failures:
+        print(f"PERF SMOKE FAIL ({len(failures)} issue(s)):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"PERF SMOKE PASS ({checked} checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
