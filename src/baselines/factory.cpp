@@ -33,11 +33,18 @@ public:
         return std::min(avail, 32u);
     }
 
+    /// Per-bank slot budget: split rounding up, so the aggregate never
+    /// shrinks below the requested total.
+    static std::size_t per_bank_capacity(std::size_t capacity, unsigned num_banks) {
+        const std::size_t n = std::max(num_banks, 1u);
+        return std::max<std::size_t>((capacity + n - 1) / n, 1);
+    }
+
     SorterTagQueue(tree::TreeGeometry geometry, std::size_t capacity,
                    unsigned num_banks, std::string name, std::string complexity)
         : sorter_(
-              {{geometry, std::max<std::size_t>(capacity / std::max(num_banks, 1u), 1),
-                payload_bits_for(geometry, capacity)},
+              {{geometry, per_bank_capacity(capacity, num_banks),
+                payload_bits_for(geometry, per_bank_capacity(capacity, num_banks))},
                num_banks},
               sim_),
           name_(num_banks > 1 ? name + " x" + std::to_string(num_banks)

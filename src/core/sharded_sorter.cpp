@@ -36,13 +36,22 @@ ShardedSorter::ShardedSorter(const Config& config, hw::Simulation& sim)
     // fault tooling can address them individually. A single bank keeps the
     // unscoped names — the unsharded inventory, bit for bit.
     banks_.reserve(config.num_banks);
-    const std::string outer_prefix = sim.sram_name_prefix();
-    for (unsigned i = 0; i < config.num_banks; ++i) {
-        if (config.num_banks > 1)
-            sim.set_sram_name_prefix(outer_prefix + "bank" + std::to_string(i) + ".");
-        banks_.push_back(std::make_unique<TagSorter>(config.bank, sim));
+    {
+        // Restores the outer prefix on every exit path — a throwing
+        // TagSorter constructor must not leave the Simulation mis-naming
+        // subsequently created SRAMs.
+        struct PrefixGuard {
+            hw::Simulation& sim;
+            std::string outer;
+            ~PrefixGuard() { sim.set_sram_name_prefix(std::move(outer)); }
+        } guard{sim, sim.sram_name_prefix()};
+        for (unsigned i = 0; i < config.num_banks; ++i) {
+            if (config.num_banks > 1)
+                sim.set_sram_name_prefix(guard.outer + "bank" + std::to_string(i) +
+                                         ".");
+            banks_.push_back(std::make_unique<TagSorter>(config.bank, sim));
+        }
     }
-    sim.set_sram_name_prefix(outer_prefix);
 
     head_cache_.resize(config.num_banks);
     bank_free_at_.assign(config.num_banks, 0);
@@ -207,6 +216,10 @@ bool ShardedSorter::recover() {
         fault::Scrubber scrubber(*b);
         (void)scrubber.scrub();  // always leaves the bank consistent
     }
+    // A lossy rebuild (ScrubOutcome::entries_lost) can change — or empty —
+    // any bank's head, so the cached head registers and comparator winner
+    // must be re-derived before the next retrieve.
+    for (unsigned i = 0; i < num_banks(); ++i) refresh_head(i);
     return true;
 }
 

@@ -11,13 +11,17 @@ namespace wfqs::obs {
 RunningStats CycleHistogram::stats() const {
     RunningStats s = stats_;
     if (icount_ > 0) {
-        const double n = static_cast<double>(icount_);
-        const double sum = static_cast<double>(isum_);
-        const double mean = sum / n;
-        const double m2 = static_cast<double>(isumsq_) - n * mean * mean;
-        s.merge(RunningStats::from_moments(icount_, mean, m2,
-                                           static_cast<double>(imin_),
-                                           static_cast<double>(imax_), sum));
+        // m2 in long double: isumsq_ can approach 2^64, where a double's
+        // 53-bit mantissa makes isumsq - n*mean^2 cancel catastrophically.
+        const long double n = static_cast<long double>(icount_);
+        const long double sum = static_cast<long double>(isum_);
+        const long double mean = sum / n;
+        const long double m2 =
+            static_cast<long double>(isumsq_) - n * mean * mean;
+        s.merge(RunningStats::from_moments(
+            icount_, static_cast<double>(mean), static_cast<double>(m2),
+            static_cast<double>(imin_), static_cast<double>(imax_),
+            static_cast<double>(sum)));
     }
     return s;
 }

@@ -78,9 +78,15 @@ public:
     }
 
     /// Integer fast lane (hot paths). Falls back to record() when the bin
-    /// geometry is not one-bin-per-cycle.
+    /// geometry is not one-bin-per-cycle, when the value is too large for
+    /// its square to stay exact (>= 2^31), or when either integer
+    /// accumulator would overflow — so the uint64 moments never wrap.
     void record_cycles(std::uint64_t cycles) {
-        if (!unit_bins_) {
+        constexpr std::uint64_t kSquareSafe = std::uint64_t{1} << 31;
+        constexpr std::uint64_t kU64Max = ~std::uint64_t{0};
+        if (!unit_bins_ || cycles >= kSquareSafe ||
+            isum_ > kU64Max - cycles ||
+            isumsq_ > kU64Max - cycles * cycles) {
             record(static_cast<double>(cycles));
             return;
         }

@@ -126,6 +126,17 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, QueueConformance,
                              return n;
                          });
 
+// A slot budget that does not divide evenly must round *up* per bank —
+// the aggregate never shrinks below the requested capacity. 100 tags over
+// 4 banks land 25 per bank; ceil(100/4)=25 holds them, floor(97/4)=24
+// would overflow a bank.
+TEST(Factory, ShardedCapacityRoundsUpPerBank) {
+    auto q = make_tag_queue(QueueKind::MultibitTree, {12, 97, 4});
+    for (std::uint64_t t = 0; t < 100; ++t)
+        ASSERT_NO_THROW(q->insert(t, 0)) << "tag " << t;
+    for (std::uint64_t t = 0; t < 100; ++t) EXPECT_EQ(q->pop_min()->tag, t);
+}
+
 // --------------------------------------------------- structure-specific
 
 TEST(HeapQueue, EqualTagsServeFifo) {

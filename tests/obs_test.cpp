@@ -118,6 +118,24 @@ TEST(CycleHistogram, MomentsAndQuantiles) {
     EXPECT_DOUBLE_EQ(h.approx_quantile(1.0), 9.0);
 }
 
+// Values whose square would overflow the integer lane's uint64 moments
+// (>= 2^31) must detour through the double lane, not wrap silently. Both
+// lanes fold into one summary, so count/mean/stddev stay sane.
+TEST(CycleHistogram, HugeCycleCountsDoNotOverflowIntegerMoments) {
+    CycleHistogram h;  // unit bins: record_cycles takes the integer lane
+    const std::uint64_t huge = std::uint64_t{1} << 33;
+    h.record_cycles(huge);
+    h.record_cycles(huge);
+    h.record_cycles(2);
+    const RunningStats s = h.stats();
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.max(), static_cast<double>(huge));
+    const double mean = (2.0 * static_cast<double>(huge) + 2.0) / 3.0;
+    EXPECT_NEAR(s.mean(), mean, 1.0);
+    EXPECT_GT(s.stddev(), 0.0);
+    EXPECT_TRUE(std::isfinite(s.stddev()));
+}
+
 TEST(CycleHistogram, NaNGoesToRejectCounterNotStats) {
     CycleHistogram h;
     h.record(std::nan(""));

@@ -389,5 +389,31 @@ TEST(ShardedSorter, RecoverScrubsEveryBank) {
     for (std::uint64_t t = 0; t < 32; ++t) EXPECT_EQ(s.pop_min()->tag, t);
 }
 
+// A scrub that rebuilds a bank can move that bank's head; recover() must
+// re-derive the head-merge state or the next pop serves a non-minimum
+// bank. Corrupt the tag of the minimum bank's head so the rebuild re-sorts
+// it to the back, shifting the global minimum to the *other* bank.
+TEST(ShardedSorter, RecoverRefreshesHeadMergeAfterRebuild) {
+    hw::Simulation sim;
+    ShardedSorter s(sharded_config(2), sim);
+    s.insert(2, 20);  // bank 0, local 1
+    s.insert(4, 40);  // bank 0, local 2
+    s.insert(1, 10);  // bank 1, local 0  <- global minimum
+    s.insert(3, 30);  // bank 1, local 1
+    ASSERT_EQ(s.peek_min()->tag, 1u);
+
+    auto& store = s.bank(1).store();
+    auto head = store.peek_slot(store.head_addr());
+    head.entry.tag = 100;  // local 100 = global 201, now bank 1's largest
+    store.poke_slot(store.head_addr(), head);
+
+    EXPECT_TRUE(s.recover());
+    // Bank 1 rebuilt to {3, 201}; the global head must switch to bank 0.
+    EXPECT_EQ(s.peek_min()->tag, 2u);
+    const std::uint64_t expect[] = {2, 3, 4, 201};
+    for (const std::uint64_t t : expect) EXPECT_EQ(s.pop_min()->tag, t);
+    EXPECT_TRUE(s.empty());
+}
+
 }  // namespace
 }  // namespace wfqs::core
