@@ -1,7 +1,8 @@
 // Chaos soak for the fault/ECC/self-healing layer (DESIGN.md "Fault
 // model and recovery"): drive the cycle-accurate sorter for millions of
 // operations while a seeded FaultInjector flips stored bits, and
-// cross-check every pop against a std::multiset reference model.
+// cross-check every pop against the shared ref::RefSorter golden model
+// (the same oracle the conformance harness uses).
 //
 //     fault_soak [--ops N] [--rate P] [--stuck N] [--ecc none|parity|secded]
 //                [--seed N] [--json PATH]
@@ -24,7 +25,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <set>
 #include <string>
 
 #include "common/rng.hpp"
@@ -34,6 +34,7 @@
 #include "fault/scrubber.hpp"
 #include "hw/simulation.hpp"
 #include "obs/bench_io.hpp"
+#include "ref/ref_sorter.hpp"
 
 using namespace wfqs;
 
@@ -76,24 +77,8 @@ Options parse_options(int argc, char** argv) {
     return opt;
 }
 
-constexpr unsigned kTagBits = 12;
-constexpr std::uint64_t kRange = std::uint64_t{1} << kTagBits;
 constexpr std::size_t kCapacity = 4096;
 constexpr std::uint32_t kPayloadMask = 0xFF'FFFF;
-
-/// Mirror the sorter's live tags (logical values) back into `ref` —
-/// after a recovery the sorter is the ground truth, since a rebuild may
-/// legitimately have dropped entries whose tags were destroyed.
-void resync_reference(const core::TagSorter& sorter,
-                      std::multiset<std::uint64_t>& ref) {
-    ref.clear();
-    if (sorter.empty()) return;
-    const auto snap = sorter.store().snapshot();
-    const std::uint64_t head_logical = sorter.peek_min()->tag;
-    const std::uint64_t head_physical = snap.front().tag;
-    for (const auto& e : snap)
-        ref.insert(head_logical + ((e.tag - head_physical) & (kRange - 1)));
-}
 
 }  // namespace
 
@@ -153,7 +138,11 @@ int main(int argc, char** argv) {
     injector.register_metrics(reporter.registry());
     scrubber.register_metrics(reporter.registry());
 
-    std::multiset<std::uint64_t> ref;
+    // Unconstrained golden model (no capacity/window preconditions): the
+    // drive pattern stays inside the sorter's own discipline, and after
+    // an unprotected fault the model must re-adopt whatever the recovered
+    // circuit holds, valid or not.
+    ref::RefSorter oracle;
     Rng rng(seed + 1);  // drive stream, distinct from the injector's
     std::uint64_t done = 0, inserts = 0, pops = 0;
     std::uint64_t faults_recovered = 0, order_mismatches = 0, entries_lost = 0;
@@ -161,14 +150,16 @@ int main(int argc, char** argv) {
     const std::uint64_t c0 = sim.clock().now();
 
     while (done < opt.ops) {
-        const std::uint64_t current_min = ref.empty() ? last_min : *ref.begin();
+        const std::uint64_t current_min =
+            oracle.empty() ? last_min : *oracle.min_tag();
         const bool do_insert =
-            ref.size() < 16 || (ref.size() < 512 && rng.next_bool(0.55));
+            oracle.size() < 16 || (oracle.size() < 512 && rng.next_bool(0.55));
         try {
             if (do_insert) {
                 const std::uint64_t tag = current_min + rng.next_below(60);
-                sorter.insert(tag, static_cast<std::uint32_t>(done) & kPayloadMask);
-                ref.insert(tag);
+                const auto payload = static_cast<std::uint32_t>(done) & kPayloadMask;
+                sorter.insert(tag, payload);
+                oracle.insert(tag, payload);
                 ++inserts;
             } else {
                 const auto popped = sorter.pop_min();
@@ -176,15 +167,17 @@ int main(int argc, char** argv) {
                     // Sorter disagrees that anything is stored: silent loss
                     // (only reachable without ECC). Resync and move on.
                     ++order_mismatches;
-                    resync_reference(sorter, ref);
+                    oracle.resync(sorter);
                     continue;
                 }
-                if (ref.empty() || popped->tag != *ref.begin()) {
+                if (oracle.empty() || popped->tag != *oracle.min_tag()) {
+                    // Out of order: the circuit is now the authority on
+                    // what its scrambled memories hold (unprotected runs
+                    // only — with ECC this path fails the bench).
                     ++order_mismatches;
-                    const auto hit = ref.find(popped->tag);
-                    ref.erase(hit != ref.end() ? hit : ref.begin());
+                    oracle.resync(sorter);
                 } else {
-                    ref.erase(ref.begin());
+                    oracle.pop_min();
                 }
                 last_min = popped->tag;
                 ++pops;
@@ -196,7 +189,7 @@ int main(int argc, char** argv) {
             ++faults_recovered;
             const auto outcome = scrubber.scrub();
             entries_lost += outcome.entries_lost;
-            resync_reference(sorter, ref);
+            oracle.resync(sorter);
         }
     }
     const double soak_cycles = static_cast<double>(sim.clock().now() - c0) /

@@ -104,6 +104,13 @@ public:
     std::size_t capacity() const;  ///< sum over banks
 
     unsigned num_banks() const { return static_cast<unsigned>(banks_.size()); }
+    /// Bank the selector routes (tag, flow_key) to — a pure function of
+    /// the configuration, exposed so conformance oracles and
+    /// instrumentation can predict placements without replicating the
+    /// selector (notably the flow-hash mixing function).
+    unsigned bank_for(std::uint64_t tag, std::uint64_t flow_key = 0) const {
+        return select_bank(tag, flow_key);
+    }
     TagSorter& bank(unsigned i) { return *banks_[i]; }
     const TagSorter& bank(unsigned i) const { return *banks_[i]; }
     std::uint64_t bank_ops(unsigned i) const { return bank_ops_[i]; }

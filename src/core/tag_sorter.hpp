@@ -58,7 +58,7 @@ struct SorterStats {
     std::uint64_t worst_pop_cycles = 0;
     std::uint64_t insert_cycles_total = 0;
     std::uint64_t pop_cycles_total = 0;
-    std::uint64_t audits = 0;              ///< integrity audits run
+    std::uint64_t audits = 0;              ///< integrity audits that found issues
     std::uint64_t repairs = 0;             ///< targeted repairs applied
     std::uint64_t rebuilds = 0;            ///< drain-and-resort recoveries
     std::uint64_t rebuild_recovered = 0;   ///< entries surviving a rebuild
@@ -113,8 +113,9 @@ public:
 
     /// Cross-check the linked list, empty list, translation table, and
     /// tree markers against each other. Pure inspection: ECC-corrected
-    /// peeks only, no cycles, no state change. Never throws — corruption
-    /// is returned as issues, not exceptions.
+    /// peeks only, no cycles, no state change (a clean audit leaves even
+    /// the stats untouched; only findings bump the `audits` counter).
+    /// Never throws — corruption is returned as issues, not exceptions.
     fault::AuditReport audit() const;
 
     /// Fix every repairable issue in `report` using the linked list as
@@ -137,6 +138,7 @@ public:
     bool empty() const { return store_.empty(); }
     bool full() const { return store_.full(); }
     std::size_t capacity() const { return store_.capacity(); }
+    const Config& config() const { return config_; }
 
     /// Largest logical tag span the window discipline accepts.
     std::uint64_t window_span() const;
@@ -167,6 +169,7 @@ public:
                           const std::string& prefix = "sorter") const;
 
 private:
+    fault::AuditReport audit_impl() const;
     std::uint64_t to_physical(std::uint64_t logical) const;
     void validate_incoming(std::uint64_t logical) const;
     /// Wrapped closest-match: primary pass at `physical`, fallback pass at

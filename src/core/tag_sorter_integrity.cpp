@@ -84,9 +84,16 @@ ListWalk walk_list(const storage::LinkedTagStore& store, std::uint64_t head_phys
 }  // namespace
 
 fault::AuditReport TagSorter::audit() const {
-    // Inspection-only, but the audit itself is an observable event.
-    ++const_cast<TagSorter*>(this)->stats_.audits;
+    const fault::AuditReport report = audit_impl();
+    // Pure inspection must stay invisible in the stats when nothing is
+    // wrong — harnesses audit after every burst, and a clean sorter's
+    // counters have to be independent of how often anyone looked. Only an
+    // audit that *found* something is an observable event.
+    if (!report.clean()) ++const_cast<TagSorter*>(this)->stats_.audits;
+    return report;
+}
 
+fault::AuditReport TagSorter::audit_impl() const {
     fault::AuditReport report;
     const std::size_t cap = store_.capacity();
     const std::uint64_t head_physical = empty() ? 0 : to_physical(head_logical_);

@@ -1,0 +1,89 @@
+#include "ref/ref_gps.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+#include "wfq/gps_fluid.hpp"
+
+namespace wfqs::ref {
+
+RefGpsScheduler::RefGpsScheduler(std::uint64_t link_rate_bps,
+                                 std::vector<double> weights)
+    : rate_(link_rate_bps), weights_(std::move(weights)) {
+    WFQS_REQUIRE(rate_ > 0, "link rate must be positive");
+    WFQS_REQUIRE(!weights_.empty(), "at least one flow weight");
+}
+
+std::vector<RefGpsScheduler::PacketBound> RefGpsScheduler::replay(
+    const net::SimResult& result) const {
+    wfq::GpsFluidSim gps(static_cast<double>(rate_));
+    for (const double w : weights_) gps.add_flow(w);
+
+    // GPS wants arrivals in time order; records are in departure order.
+    std::vector<const net::PacketRecord*> by_arrival;
+    by_arrival.reserve(result.records.size());
+    for (const auto& r : result.records) by_arrival.push_back(&r);
+    std::stable_sort(by_arrival.begin(), by_arrival.end(),
+                     [](const net::PacketRecord* x, const net::PacketRecord* y) {
+                         return x->packet.arrival_ns < y->packet.arrival_ns;
+                     });
+
+    std::map<int, const net::PacketRecord*> gps_to_record;
+    std::map<int, double> vfinish;
+    for (const auto* r : by_arrival) {
+        WFQS_REQUIRE(r->packet.flow < weights_.size(),
+                     "record references a flow with no registered weight");
+        const int id = gps.arrive(static_cast<int>(r->packet.flow),
+                                  static_cast<double>(r->packet.arrival_ns) / 1e9,
+                                  static_cast<double>(r->packet.size_bits()));
+        gps_to_record[id] = r;
+        vfinish[id] = gps.virtual_finish(id);
+    }
+
+    std::vector<PacketBound> bounds;
+    bounds.reserve(by_arrival.size());
+    for (const auto& d : gps.drain()) {
+        const auto* r = gps_to_record.at(d.packet);
+        bounds.push_back({r->packet.id, r->packet.flow, d.finish_time,
+                          vfinish.at(d.packet)});
+    }
+    return bounds;
+}
+
+std::vector<RefGpsScheduler::Violation> RefGpsScheduler::check_departure_bound(
+    const net::SimResult& result, double slack_s) const {
+    std::map<std::uint64_t, double> gps_finish;
+    for (const auto& b : replay(result)) gps_finish[b.packet_id] = b.gps_finish_s;
+
+    std::uint32_t lmax_bits = 0;
+    for (const auto& r : result.records)
+        lmax_bits = std::max(lmax_bits, r.packet.size_bits());
+    const double one_packet_s =
+        static_cast<double>(lmax_bits) / static_cast<double>(rate_);
+
+    std::vector<Violation> violations;
+    for (const auto& r : result.records) {
+        const double departure_s = static_cast<double>(r.departure_ns) / 1e9;
+        const double limit_s = gps_finish.at(r.packet.id) + one_packet_s + slack_s;
+        if (departure_s > limit_s)
+            violations.push_back(
+                {r.packet.id, departure_s, limit_s, departure_s - limit_s});
+    }
+    std::sort(violations.begin(), violations.end(),
+              [](const Violation& x, const Violation& y) {
+                  return x.excess_s > y.excess_s;
+              });
+    return violations;
+}
+
+std::string RefGpsScheduler::describe(const std::vector<Violation>& violations) {
+    if (violations.empty()) return "ok";
+    const Violation& w = violations.front();
+    return "packet " + std::to_string(w.packet_id) + " departed " +
+           std::to_string(w.departure_s) + "s, GPS bound " +
+           std::to_string(w.limit_s) + "s (excess " + std::to_string(w.excess_s) +
+           "s); " + std::to_string(violations.size()) + " violation(s) total";
+}
+
+}  // namespace wfqs::ref

@@ -1,0 +1,24 @@
+#include "ref/ref_matcher.hpp"
+
+namespace wfqs::ref {
+
+matcher::MatchResult ref_match(std::uint64_t word, unsigned target, unsigned width) {
+    matcher::MatchResult r;
+    if (width == 0) return r;
+    if (target >= width) target = width - 1;
+    for (int i = static_cast<int>(target); i >= 0; --i) {
+        if ((word >> static_cast<unsigned>(i)) & 1u) {
+            r.primary = i;
+            break;
+        }
+    }
+    for (int i = r.primary - 1; i >= 0; --i) {
+        if ((word >> static_cast<unsigned>(i)) & 1u) {
+            r.backup = i;
+            break;
+        }
+    }
+    return r;
+}
+
+}  // namespace wfqs::ref

@@ -1,0 +1,37 @@
+// Golden reference for the node matching contract: the obviously-correct
+// linear scan the five gate-level circuits and the behavioural model must
+// all agree with.
+//
+// The contract (matcher/matcher.hpp): over a W-bit presence word,
+//   primary = the highest set bit at or below the target position
+//             (exact match or next-smallest), and
+//   backup  = the highest set bit strictly below the primary.
+//
+// This model exists so the conformance harness has an oracle that shares
+// *no* code with the implementations under test: behavioral_match uses
+// bit tricks, the netlists use carry chains — ref_match walks bits one by
+// one, downward, exactly as the prose above reads.
+#pragma once
+
+#include <cstdint>
+
+#include "matcher/matcher.hpp"
+
+namespace wfqs::ref {
+
+/// Brute-force rightmost-1-at-or-below-target scan. Bits at or above
+/// `width` are ignored; a `target` beyond the word is clamped to the top
+/// bit (matching the engines, which never see such targets in-tree).
+matcher::MatchResult ref_match(std::uint64_t word, unsigned target, unsigned width);
+
+/// MatcherEngine adapter so a whole TagSorter can run against the oracle.
+class RefMatcher final : public matcher::MatcherEngine {
+public:
+    matcher::MatchResult match(std::uint64_t word, unsigned target,
+                               unsigned width) override {
+        return ref_match(word, target, width);
+    }
+    std::string name() const override { return "ref"; }
+};
+
+}  // namespace wfqs::ref

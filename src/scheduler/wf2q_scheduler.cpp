@@ -8,7 +8,7 @@ Wf2qScheduler::Wf2qScheduler(const Config& config,
                              std::unique_ptr<baselines::TagQueue> start_queue,
                              std::unique_ptr<baselines::TagQueue> finish_queue)
     : config_(config),
-      computer_(config.link_rate_bps),
+      clock_(config.link_rate_bps),
       start_queue_(std::move(start_queue)),
       finish_queue_(std::move(finish_queue)),
       buffer_(config.buffer),
@@ -18,7 +18,7 @@ Wf2qScheduler::Wf2qScheduler(const Config& config,
 }
 
 net::FlowId Wf2qScheduler::add_flow(std::uint32_t weight) {
-    return computer_.add_flow(weight);
+    return clock_.add_flow(weight);
 }
 
 std::uint32_t Wf2qScheduler::allocate_slot(std::uint64_t finish_tag, BufferRef ref) {
@@ -38,8 +38,8 @@ bool Wf2qScheduler::do_enqueue(const net::Packet& packet, net::TimeNs now) {
     const auto ref = buffer_.store(packet);
     if (!ref) return false;
     // Sort #1: by virtual start (eligibility order).
-    const Fixed finish = computer_.on_arrival(packet.flow, now, packet.size_bits());
-    const Fixed start = computer_.last_start();
+    const Fixed finish = clock_.on_arrival(packet.flow, now, packet.size_bits());
+    const Fixed start = clock_.last_start();
     const std::uint32_t slot = allocate_slot(quantizer_.quantize(finish), *ref);
     start_queue_->insert(quantizer_.quantize(start), slot);
     promote_eligible();
@@ -49,7 +49,7 @@ bool Wf2qScheduler::do_enqueue(const net::Packet& packet, net::TimeNs now) {
 void Wf2qScheduler::promote_eligible() {
     // Packets whose virtual start has been reached move to sort #2 (by
     // virtual finish) — the WF2Q eligibility test S <= V(t).
-    const std::uint64_t v = quantizer_.quantize(computer_.virtual_time());
+    const std::uint64_t v = quantizer_.quantize(clock_.virtual_time());
     while (const auto head = start_queue_->peek_min()) {
         if (head->tag > v) break;
         const auto moved = start_queue_->pop_min();
@@ -58,15 +58,15 @@ void Wf2qScheduler::promote_eligible() {
 }
 
 std::optional<net::Packet> Wf2qScheduler::do_dequeue(net::TimeNs now) {
-    computer_.advance_to(now);
+    clock_.advance_to(now);
     promote_eligible();
     if (finish_queue_->empty() && !start_queue_->empty()) {
-        // Work conservation: rather than idle the link, jump the system
-        // virtual time to the smallest start tag (the WF2Q+ floor) and
-        // promote again.
-        const auto head = start_queue_->peek_min();
-        computer_.floor_virtual_time(quantizer_.dequantize(head->tag));
-        promote_eligible();
+        // Under exact GPS tracking every backlogged flow's head has
+        // S <= V(t) — GPS is already serving it — so an empty eligible
+        // set can only be tag-quantization rounding the comparison the
+        // wrong way. Force the head across rather than idle the link.
+        const auto moved = start_queue_->pop_min();
+        finish_queue_->insert(slots_[moved->payload].finish_tag, moved->payload);
     }
     const auto entry = finish_queue_->pop_min();
     if (!entry) return std::nullopt;

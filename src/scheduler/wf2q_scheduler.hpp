@@ -10,6 +10,19 @@
 // the minimum. Compared with plain WFQ this prevents a high-weight flow
 // from running arbitrarily far ahead of its GPS schedule — the
 // worst-case-fairness property of WF2Q (ref [5]).
+//
+// Eligibility runs on the *exact* GPS-tracking virtual clock
+// (wfq::WfqVirtualTime), not the flat O(1) WF2Q+ clock
+// (wfq::Wf2qPlusTagComputer, still available to the single-sorter
+// scheduler family). The differential conformance harness showed why:
+// the flat clock advances at r/Φ_total over all registered flows while
+// GPS advances at r/Φ_backlogged, so whenever part of the flow set
+// idles the clock lags, a newly-active flow restarts "in the past" with
+// artificially low tags, and packets of the backlogged flows blow
+// through the Parekh–Gallager departure bound — by up to 3.4 Lmax/r in
+// randomized 3–6-flow runs, invariant under tag granularity. With the
+// exact clock every served packet meets D_p ≤ F_gps + Lmax/r with zero
+// slack (Conformance.Wf2qMeetsGpsDepartureBound).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +33,7 @@
 #include "scheduler/packet_buffer.hpp"
 #include "scheduler/scheduler.hpp"
 #include "wfq/tag_computer.hpp"
+#include "wfq/virtual_clock.hpp"
 
 namespace wfqs::scheduler {
 
@@ -58,7 +72,7 @@ private:
     void promote_eligible();
 
     Config config_;
-    wfq::Wf2qPlusTagComputer computer_;
+    wfq::WfqVirtualTime clock_;
     std::unique_ptr<baselines::TagQueue> start_queue_;
     std::unique_ptr<baselines::TagQueue> finish_queue_;
     SharedPacketBuffer buffer_;

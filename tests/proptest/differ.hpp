@@ -1,0 +1,660 @@
+// Differential drivers: replay a proptest op sequence against a device
+// under test and the golden models of src/ref in lockstep, reporting the
+// first divergence as a human-readable message (nullopt = conformant).
+//
+// Four device families share the interpreter:
+//
+//   * diff_tag_sorter  — core::TagSorter (any geometry, any matcher
+//     engine, any capacity, paper-mode or not) vs ref::RefSorter. Checks
+//     every result, exception parity on rejected tags, size/peek parity
+//     after every op, audit() cleanliness, and the cycle-accounting
+//     closure insert_cycles_total + pop_cycles_total == clock delta.
+//   * diff_sharded_sorter — core::ShardedSorter (any bank count, both
+//     bank-select policies) vs ref::RefSorter, plus per-bank audits and
+//     the sharded accounting closure sequential_cycles == clock delta.
+//   * diff_matcher     — gate-level netlists and the behavioural model vs
+//     ref_match over exhaustive small words, structured edge words, and
+//     random words.
+//   * diff_scheduler_vs_gps — a full scheduler run vs the GPS fluid
+//     departure bound (ref::RefGpsScheduler).
+//
+// Tag deltas are interpreted relative to the *reference* minimum (or the
+// last tag seen when empty), so sequences stay meaningful as the shrinker
+// mutates them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.hpp"
+#include "core/sharded_sorter.hpp"
+#include "core/tag_sorter.hpp"
+#include "hw/simulation.hpp"
+#include "matcher/matcher.hpp"
+#include "net/sim_driver.hpp"
+#include "net/traffic_gen.hpp"
+#include "proptest/proptest.hpp"
+#include "ref/ref_gps.hpp"
+#include "ref/ref_matcher.hpp"
+#include "ref/ref_sorter.hpp"
+#include "scheduler/wf2q_scheduler.hpp"
+#include "scheduler/wfq_scheduler.hpp"
+
+namespace wfqs::proptest {
+
+// ------------------------------------------------------------ interpreter
+
+struct DiffOptions {
+    /// Run the burst check (audit + cycle accounting) every this many ops;
+    /// 0 = only after the final op. The check is pure inspection, so any
+    /// cadence is legal — denser catches corruption closer to its cause.
+    std::size_t audit_every = 256;
+    /// Compare payloads, not just tags. Must be off when the DUT's
+    /// duplicate order legitimately differs from global FIFO (flow-hash
+    /// sharding with tag-independent flow keys).
+    bool compare_payloads = true;
+    std::uint32_t payload_mask = 0xFF'FFFF;  ///< 24-bit packet pointers
+};
+
+/// Type-erased device under test. Each hook maps one op onto the DUT;
+/// `burst_check` (optional) inspects invariants the interpreter cannot
+/// see through the datapath interface; `before_op` (optional) publishes
+/// the op index before the op runs (the sharded driver derives flow keys
+/// from it).
+struct DutHooks {
+    std::function<void(std::uint64_t, std::uint32_t)> insert;
+    std::function<std::optional<core::SortedTag>()> pop;
+    std::function<core::SortedTag(std::uint64_t, std::uint32_t)> combined;
+    std::function<std::optional<core::SortedTag>()> peek;
+    std::function<std::size_t()> size;
+    std::function<std::optional<std::string>(std::size_t)> burst_check;
+    std::function<void(std::size_t)> before_op;
+};
+
+inline std::uint64_t apply_delta(std::uint64_t base, std::int64_t delta) {
+    if (delta >= 0) return base + static_cast<std::uint64_t>(delta);
+    const std::uint64_t down = static_cast<std::uint64_t>(-delta);
+    return base > down ? base - down : 0;
+}
+
+/// Replay `ops` against the DUT and the reference in lockstep. RefModel
+/// is ref::RefSorter or any type with the same surface (ShardedRef
+/// below adds per-bank window/capacity modelling).
+template <typename RefModel>
+inline std::optional<std::string> run_ops(const OpSeq& ops, RefModel& ref,
+                                          const DutHooks& dut,
+                                          const DiffOptions& opt = {}) {
+    const auto fail = [](std::size_t i, const std::string& what) {
+        return "op " + std::to_string(i) + ": " + what;
+    };
+    const auto show = [](const core::SortedTag& e) {
+        return "{tag " + std::to_string(e.tag) + ", payload " +
+               std::to_string(e.payload) + "}";
+    };
+    const auto mismatch = [&](std::size_t i, const char* what,
+                              const core::SortedTag& want,
+                              const core::SortedTag& got) {
+        return fail(i, std::string(what) + " diverged: reference " + show(want) +
+                           ", DUT " + show(got));
+    };
+
+    std::uint64_t cursor = 0;  // delta base while the sorter is empty
+    std::uint32_t seq = 0;     // payload generator
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op& op = ops[i];
+        if (dut.before_op) dut.before_op(i);
+        const std::uint64_t base = ref.min_tag().value_or(cursor);
+        switch (op.kind) {
+            case OpKind::kInsert: {
+                const std::uint64_t tag = apply_delta(base, op.delta);
+                const std::uint32_t payload = seq++ & opt.payload_mask;
+                if (ref.would_accept(tag)) {
+                    try {
+                        dut.insert(tag, payload);
+                    } catch (const std::exception& e) {
+                        return fail(i, "DUT rejected insert(tag " +
+                                           std::to_string(tag) +
+                                           ") the reference accepts: " + e.what());
+                    }
+                    ref.insert(tag, payload);
+                    cursor = tag;
+                } else {
+                    // Exception parity: the DUT must reject too, with one of
+                    // the two contract exception types, leaving state intact
+                    // (verified by the post-op parity below).
+                    bool rejected = false;
+                    try {
+                        dut.insert(tag, payload);
+                    } catch (const std::overflow_error&) {
+                        rejected = true;
+                    } catch (const std::invalid_argument&) {
+                        rejected = true;
+                    }
+                    if (!rejected)
+                        return fail(i, "DUT accepted insert(tag " +
+                                           std::to_string(tag) +
+                                           ") the reference rejects (window/"
+                                           "capacity discipline)");
+                }
+                break;
+            }
+            case OpKind::kPop: {
+                const auto want = ref.pop_min();
+                const auto got = dut.pop();
+                if (want.has_value() != got.has_value())
+                    return fail(i, std::string("pop_min emptiness diverged: "
+                                               "reference ") +
+                                       (want ? "returned an entry" : "was empty") +
+                                       ", DUT " +
+                                       (got ? "returned an entry" : "was empty"));
+                if (want) {
+                    if (got->tag != want->tag ||
+                        (opt.compare_payloads && got->payload != want->payload))
+                        return mismatch(i, "pop_min", *want, *got);
+                    cursor = want->tag;
+                }
+                break;
+            }
+            case OpKind::kCombined: {
+                if (ref.empty()) break;  // precondition not met: skip
+                const std::uint64_t tag = apply_delta(base, op.delta);
+                const std::uint32_t payload = seq++ & opt.payload_mask;
+                if (ref.would_accept_combined(tag)) {
+                    core::SortedTag got;
+                    try {
+                        got = dut.combined(tag, payload);
+                    } catch (const std::exception& e) {
+                        return fail(i, "DUT rejected insert_and_pop(tag " +
+                                           std::to_string(tag) +
+                                           ") the reference accepts: " + e.what());
+                    }
+                    const core::SortedTag want = ref.insert_and_pop(tag, payload);
+                    if (got.tag != want.tag ||
+                        (opt.compare_payloads && got.payload != want.payload))
+                        return mismatch(i, "insert_and_pop", want, got);
+                    cursor = want.tag;
+                } else {
+                    // Window violations throw invalid_argument; a sharded
+                    // cross-bank combined op can also overflow its insert
+                    // bank (the fused op has no capacity precondition).
+                    bool rejected = false;
+                    try {
+                        (void)dut.combined(tag, payload);
+                    } catch (const std::invalid_argument&) {
+                        rejected = true;
+                    } catch (const std::overflow_error&) {
+                        rejected = true;
+                    }
+                    if (!rejected)
+                        return fail(i, "DUT accepted insert_and_pop(tag " +
+                                           std::to_string(tag) +
+                                           ") the reference rejects (window "
+                                           "discipline)");
+                }
+                break;
+            }
+        }
+
+        // Post-op parity: occupancy and the head register.
+        if (dut.size() != ref.size())
+            return fail(i, "size diverged: reference " + std::to_string(ref.size()) +
+                               ", DUT " + std::to_string(dut.size()));
+        const auto want_head = ref.peek_min();
+        const auto got_head = dut.peek();
+        if (want_head.has_value() != got_head.has_value())
+            return fail(i, "peek_min emptiness diverged");
+        if (want_head &&
+            (got_head->tag != want_head->tag ||
+             (opt.compare_payloads && got_head->payload != want_head->payload)))
+            return mismatch(i, "peek_min", *want_head, *got_head);
+
+        if (dut.burst_check && opt.audit_every != 0 &&
+            (i + 1) % opt.audit_every == 0) {
+            if (auto err = dut.burst_check(i)) return fail(i, *err);
+        }
+    }
+    if (dut.burst_check) {
+        if (auto err = dut.burst_check(ops.size())) return *err;
+    }
+    return std::nullopt;
+}
+
+// ------------------------------------------------- TagSorter differential
+
+/// Audit cleanliness + cycle-accounting closure for one TagSorter. Every
+/// datapath cycle is recorded in exactly one of the two totals (combined
+/// ops bill to the insert total), so their sum must equal the clock
+/// cycles elapsed since construction.
+inline std::optional<std::string> check_tag_sorter_integrity(
+    const core::TagSorter& sorter, const hw::Simulation& sim, std::uint64_t t0) {
+    const auto report = sorter.audit();
+    if (!report.clean()) {
+        std::ostringstream out;
+        out << "audit found " << report.issues.size()
+            << " issue(s): " << report.issues.front().detail;
+        return out.str();
+    }
+    const std::uint64_t elapsed = sim.clock().now() - t0;
+    const std::uint64_t accounted =
+        sorter.stats().insert_cycles_total + sorter.stats().pop_cycles_total;
+    if (accounted != elapsed) {
+        std::ostringstream out;
+        out << "cycle accounting leak: stats total " << accounted << " vs clock "
+            << elapsed;
+        return out.str();
+    }
+    return std::nullopt;
+}
+
+/// Differential-test one TagSorter configuration. `engine` selects the
+/// node matcher (nullptr = the behavioural default).
+inline std::optional<std::string> diff_tag_sorter(
+    const OpSeq& ops, const core::TagSorter::Config& config,
+    matcher::MatcherEngine* engine = nullptr, const DiffOptions& opt = {}) {
+    hw::Simulation sim;
+    auto sorter = engine ? std::make_unique<core::TagSorter>(config, sim, *engine)
+                         : std::make_unique<core::TagSorter>(config, sim);
+    const std::uint64_t t0 = sim.clock().now();
+    ref::RefSorter ref = ref::RefSorter::mirror(*sorter);
+
+    DutHooks dut;
+    dut.insert = [&](std::uint64_t t, std::uint32_t p) { sorter->insert(t, p); };
+    dut.pop = [&] { return sorter->pop_min(); };
+    dut.combined = [&](std::uint64_t t, std::uint32_t p) {
+        return sorter->insert_and_pop(t, p);
+    };
+    dut.peek = [&] { return sorter->peek_min(); };
+    dut.size = [&] { return sorter->size(); };
+    dut.burst_check = [&](std::size_t) {
+        return check_tag_sorter_integrity(*sorter, sim, t0);
+    };
+    return run_ops(ops, ref, dut, opt);
+}
+
+// --------------------------------------------- ShardedSorter differential
+
+/// How the interpreter fabricates the flow key it passes to a sharded
+/// insert. Only meaningful under BankSelect::kFlowHash.
+enum class FlowKeyMode {
+    /// flow_key = tag: equal tags hash to one bank, so per-bank FIFO is
+    /// global FIFO.
+    kByTag,
+    /// flow_key = the op index: equal tags from different "flows" may
+    /// land in different banks, exercising the bank-index tie-break of
+    /// the head merge (which ShardedRef reproduces exactly).
+    kBySeq,
+};
+
+/// Golden model of a ShardedSorter: one RefSorter per bank, each
+/// enforcing the bank-local contract — the per-bank capacity, the
+/// per-bank moving window (in global tag units: N x the bank span under
+/// interleave, since local tags are compressed by N; the bank span under
+/// flow hashing), and per-bank strict-minimum mode. Placement asks the
+/// DUT's own selector (bank_for), so the model never drifts from the
+/// flow-hash mixing function, and the head merge breaks cross-bank ties
+/// on the lowest bank index exactly like the comparator sweep.
+class ShardedRef {
+public:
+    ShardedRef(const core::ShardedSorter& dut, FlowKeyMode mode,
+               const std::size_t* op_index)
+        : dut_(dut), mode_(mode), op_index_(op_index) {
+        ref::RefSorter::Config cfg;
+        cfg.capacity = dut.bank(0).capacity();
+        cfg.window_span = dut.window_span();
+        cfg.strict_min_discipline = dut.bank(0).config().strict_min_discipline;
+        for (unsigned b = 0; b < dut.num_banks(); ++b) banks_.emplace_back(cfg);
+    }
+
+    std::uint64_t flow_key(std::uint64_t tag) const {
+        return mode_ == FlowKeyMode::kByTag ? tag
+                                            : static_cast<std::uint64_t>(*op_index_);
+    }
+
+    bool would_accept(std::uint64_t tag) const {
+        return bank_of(tag).would_accept(tag);
+    }
+
+    bool would_accept_combined(std::uint64_t tag) const {
+        const int b = min_bank();
+        if (b < 0) return false;
+        const unsigned a = dut_.bank_for(tag, flow_key(tag));
+        // Fused same-bank op: no capacity precondition (slot reuse).
+        // Cross-bank: a plain insert into bank `a`, capacity included.
+        return a == static_cast<unsigned>(b) ? banks_[a].would_accept_combined(tag)
+                                             : banks_[a].would_accept(tag);
+    }
+
+    void insert(std::uint64_t tag, std::uint32_t payload) {
+        bank_of(tag).insert(tag, payload);
+    }
+
+    std::optional<core::SortedTag> pop_min() {
+        const int b = min_bank();
+        if (b < 0) return std::nullopt;
+        return banks_[static_cast<unsigned>(b)].pop_min();
+    }
+
+    core::SortedTag insert_and_pop(std::uint64_t tag, std::uint32_t payload) {
+        const int b = min_bank();  // caller guarantees non-empty
+        const unsigned a = dut_.bank_for(tag, flow_key(tag));
+        if (a == static_cast<unsigned>(b))
+            return banks_[a].insert_and_pop(tag, payload);
+        banks_[a].insert(tag, payload);
+        return *banks_[static_cast<unsigned>(b)].pop_min();
+    }
+
+    std::optional<core::SortedTag> peek_min() const {
+        const int b = min_bank();
+        if (b < 0) return std::nullopt;
+        return banks_[static_cast<unsigned>(b)].peek_min();
+    }
+
+    std::optional<std::uint64_t> min_tag() const {
+        const int b = min_bank();
+        if (b < 0) return std::nullopt;
+        return banks_[static_cast<unsigned>(b)].min_tag();
+    }
+
+    std::size_t size() const {
+        std::size_t n = 0;
+        for (const auto& b : banks_) n += b.size();
+        return n;
+    }
+    bool empty() const { return size() == 0; }
+
+private:
+    ref::RefSorter& bank_of(std::uint64_t tag) {
+        return banks_[dut_.bank_for(tag, flow_key(tag))];
+    }
+    const ref::RefSorter& bank_of(std::uint64_t tag) const {
+        return banks_[dut_.bank_for(tag, flow_key(tag))];
+    }
+    /// The comparator sweep: lowest tag wins, ties to the lowest index.
+    int min_bank() const {
+        int best = -1;
+        std::uint64_t best_tag = 0;
+        for (unsigned b = 0; b < banks_.size(); ++b) {
+            const auto t = banks_[b].min_tag();
+            if (!t) continue;
+            if (best < 0 || *t < best_tag) {
+                best_tag = *t;
+                best = static_cast<int>(b);
+            }
+        }
+        return best;
+    }
+
+    const core::ShardedSorter& dut_;
+    FlowKeyMode mode_;
+    const std::size_t* op_index_;
+    std::vector<ref::RefSorter> banks_;
+};
+
+/// Differential-test one ShardedSorter configuration against the
+/// per-bank golden model (exact window, capacity, and tie-break parity
+/// for both bank-select policies).
+inline std::optional<std::string> diff_sharded_sorter(
+    const OpSeq& ops, const core::ShardedSorter::Config& config,
+    FlowKeyMode flow_mode = FlowKeyMode::kByTag, const DiffOptions& opt = {}) {
+    hw::Simulation sim;
+    core::ShardedSorter sorter(config, sim);
+    const std::uint64_t t0 = sim.clock().now();
+    std::size_t cur_op = 0;
+    ShardedRef ref(sorter, flow_mode, &cur_op);
+    const auto key = [&](std::uint64_t tag) { return ref.flow_key(tag); };
+
+    DutHooks dut;
+    dut.before_op = [&](std::size_t i) { cur_op = i; };
+    dut.insert = [&](std::uint64_t t, std::uint32_t p) { sorter.insert(t, p, key(t)); };
+    dut.pop = [&] { return sorter.pop_min(); };
+    dut.combined = [&](std::uint64_t t, std::uint32_t p) {
+        return sorter.insert_and_pop(t, p, key(t));
+    };
+    dut.peek = [&] { return sorter.peek_min(); };
+    dut.size = [&] { return sorter.size(); };
+    dut.burst_check = [&](std::size_t) -> std::optional<std::string> {
+        for (unsigned b = 0; b < sorter.num_banks(); ++b) {
+            const auto report = sorter.bank(b).audit();
+            if (!report.clean())
+                return "bank " + std::to_string(b) + " audit found " +
+                       std::to_string(report.issues.size()) +
+                       " issue(s): " + report.issues.front().detail;
+        }
+        const std::uint64_t elapsed = sim.clock().now() - t0;
+        if (sorter.stats().sequential_cycles != elapsed)
+            return "sharded cycle accounting leak: sequential_cycles " +
+                   std::to_string(sorter.stats().sequential_cycles) + " vs clock " +
+                   std::to_string(elapsed);
+        return std::nullopt;
+    };
+    return run_ops(ops, ref, dut, opt);
+}
+
+// ------------------------------------------------- matcher differentials
+
+/// Compare one engine against ref_match on one vector.
+inline std::optional<std::string> check_match(matcher::MatcherEngine& engine,
+                                              std::uint64_t word, unsigned target,
+                                              unsigned width) {
+    const matcher::MatchResult want = ref::ref_match(word, target, width);
+    const matcher::MatchResult got = engine.match(word, target, width);
+    if (got == want) return std::nullopt;
+    std::ostringstream out;
+    out << engine.name() << " diverged at width " << width << ", word 0x" << std::hex
+        << word << std::dec << ", target " << target << ": reference {" << want.primary
+        << "," << want.backup << "}, got {" << got.primary << "," << got.backup << "}";
+    return out.str();
+}
+
+/// Word-level differential over one engine and one width: exhaustive for
+/// small widths, structured edge vectors + seeded random words otherwise.
+/// `block` is the engine's internal grouping (0 = none) — edge vectors
+/// place bits around its boundaries.
+inline std::optional<std::string> diff_matcher_width(matcher::MatcherEngine& engine,
+                                                     unsigned width, unsigned block,
+                                                     std::size_t random_cases,
+                                                     std::uint64_t seed) {
+    const std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    if (width <= 10) {
+        // Every word x every target.
+        for (std::uint64_t word = 0; word <= mask; ++word)
+            for (unsigned target = 0; target < width; ++target)
+                if (auto err = check_match(engine, word, target, width)) return err;
+        return std::nullopt;
+    }
+    // Structured edges: the all-zero word (no match anywhere), the full
+    // word, and single/paired bits straddling block boundaries.
+    std::vector<std::uint64_t> words = {0, mask, 1, 1ULL << (width - 1)};
+    std::vector<unsigned> positions = {0, 1, width / 2, width - 2, width - 1};
+    if (block > 1) {
+        for (unsigned edge = block; edge < width; edge += block) {
+            positions.push_back(edge - 1);
+            positions.push_back(edge);
+            words.push_back(1ULL << (edge - 1));
+            words.push_back(1ULL << edge);
+            words.push_back((1ULL << (edge - 1)) | (1ULL << edge));
+        }
+    }
+    for (const std::uint64_t word : words)
+        for (const unsigned target : positions)
+            if (target < width)
+                if (auto err = check_match(engine, word & mask, target, width))
+                    return err;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < random_cases; ++i) {
+        const std::uint64_t word = rng.next_u64() & mask;
+        const unsigned target = static_cast<unsigned>(rng.next_below(width));
+        if (auto err = check_match(engine, word, target, width)) return err;
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------- standard matrices
+//
+// The configuration matrices every conformance consumer sweeps (the
+// tier-1 suite, the corpus replay, and the wfqs_fuzz soak), so a corpus
+// regression is automatically replayed against every geometry and
+// sharding the repo supports.
+
+struct NamedTagConfig {
+    std::string name;
+    core::TagSorter::Config config;
+};
+
+inline std::vector<NamedTagConfig> standard_tag_configs() {
+    std::vector<NamedTagConfig> v;
+    core::TagSorter::Config paper;  // the silicon instance: 3 levels x 4 bits
+    v.push_back({"paper-3x4", paper});
+
+    core::TagSorter::Config strict = paper;
+    strict.strict_min_discipline = true;
+    v.push_back({"paper-strict", strict});
+
+    core::TagSorter::Config tiny = paper;  // overflow-parity workout
+    tiny.capacity = 8;
+    v.push_back({"paper-capacity8", tiny});
+
+    core::TagSorter::Config binary;  // branching factor 2, Table I "tree"
+    binary.geometry = tree::TreeGeometry::binary(12);
+    v.push_back({"binary-12x1", binary});
+
+    core::TagSorter::Config single;  // single-level tree, one 16-bit node
+    single.geometry = {1, 4};
+    v.push_back({"single-level-1x4", single});
+
+    core::TagSorter::Config wide;  // branching factor 32 (15-bit variant)
+    wide.geometry = tree::TreeGeometry::paper_15bit();
+    v.push_back({"wide-3x5", wide});
+
+    core::TagSorter::Config deep;  // 2-bit literals, 5 levels
+    deep.geometry = {5, 2};
+    v.push_back({"deep-5x2", deep});
+    return v;
+}
+
+struct NamedShardedConfig {
+    std::string name;
+    core::ShardedSorter::Config config;
+    FlowKeyMode flow_mode = FlowKeyMode::kByTag;
+};
+
+inline std::vector<NamedShardedConfig> standard_sharded_configs() {
+    using Select = core::ShardedSorter::BankSelect;
+    std::vector<NamedShardedConfig> v;
+    for (const unsigned n : {1u, 2u, 4u, 8u}) {
+        core::ShardedSorter::Config cfg;
+        cfg.num_banks = n;
+        cfg.select = Select::kTagInterleave;
+        v.push_back({"interleave-n" + std::to_string(n), cfg, FlowKeyMode::kByTag});
+        cfg.select = Select::kFlowHash;
+        v.push_back({"flowhash-n" + std::to_string(n), cfg, FlowKeyMode::kByTag});
+    }
+    // Tag-independent flow keys: duplicate order across banks is bank-index
+    // order, so this row runs with payload comparison off (see FlowKeyMode).
+    core::ShardedSorter::Config byseq;
+    byseq.num_banks = 4;
+    byseq.select = Select::kFlowHash;
+    v.push_back({"flowhash-n4-byseq", byseq, FlowKeyMode::kBySeq});
+    return v;
+}
+
+// ---------------------------------------------- scheduler vs GPS fluid
+
+struct SchedulerDiffConfig {
+    enum class Kind { kWfq, kWf2q } kind = Kind::kWfq;
+    baselines::QueueKind queue = baselines::QueueKind::Heap;
+    std::uint64_t link_rate_bps = 100'000'000;
+    /// Positive = fractional virtual-time bits kept (tight bound); the
+    /// benches' -4 coarsening needs quantization slack.
+    int tag_granularity_bits = 8;
+    unsigned range_bits = 28;      ///< tag universe for the sorter queues
+    std::size_t queue_capacity = 8192;
+    double duration_s = 0.05;
+    std::uint64_t seed = 1;
+    double slack_s = 0.0;          ///< extra allowance beyond Lmax/r
+};
+
+/// Deterministic randomized flow mix: 3–6 flows, CBR/Poisson sources,
+/// aggregate offered load ~65% of the link.
+inline std::vector<net::FlowSpec> make_diff_flows(const SchedulerDiffConfig& cfg,
+                                                  std::vector<double>& weights_out) {
+    Rng rng(cfg.seed * 0x9E3779B97F4A7C15ULL + 17);
+    const std::size_t n = 3 + rng.next_below(4);
+    const net::TimeNs end_ns =
+        static_cast<net::TimeNs>(cfg.duration_s * 1e9);
+    const double budget_bps = 0.65 * static_cast<double>(cfg.link_rate_bps);
+    std::vector<net::FlowSpec> flows;
+    weights_out.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t weight = 1 + static_cast<std::uint32_t>(rng.next_below(9));
+        const double share = budget_bps / static_cast<double>(n);
+        net::FlowSpec spec;
+        spec.weight = weight;
+        if (rng.next_bool(0.5)) {
+            const std::uint32_t bytes =
+                64 + static_cast<std::uint32_t>(rng.next_below(1200));
+            spec.source = std::make_unique<net::CbrSource>(
+                static_cast<std::uint64_t>(share), bytes, net::TimeNs{0}, end_ns);
+        } else {
+            const std::uint32_t min_b = 64, max_b = 1000;
+            const double mean_bits = 8.0 * (min_b + max_b) / 2.0;
+            spec.source = std::make_unique<net::PoissonSource>(
+                share / mean_bits, min_b, max_b, end_ns, cfg.seed + 31 * i);
+        }
+        flows.push_back(std::move(spec));
+        weights_out.push_back(static_cast<double>(weight));
+    }
+    return flows;
+}
+
+/// Run a full scheduler simulation and check every served packet against
+/// the Parekh–Gallager departure bound D_p <= F_gps + Lmax/r (+ slack).
+inline std::optional<std::string> diff_scheduler_vs_gps(
+    const SchedulerDiffConfig& cfg) {
+    baselines::QueueParams params;
+    params.range_bits = cfg.range_bits;
+    params.capacity = cfg.queue_capacity;
+
+    std::unique_ptr<scheduler::Scheduler> sched;
+    if (cfg.kind == SchedulerDiffConfig::Kind::kWfq) {
+        scheduler::FairQueueingScheduler::Config sc;
+        sc.link_rate_bps = cfg.link_rate_bps;
+        sc.algorithm = wfq::FairQueueingKind::Wfq;
+        sc.tag_granularity_bits = cfg.tag_granularity_bits;
+        sched = std::make_unique<scheduler::FairQueueingScheduler>(
+            sc, baselines::make_tag_queue(cfg.queue, params));
+    } else {
+        scheduler::Wf2qScheduler::Config sc;
+        sc.link_rate_bps = cfg.link_rate_bps;
+        sc.tag_granularity_bits = cfg.tag_granularity_bits;
+        sched = std::make_unique<scheduler::Wf2qScheduler>(
+            sc, baselines::make_tag_queue(cfg.queue, params),
+            baselines::make_tag_queue(cfg.queue, params));
+    }
+
+    std::vector<double> weights;
+    auto flows = make_diff_flows(cfg, weights);
+    net::SimDriver driver(cfg.link_rate_bps);
+    const net::SimResult result = driver.run(*sched, flows);
+    if (result.dropped_packets != 0)
+        return "workload dropped " + std::to_string(result.dropped_packets) +
+               " packet(s); the departure bound only covers served packets "
+               "— enlarge the buffer or lower the load";
+    if (result.records.empty()) return "workload produced no packets";
+
+    ref::RefGpsScheduler gps(cfg.link_rate_bps, weights);
+    const auto violations = gps.check_departure_bound(result, cfg.slack_s);
+    if (!violations.empty())
+        return sched->name() + " broke the GPS departure bound: " +
+               ref::RefGpsScheduler::describe(violations);
+    return std::nullopt;
+}
+
+}  // namespace wfqs::proptest

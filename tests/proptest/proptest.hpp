@@ -1,0 +1,388 @@
+// Minimal header-only property-testing engine for the conformance
+// harness (tests/proptest_test.cpp, tests/conformance_test.cpp,
+// tools/wfqs_fuzz.cpp).
+//
+// The unit of testing is an *op sequence*: a list of sorter operations
+// (insert / pop / combined insert+pop) whose tag values are expressed as
+// signed deltas relative to the current reference minimum. Relative
+// deltas are what make sequences meaningful under mutation: removing a
+// prefix or shrinking a delta still yields a well-formed drive stream,
+// so a failing 50k-op fuzz case can be minimized automatically before a
+// human ever looks at it.
+//
+// Pieces:
+//   * GenProfile + generate()   — seeded generators for op mixes (uniform,
+//     wrap-heavy, duplicate-heavy, drain-cycle, window-boundary).
+//   * to_text / parse_ops       — the replayable `.ops` artifact format.
+//   * shrink()                  — delta-debugging chunk removal plus per-op
+//     simplification, iterated to a fixpoint under a check budget.
+//   * run_property()            — generate → check → on failure shrink and
+//     write a replayable artifact.
+//
+// A check is any callable mapping an op sequence to std::nullopt (pass)
+// or a human-readable divergence message (fail); the differential
+// drivers in tests/proptest/differ.hpp provide the checks.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace wfqs::proptest {
+
+// ---------------------------------------------------------------- op model
+
+enum class OpKind : char {
+    kInsert = 'i',    ///< insert(min + delta)
+    kPop = 'p',       ///< pop_min (no-op parity check when empty)
+    kCombined = 'c',  ///< insert_and_pop(min + delta) (skipped when empty)
+};
+
+struct Op {
+    OpKind kind = OpKind::kInsert;
+    std::int64_t delta = 0;  ///< tag offset from the current reference minimum
+
+    friend bool operator==(const Op&, const Op&) = default;
+};
+
+using OpSeq = std::vector<Op>;
+
+// ------------------------------------------------------------- generation
+
+/// Knobs for one randomized op mix. All tag reach is relative to the
+/// sorter's moving-window span so the same profile family drives every
+/// tree geometry.
+struct GenProfile {
+    std::string name = "uniform";
+    std::uint64_t max_delta = 512;    ///< forward reach of new tags
+    double undercut_prob = 0.05;      ///< P(tag lands below the current minimum)
+    std::uint64_t max_undercut = 40;
+    double insert_prob = 0.45;        ///< op mix: insert vs pop vs combined
+    double pop_prob = 0.30;
+    double dup_prob = 0.10;           ///< P(delta = 0 | insert-like op)
+    double boundary_prob = 0.0;       ///< P(delta lands at the window edge)
+    std::uint64_t window_span = 0;    ///< needed when boundary_prob > 0
+    std::size_t min_backlog = 4;      ///< force inserts below this many live tags
+    std::size_t max_backlog = 512;    ///< force pops above this many live tags
+};
+
+/// Balanced mix, tags well inside the window.
+inline GenProfile uniform_profile(std::uint64_t span) {
+    GenProfile p;
+    p.name = "uniform";
+    p.max_delta = std::max<std::uint64_t>(1, span / 8);
+    return p;
+}
+
+/// Large forward jumps: maximises sector invalidations and wrap-seam
+/// fallback searches (Fig. 6 churn).
+inline GenProfile wrap_heavy_profile(std::uint64_t span) {
+    GenProfile p;
+    p.name = "wrap-heavy";
+    p.max_delta = std::max<std::uint64_t>(1, (span * 7) / 16);
+    p.undercut_prob = 0.02;
+    p.max_backlog = 128;
+    return p;
+}
+
+/// Mostly equal tags: exercises FIFO-among-duplicates and last-duplicate
+/// marker retirement.
+inline GenProfile duplicate_heavy_profile(std::uint64_t span) {
+    GenProfile p;
+    p.name = "duplicate-heavy";
+    p.max_delta = std::max<std::uint64_t>(1, span / 64);
+    p.dup_prob = 0.5;
+    p.undercut_prob = 0.02;
+    return p;
+}
+
+/// Empties the sorter often: head re-establishment and empty/non-empty
+/// transition parity.
+inline GenProfile drain_cycle_profile(std::uint64_t span) {
+    GenProfile p;
+    p.name = "drain-cycle";
+    p.max_delta = std::max<std::uint64_t>(1, span / 16);
+    p.insert_prob = 0.38;
+    p.pop_prob = 0.45;
+    p.min_backlog = 0;
+    p.max_backlog = 48;
+    return p;
+}
+
+/// Deltas concentrated at the window boundary plus undercuts: exercises
+/// acceptance/rejection parity of the Fig. 6 discipline itself.
+inline GenProfile boundary_profile(std::uint64_t span) {
+    GenProfile p;
+    p.name = "window-boundary";
+    p.max_delta = std::max<std::uint64_t>(1, span / 4);
+    p.undercut_prob = 0.12;
+    p.max_undercut = std::max<std::uint64_t>(1, span / 8);
+    p.boundary_prob = 0.15;
+    p.window_span = span;
+    p.max_backlog = 96;
+    return p;
+}
+
+inline std::vector<GenProfile> all_profiles(std::uint64_t span) {
+    return {uniform_profile(span), wrap_heavy_profile(span),
+            duplicate_heavy_profile(span), drain_cycle_profile(span),
+            boundary_profile(span)};
+}
+
+/// Generate `n` ops from `profile` using `rng`. Deterministic for a given
+/// (rng state, n, profile).
+inline OpSeq generate(Rng& rng, std::size_t n, const GenProfile& profile) {
+    OpSeq ops;
+    ops.reserve(n);
+    std::size_t backlog = 0;  // approximate live-set size
+    const auto gen_delta = [&]() -> std::int64_t {
+        if (profile.boundary_prob > 0.0 && rng.next_bool(profile.boundary_prob)) {
+            // Straddle the acceptance edge: span-2 .. span+1.
+            const std::int64_t span = static_cast<std::int64_t>(profile.window_span);
+            return span - 2 + static_cast<std::int64_t>(rng.next_below(4));
+        }
+        if (rng.next_bool(profile.dup_prob)) return 0;
+        if (rng.next_bool(profile.undercut_prob))
+            return -1 - static_cast<std::int64_t>(rng.next_below(profile.max_undercut));
+        return static_cast<std::int64_t>(rng.next_below(profile.max_delta + 1));
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        OpKind kind;
+        if (backlog <= profile.min_backlog) {
+            kind = OpKind::kInsert;
+        } else if (backlog >= profile.max_backlog) {
+            kind = rng.next_bool(0.7) ? OpKind::kPop : OpKind::kCombined;
+        } else {
+            const double roll = rng.next_double();
+            kind = roll < profile.insert_prob ? OpKind::kInsert
+                   : roll < profile.insert_prob + profile.pop_prob ? OpKind::kPop
+                                                                   : OpKind::kCombined;
+        }
+        Op op;
+        op.kind = kind;
+        if (kind != OpKind::kPop) op.delta = gen_delta();
+        if (kind == OpKind::kInsert) ++backlog;
+        if (kind == OpKind::kPop && backlog > 0) --backlog;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+// ---------------------------------------------------- .ops serialization
+
+/// Render a sequence as the replayable `.ops` text format. `comment`
+/// lines (split on '\n') are emitted as leading `#` lines.
+inline std::string to_text(const OpSeq& ops, const std::string& comment = "") {
+    std::ostringstream out;
+    out << "# wfqs-ops v1\n";
+    if (!comment.empty()) {
+        std::istringstream lines(comment);
+        std::string line;
+        while (std::getline(lines, line)) out << "# " << line << "\n";
+    }
+    for (const Op& op : ops) {
+        out << static_cast<char>(op.kind);
+        if (op.kind != OpKind::kPop) out << ' ' << op.delta;
+        out << '\n';
+    }
+    return out.str();
+}
+
+/// Parse the `.ops` format; throws std::invalid_argument on malformed
+/// input. Blank lines and `#` comments are ignored.
+inline OpSeq parse_ops(const std::string& text) {
+    OpSeq ops;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#') continue;
+        const char c = line[start];
+        Op op;
+        switch (c) {
+            case 'i': op.kind = OpKind::kInsert; break;
+            case 'p': op.kind = OpKind::kPop; break;
+            case 'c': op.kind = OpKind::kCombined; break;
+            default:
+                throw std::invalid_argument("ops line " + std::to_string(lineno) +
+                                            ": unknown op '" + c + "'");
+        }
+        if (op.kind != OpKind::kPop) {
+            std::istringstream rest(line.substr(start + 1));
+            if (!(rest >> op.delta))
+                throw std::invalid_argument("ops line " + std::to_string(lineno) +
+                                            ": missing delta");
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+inline void write_ops_file(const std::string& path, const OpSeq& ops,
+                           const std::string& comment = "") {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write ops file: " + path);
+    out << to_text(ops, comment);
+}
+
+inline OpSeq read_ops_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read ops file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_ops(buf.str());
+}
+
+// --------------------------------------------------------------- checking
+
+/// nullopt = sequence passes; otherwise a human-readable divergence.
+using CheckFn = std::function<std::optional<std::string>(const OpSeq&)>;
+
+/// Minimize a failing sequence while it keeps failing `check`.
+///
+/// Two alternating passes, iterated to a fixpoint (or until the check
+/// budget runs out): ddmin-style chunk removal at halving granularity,
+/// then per-op simplification (delta -> 0, halved, or one step smaller;
+/// combined -> pop or insert). Each candidate replays from scratch, so
+/// shrinking is oblivious to *why* the sequence fails — it only preserves
+/// that it does.
+inline OpSeq shrink(OpSeq ops, const CheckFn& check, std::size_t max_checks = 4000) {
+    std::size_t checks = 0;
+    const auto fails = [&](const OpSeq& candidate) {
+        ++checks;
+        return check(candidate).has_value();
+    };
+
+    bool progress = true;
+    while (progress && checks < max_checks && !ops.empty()) {
+        progress = false;
+
+        // Pass 1: remove chunks, large to small.
+        for (std::size_t chunk = std::max<std::size_t>(1, ops.size() / 2); chunk >= 1;
+             chunk /= 2) {
+            for (std::size_t start = 0;
+                 start + chunk <= ops.size() && checks < max_checks;) {
+                OpSeq candidate;
+                candidate.reserve(ops.size() - chunk);
+                candidate.insert(candidate.end(), ops.begin(),
+                                 ops.begin() + static_cast<std::ptrdiff_t>(start));
+                candidate.insert(candidate.end(),
+                                 ops.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+                                 ops.end());
+                if (fails(candidate)) {
+                    ops = std::move(candidate);
+                    progress = true;
+                } else {
+                    start += chunk;
+                }
+            }
+            if (chunk == 1) break;
+        }
+
+        // Pass 2: simplify ops in place.
+        const auto simplifications = [](const Op& op) {
+            std::vector<Op> alts;
+            if (op.kind == OpKind::kCombined) {
+                alts.push_back({OpKind::kPop, 0});
+                alts.push_back({OpKind::kInsert, op.delta});
+            }
+            if (op.delta != 0) {
+                alts.push_back({op.kind, 0});
+                alts.push_back({op.kind, op.delta / 2});
+                alts.push_back({op.kind, op.delta + (op.delta > 0 ? -1 : 1)});
+            }
+            return alts;
+        };
+        for (std::size_t i = 0; i < ops.size() && checks < max_checks; ++i) {
+            for (const Op& alt : simplifications(ops[i])) {
+                if (alt == ops[i]) continue;
+                OpSeq candidate = ops;
+                candidate[i] = alt;
+                if (fails(candidate)) {
+                    ops = std::move(candidate);
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+    return ops;
+}
+
+// ----------------------------------------------------------------- runner
+
+struct RunConfig {
+    std::uint64_t seed = 1;
+    std::size_t cases = 20;          ///< independent sequences to try
+    std::size_t ops_per_case = 2000;
+    std::vector<GenProfile> profiles;  ///< cycled across cases
+    std::size_t max_shrink_checks = 4000;
+    std::string artifact_dir;   ///< "" = don't write failure artifacts
+    std::string artifact_stem = "failure";
+};
+
+struct CaseFailure {
+    std::uint64_t seed = 0;          ///< derived per-case seed
+    std::size_t case_index = 0;
+    std::string profile;
+    OpSeq ops;                       ///< minimized sequence
+    std::size_t original_size = 0;   ///< length before shrinking
+    std::string message;             ///< divergence of the minimized sequence
+    std::string artifact_path;       ///< "" when artifacts are disabled
+};
+
+/// Per-case seed: decorrelate cases while staying reproducible from the
+/// base seed alone.
+inline std::uint64_t case_seed(std::uint64_t base, std::size_t index) {
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/// Run the property: generate `cases` sequences, check each, and on the
+/// first failure shrink it, optionally write a replayable `.ops` artifact,
+/// and return the minimized case. nullopt = every case passed.
+inline std::optional<CaseFailure> run_property(const RunConfig& cfg,
+                                               const CheckFn& check) {
+    std::vector<GenProfile> profiles = cfg.profiles;
+    if (profiles.empty()) profiles.push_back(GenProfile{});
+    for (std::size_t i = 0; i < cfg.cases; ++i) {
+        const GenProfile& profile = profiles[i % profiles.size()];
+        const std::uint64_t seed = case_seed(cfg.seed, i);
+        Rng rng(seed);
+        OpSeq ops = generate(rng, cfg.ops_per_case, profile);
+        const auto first = check(ops);
+        if (!first) continue;
+
+        CaseFailure failure;
+        failure.seed = seed;
+        failure.case_index = i;
+        failure.profile = profile.name;
+        failure.original_size = ops.size();
+        failure.ops = shrink(std::move(ops), check, cfg.max_shrink_checks);
+        failure.message = check(failure.ops).value_or(*first);
+        if (!cfg.artifact_dir.empty()) {
+            failure.artifact_path = cfg.artifact_dir + "/" + cfg.artifact_stem +
+                                    "-seed" + std::to_string(cfg.seed) + "-case" +
+                                    std::to_string(i) + ".ops";
+            write_ops_file(failure.artifact_path, failure.ops,
+                           "profile: " + profile.name + ", case seed " +
+                               std::to_string(seed) + "\n" + failure.message);
+        }
+        return failure;
+    }
+    return std::nullopt;
+}
+
+}  // namespace wfqs::proptest

@@ -1,0 +1,186 @@
+// Self-tests of the property-testing engine itself: deterministic
+// generation, the .ops round-trip, shrinking quality, and the
+// end-to-end bug-catching drill — an intentionally broken matcher must
+// be caught by the differential harness and shrunk to a handful of ops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "matcher/matcher.hpp"
+#include "proptest/differ.hpp"
+#include "proptest/proptest.hpp"
+
+namespace wfqs::proptest {
+namespace {
+
+TEST(Generate, DeterministicForSeed) {
+    const GenProfile profile = uniform_profile(3840);
+    Rng a(42), b(42);
+    const OpSeq first = generate(a, 500, profile);
+    const OpSeq second = generate(b, 500, profile);
+    EXPECT_EQ(first, second);
+    Rng c(43);
+    EXPECT_NE(first, generate(c, 500, profile));
+}
+
+TEST(Generate, ProfilesShapeTheMix) {
+    Rng rng(7);
+    const OpSeq dup = generate(rng, 2000, duplicate_heavy_profile(3840));
+    std::size_t zero_delta_inserts = 0, inserts = 0;
+    for (const Op& op : dup) {
+        if (op.kind == OpKind::kPop) continue;
+        ++inserts;
+        zero_delta_inserts += op.delta == 0 ? 1 : 0;
+    }
+    // dup_prob = 0.5: well over a third of insert-like ops are duplicates.
+    EXPECT_GT(zero_delta_inserts * 3, inserts);
+
+    Rng rng2(7);
+    const OpSeq drain = generate(rng2, 2000, drain_cycle_profile(3840));
+    std::size_t pops = 0;
+    for (const Op& op : drain) pops += op.kind == OpKind::kPop ? 1 : 0;
+    EXPECT_GT(pops, 2000 / 4);
+}
+
+TEST(OpsFormat, RoundTripsThroughText) {
+    Rng rng(11);
+    const OpSeq ops = generate(rng, 300, boundary_profile(3840));
+    const std::string text = to_text(ops, "round-trip check\nsecond line");
+    EXPECT_EQ(parse_ops(text), ops);
+}
+
+TEST(OpsFormat, ParsesHandWrittenInput) {
+    const OpSeq ops = parse_ops(
+        "# comment\n"
+        "\n"
+        "i 100\n"
+        "  i -3\n"
+        "p\n"
+        "c 0\n");
+    ASSERT_EQ(ops.size(), 4u);
+    EXPECT_EQ(ops[0], (Op{OpKind::kInsert, 100}));
+    EXPECT_EQ(ops[1], (Op{OpKind::kInsert, -3}));
+    EXPECT_EQ(ops[2], (Op{OpKind::kPop, 0}));
+    EXPECT_EQ(ops[3], (Op{OpKind::kCombined, 0}));
+}
+
+TEST(OpsFormat, RejectsMalformedInput) {
+    EXPECT_THROW(parse_ops("x 1\n"), std::invalid_argument);
+    EXPECT_THROW(parse_ops("i\n"), std::invalid_argument);
+    EXPECT_THROW(parse_ops("c notanumber\n"), std::invalid_argument);
+}
+
+TEST(Shrink, MinimizesToTheFailureKernel) {
+    // A synthetic failure: any sequence holding >= 3 inserts fails. The
+    // shrinker must strip everything else and zero the surviving deltas.
+    const CheckFn check = [](const OpSeq& ops) -> std::optional<std::string> {
+        std::size_t inserts = 0;
+        for (const Op& op : ops) inserts += op.kind == OpKind::kInsert ? 1 : 0;
+        if (inserts >= 3) return "too many inserts";
+        return std::nullopt;
+    };
+    Rng rng(5);
+    OpSeq ops = generate(rng, 4000, uniform_profile(3840));
+    ASSERT_TRUE(check(ops).has_value());
+    const OpSeq minimized = shrink(ops, check);
+    ASSERT_EQ(minimized.size(), 3u);
+    for (const Op& op : minimized) {
+        EXPECT_EQ(op.kind, OpKind::kInsert);
+        EXPECT_EQ(op.delta, 0);
+    }
+}
+
+TEST(Shrink, SimplifiesCombinedOpsAway) {
+    // Fails on any pop-like op: combined ops must degrade to plain pops.
+    const CheckFn check = [](const OpSeq& ops) -> std::optional<std::string> {
+        for (const Op& op : ops)
+            if (op.kind != OpKind::kInsert) return "pop-like op present";
+        return std::nullopt;
+    };
+    const OpSeq minimized = shrink({{OpKind::kInsert, 40}, {OpKind::kCombined, 37}},
+                                   check);
+    ASSERT_EQ(minimized.size(), 1u);
+    EXPECT_EQ(minimized[0], (Op{OpKind::kPop, 0}));
+}
+
+TEST(RunProperty, WritesReplayableArtifactOnFailure) {
+    const auto dir = std::filesystem::temp_directory_path() / "wfqs_proptest";
+    std::filesystem::create_directories(dir);
+    const CheckFn check = [](const OpSeq& ops) -> std::optional<std::string> {
+        for (const Op& op : ops)
+            if (op.kind == OpKind::kInsert && op.delta > 100) return "big delta";
+        return std::nullopt;
+    };
+    RunConfig cfg;
+    cfg.seed = 99;
+    cfg.cases = 10;
+    cfg.ops_per_case = 200;
+    cfg.profiles = {uniform_profile(3840)};
+    cfg.artifact_dir = dir.string();
+    cfg.artifact_stem = "selftest";
+    const auto failure = run_property(cfg, check);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_LE(failure->ops.size(), 2u);  // kernel: one offending insert
+    EXPECT_LT(failure->ops.size(), failure->original_size);
+    EXPECT_EQ(failure->message, "big delta");
+
+    // The artifact replays to the same failure.
+    ASSERT_FALSE(failure->artifact_path.empty());
+    const OpSeq replayed = read_ops_file(failure->artifact_path);
+    EXPECT_EQ(replayed, failure->ops);
+    EXPECT_TRUE(check(replayed).has_value());
+    std::filesystem::remove(failure->artifact_path);
+}
+
+TEST(RunProperty, PassesOnTrueProperty) {
+    RunConfig cfg;
+    cfg.cases = 5;
+    cfg.ops_per_case = 100;
+    cfg.profiles = all_profiles(3840);
+    const auto failure =
+        run_property(cfg, [](const OpSeq&) { return std::optional<std::string>{}; });
+    EXPECT_FALSE(failure.has_value());
+}
+
+// ---------------------------------------------------------------- the drill
+
+/// An intentionally broken engine: the closest-match search looks one
+/// position below the target, so exact matches are missed — the classic
+/// off-by-one a matcher refactor could introduce.
+class OffByOneMatcher final : public matcher::MatcherEngine {
+public:
+    matcher::MatchResult match(std::uint64_t word, unsigned target,
+                               unsigned width) override {
+        return inner_.match(word, target == 0 ? 0 : target - 1, width);
+    }
+    std::string name() const override { return "off-by-one"; }
+
+private:
+    matcher::BehavioralMatcher inner_;
+};
+
+TEST(BugDrill, OffByOneMatcherIsCaughtAndShrunkSmall) {
+    OffByOneMatcher broken;
+    core::TagSorter::Config config;  // paper geometry
+    const CheckFn check = [&](const OpSeq& ops) {
+        return diff_tag_sorter(ops, config, &broken);
+    };
+    RunConfig cfg;
+    cfg.seed = 2026;
+    cfg.cases = 5;
+    cfg.ops_per_case = 500;
+    cfg.profiles = all_profiles(3840);
+    const auto failure = run_property(cfg, check);
+    ASSERT_TRUE(failure.has_value())
+        << "the harness failed to catch a broken matcher";
+    EXPECT_LE(failure->ops.size(), 20u)
+        << "shrinking left " << failure->ops.size() << " ops:\n"
+        << to_text(failure->ops);
+    // And the real matcher passes the minimized sequence.
+    EXPECT_EQ(diff_tag_sorter(failure->ops, config), std::nullopt);
+}
+
+}  // namespace
+}  // namespace wfqs::proptest

@@ -6,8 +6,6 @@
 // and the overlapped-pipeline arbiter model.
 #include <gtest/gtest.h>
 
-#include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -15,42 +13,15 @@
 #include "core/sharded_sorter.hpp"
 #include "core/tag_sorter.hpp"
 #include "hw/simulation.hpp"
+#include "ref/ref_sorter.hpp"
 
 namespace wfqs::core {
 namespace {
 
-// Reference model: map tag -> FIFO payload queue (multiset semantics with
-// FIFO order among duplicates, matching the circuit's contract).
-class ReferenceSorter {
-public:
-    void insert(std::uint64_t tag, std::uint32_t payload) {
-        by_tag_[tag].push_back(payload);
-        ++size_;
-    }
-    std::optional<SortedTag> pop_min() {
-        if (by_tag_.empty()) return std::nullopt;
-        auto it = by_tag_.begin();
-        const SortedTag r{it->first, it->second.front()};
-        it->second.pop_front();
-        if (it->second.empty()) by_tag_.erase(it);
-        --size_;
-        return r;
-    }
-    SortedTag insert_and_pop(std::uint64_t tag, std::uint32_t payload) {
-        const auto popped = pop_min();  // serve the old minimum...
-        insert(tag, payload);           // ...then store the new tag
-        return *popped;
-    }
-    std::optional<std::uint64_t> min_tag() const {
-        return by_tag_.empty() ? std::nullopt
-                               : std::optional<std::uint64_t>(by_tag_.begin()->first);
-    }
-    std::size_t size() const { return size_; }
-
-private:
-    std::map<std::uint64_t, std::deque<std::uint32_t>> by_tag_;
-    std::size_t size_ = 0;
-};
+// Golden model shared with bench/fault_soak and the conformance harness;
+// default-constructed it is a plain tag->FIFO multiset with no
+// capacity/window preconditions, which is what these streams need.
+using ReferenceSorter = ref::RefSorter;
 
 ShardedSorter::Config sharded_config(unsigned num_banks,
                                      std::size_t bank_capacity = 4096) {

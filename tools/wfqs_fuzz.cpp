@@ -1,0 +1,259 @@
+// wfqs_fuzz: the standalone conformance fuzzer.
+//
+// Drives randomized op sequences (and randomized scheduler workloads)
+// through every standard sorter configuration, differentially checked
+// against the golden models of src/ref. On a divergence the failing
+// sequence is shrunk to a minimal reproducer and written as a replayable
+// `.ops` artifact; the printed command line replays it.
+//
+//   wfqs_fuzz --minutes 10 --seed 7            # time-budgeted soak
+//   wfqs_fuzz --cases 200 --ops 5000           # fixed-size run
+//   wfqs_fuzz --target matcher                 # one family only
+//   wfqs_fuzz --replay tests/corpus/foo.ops    # replay an artifact
+//
+// Exit code: 0 = no divergence, 1 = divergence found, 2 = usage error.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "matcher/matcher.hpp"
+#include "proptest/differ.hpp"
+#include "proptest/proptest.hpp"
+
+namespace {
+
+using namespace wfqs;
+using namespace wfqs::proptest;
+
+struct Options {
+    std::uint64_t seed = 1;
+    std::size_t ops = 5000;        ///< ops per generated case
+    std::size_t cases = 0;         ///< 0 = unbounded (budget-limited)
+    double minutes = 1.0;          ///< wall-clock budget; 0 = unbounded
+    std::string target = "all";    ///< tag | sharded | matcher | scheduler | all
+    std::string artifact_dir = ".";
+    std::string replay;            ///< replay one .ops file instead of fuzzing
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--ops N] [--cases N] [--minutes F]\n"
+                 "          [--target tag|sharded|matcher|scheduler|all]\n"
+                 "          [--artifact-dir DIR] [--replay FILE.ops]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--seed") opt.seed = std::strtoull(value().c_str(), nullptr, 0);
+        else if (arg == "--ops") opt.ops = std::strtoull(value().c_str(), nullptr, 0);
+        else if (arg == "--cases") opt.cases = std::strtoull(value().c_str(), nullptr, 0);
+        else if (arg == "--minutes") opt.minutes = std::strtod(value().c_str(), nullptr);
+        else if (arg == "--target") opt.target = value();
+        else if (arg == "--artifact-dir") opt.artifact_dir = value();
+        else if (arg == "--replay") opt.replay = value();
+        else usage(argv[0]);
+    }
+    if (opt.target != "all" && opt.target != "tag" && opt.target != "sharded" &&
+        opt.target != "matcher" && opt.target != "scheduler")
+        usage(argv[0]);
+    return opt;
+}
+
+struct Budget {
+    std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+    double minutes;
+    bool expired() const {
+        if (minutes <= 0) return false;
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        return std::chrono::duration<double>(elapsed).count() >= minutes * 60.0;
+    }
+};
+
+std::uint64_t g_total_ops = 0;
+
+/// One fuzz pass of a sorter family config; returns false on divergence.
+bool fuzz_sorter_config(const std::string& name, const CheckFn& check,
+                        std::uint64_t span, const Options& opt,
+                        std::uint64_t round) {
+    RunConfig cfg;
+    cfg.seed = case_seed(opt.seed, round * 1000003);
+    cfg.cases = 5;  // one case per profile per round
+    cfg.ops_per_case = opt.ops;
+    cfg.profiles = all_profiles(span);
+    cfg.artifact_dir = opt.artifact_dir;
+    cfg.artifact_stem = name;
+    const auto failure = run_property(cfg, check);
+    g_total_ops += cfg.cases * cfg.ops_per_case;
+    if (!failure) return true;
+    std::printf("FAIL %s: %s\n", name.c_str(), failure->message.c_str());
+    std::printf("  profile %s, case seed %llu, minimized %zu ops (from %zu)\n",
+                failure->profile.c_str(),
+                static_cast<unsigned long long>(failure->seed), failure->ops.size(),
+                failure->original_size);
+    std::printf("  artifact: %s\n  replay:   wfqs_fuzz --replay %s\n",
+                failure->artifact_path.c_str(), failure->artifact_path.c_str());
+    return false;
+}
+
+bool fuzz_tag(const Options& opt, std::uint64_t round) {
+    for (const auto& entry : standard_tag_configs()) {
+        hw::Simulation probe_sim;
+        const std::uint64_t span =
+            core::TagSorter(entry.config, probe_sim).window_span();
+        const CheckFn check = [&](const OpSeq& ops) {
+            return diff_tag_sorter(ops, entry.config);
+        };
+        if (!fuzz_sorter_config("tag-" + entry.name, check, span, opt, round))
+            return false;
+    }
+    // The netlist engines on the paper geometry (slower: gate-level).
+    for (const matcher::MatcherKind kind : matcher::all_matcher_kinds()) {
+        matcher::NetlistMatcher engine(kind);
+        core::TagSorter::Config config;
+        const CheckFn check = [&](const OpSeq& ops) {
+            return diff_tag_sorter(ops, config, &engine);
+        };
+        hw::Simulation probe_sim;
+        const std::uint64_t span = core::TagSorter(config, probe_sim).window_span();
+        if (!fuzz_sorter_config("tag-netlist-" + engine.name(), check, span, opt,
+                                round))
+            return false;
+    }
+    return true;
+}
+
+bool fuzz_sharded(const Options& opt, std::uint64_t round) {
+    for (const auto& entry : standard_sharded_configs()) {
+        hw::Simulation probe_sim;
+        const std::uint64_t bank_span =
+            core::TagSorter(entry.config.bank, probe_sim).window_span();
+        const CheckFn check = [&](const OpSeq& ops) {
+            return diff_sharded_sorter(ops, entry.config, entry.flow_mode);
+        };
+        // Profiles scale to the *bank* span: safe under both policies (the
+        // aggregate window is never narrower than one bank's).
+        if (!fuzz_sorter_config("sharded-" + entry.name, check, bank_span, opt,
+                                round))
+            return false;
+    }
+    return true;
+}
+
+bool fuzz_matcher(const Options& opt, std::uint64_t round) {
+    const std::vector<unsigned> widths = {2, 3, 4, 8, 16, 24, 32, 48, 64};
+    matcher::BehavioralMatcher behavioral;
+    for (const unsigned width : widths) {
+        const std::uint64_t seed = case_seed(opt.seed ^ width, round);
+        if (auto err = diff_matcher_width(behavioral, width, 8, 2000, seed)) {
+            std::printf("FAIL matcher-behavioral: %s\n", err->c_str());
+            return false;
+        }
+        g_total_ops += 2000;
+        for (const matcher::MatcherKind kind : matcher::all_matcher_kinds()) {
+            matcher::NetlistMatcher engine(kind);
+            if (auto err = diff_matcher_width(engine, width, 8, 500, seed)) {
+                std::printf("FAIL matcher-%s: %s\n", engine.name().c_str(),
+                            err->c_str());
+                return false;
+            }
+            g_total_ops += 500;
+        }
+    }
+    return true;
+}
+
+bool fuzz_scheduler(const Options& opt, std::uint64_t round) {
+    std::vector<SchedulerDiffConfig> configs(3);
+    configs[0].kind = SchedulerDiffConfig::Kind::kWfq;
+    configs[1].kind = SchedulerDiffConfig::Kind::kWf2q;
+    configs[2].kind = SchedulerDiffConfig::Kind::kWfq;
+    configs[2].queue = baselines::QueueKind::MultibitTree;
+    configs[2].range_bits = 28;
+    const char* names[] = {"wfq-heap", "wf2q-heap", "wfq-multibit"};
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        configs[i].seed = case_seed(opt.seed + i, round);
+        if (auto err = diff_scheduler_vs_gps(configs[i])) {
+            std::printf("FAIL scheduler-%s (seed %llu): %s\n", names[i],
+                        static_cast<unsigned long long>(configs[i].seed),
+                        err->c_str());
+            return false;
+        }
+        g_total_ops += 1000;  // rough: packets per run
+    }
+    return true;
+}
+
+int replay(const Options& opt) {
+    OpSeq ops;
+    try {
+        ops = read_ops_file(opt.replay);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "wfqs_fuzz: %s\n", e.what());
+        return 2;
+    }
+    std::printf("replaying %zu ops from %s\n", ops.size(), opt.replay.c_str());
+    bool ok = true;
+    for (const auto& entry : standard_tag_configs()) {
+        if (auto err = diff_tag_sorter(ops, entry.config)) {
+            std::printf("FAIL tag-%s: %s\n", entry.name.c_str(), err->c_str());
+            ok = false;
+        }
+    }
+    for (const auto& entry : standard_sharded_configs()) {
+        if (auto err = diff_sharded_sorter(ops, entry.config, entry.flow_mode)) {
+            std::printf("FAIL sharded-%s: %s\n", entry.name.c_str(), err->c_str());
+            ok = false;
+        }
+    }
+    std::printf("%s\n", ok ? "ok: every configuration conforms" : "DIVERGENCE");
+    return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+    if (!opt.replay.empty()) return replay(opt);
+
+    const Budget budget{std::chrono::steady_clock::now(), opt.minutes};
+    const bool do_tag = opt.target == "all" || opt.target == "tag";
+    const bool do_sharded = opt.target == "all" || opt.target == "sharded";
+    const bool do_matcher = opt.target == "all" || opt.target == "matcher";
+    const bool do_scheduler = opt.target == "all" || opt.target == "scheduler";
+
+    std::uint64_t round = 0;
+    std::size_t cases_done = 0;
+    bool ok = true;
+    while (ok) {
+        if (budget.expired()) break;
+        if (opt.cases != 0 && cases_done >= opt.cases) break;
+        if (do_tag) ok = ok && fuzz_tag(opt, round);
+        if (ok && do_sharded) ok = ok && fuzz_sharded(opt, round);
+        if (ok && do_matcher) ok = ok && fuzz_matcher(opt, round);
+        if (ok && do_scheduler) ok = ok && fuzz_scheduler(opt, round);
+        ++round;
+        ++cases_done;
+        std::printf("round %llu complete, ~%llu ops total\n",
+                    static_cast<unsigned long long>(round),
+                    static_cast<unsigned long long>(g_total_ops));
+        std::fflush(stdout);
+    }
+    std::printf("%s after %llu round(s), ~%llu randomized ops\n",
+                ok ? "ok: no divergence" : "DIVERGENCE FOUND",
+                static_cast<unsigned long long>(round),
+                static_cast<unsigned long long>(g_total_ops));
+    return ok ? 0 : 1;
+}
