@@ -10,21 +10,109 @@
 //   2. analytic clock: the synthesis model's 130-nm clock estimate.
 // Mpps = clock / II; Gb/s = Mpps * 140 B * 8. The bench also sweeps the
 // average packet size to show where 40 Gb/s holds.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "analysis/throughput.hpp"
+#include "baselines/factory.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/synthesis_model.hpp"
 #include "core/tag_sorter.hpp"
 #include "hw/simulation.hpp"
+#include "net/parallel_driver.hpp"
+#include "net/traffic_gen.hpp"
 #include "obs/bench_io.hpp"
+#include "scheduler/wfq_scheduler.hpp"
 
 using namespace wfqs;
 using namespace wfqs::core;
 
+namespace {
+
+// --- host-pipeline phase (--threads N) ---------------------------------
+//
+// Drives the mixed workload through the full WFQ + sorter stack twice:
+// once on the sequential SimDriver (the reference timing and the
+// bit-identity anchor) and once on the ParallelSimDriver with the
+// requested thread budget. The schedulers own their own hw::Simulation,
+// so the `hw.cycles` counter registered above stays byte-exact for the
+// perf-smoke gate at any --threads value.
+struct PipelinePhaseResult {
+    bool identical = true;
+    std::uint64_t host_ops = 0;
+};
+
+scheduler::FairQueueingScheduler make_wfq(std::uint64_t rate) {
+    scheduler::FairQueueingScheduler::Config cfg;
+    cfg.link_rate_bps = rate;
+    cfg.tag_granularity_bits = -6;
+    return scheduler::FairQueueingScheduler(
+        cfg,
+        baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}));
+}
+
+PipelinePhaseResult run_pipeline_phase(obs::BenchReporter& reporter,
+                                       unsigned threads) {
+    constexpr std::uint64_t kRate = 50'000'000;
+    constexpr net::TimeNs kHorizon = 5'000'000'000;  // 5 s of traffic
+    const std::uint64_t seed = reporter.seed(3);
+    auto& reg = reporter.registry();
+
+    const auto timed_run = [&](auto&& driver) {
+        auto sched = make_wfq(kRate);
+        auto flows = net::make_mixed_profile(kHorizon, seed);
+        const auto t0 = std::chrono::steady_clock::now();
+        net::SimResult r = driver.run(sched, flows);
+        const double sec =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        return std::pair<net::SimResult, double>{std::move(r), sec};
+    };
+
+    net::SimDriver seq_driver(kRate);
+    auto [seq, seq_sec] = timed_run(seq_driver);
+
+    net::ParallelSimDriver par_driver(kRate, threads);
+    par_driver.attach_metrics(reg);
+    auto [par, par_sec] = timed_run(par_driver);
+
+    // One host "op" per scheduler engagement: enqueue + dequeue per
+    // delivered packet, enqueue alone per drop.
+    const std::uint64_t ops =
+        2 * static_cast<std::uint64_t>(seq.records.size()) + seq.dropped_packets;
+    const double seq_ops_sec = seq_sec > 0 ? static_cast<double>(ops) / seq_sec : 0;
+    const double par_ops_sec = par_sec > 0 ? static_cast<double>(ops) / par_sec : 0;
+    const bool identical = net::identical_results(seq, par);
+
+    std::printf("host pipeline (--threads %u), %llu scheduler ops over %llu pkts:\n",
+                threads, static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(seq.offered_packets));
+    std::printf("  sequential           : %.0f ops/s\n", seq_ops_sec);
+    std::printf("  pipelined (%u thread%s): %.0f ops/s (%.2fx)\n", threads,
+                threads == 1 ? "" : "s", par_ops_sec,
+                seq_ops_sec > 0 ? par_ops_sec / seq_ops_sec : 0.0);
+    std::printf("  result fingerprint   : %016llx (%s sequential)\n",
+                static_cast<unsigned long long>(net::result_fingerprint(par)),
+                identical ? "IDENTICAL to" : "DIVERGED from");
+    std::printf("  sched batch mean     : %.1f arrivals/refill\n\n",
+                par_driver.pipeline_stats().avg_sched_batch());
+
+    reg.gauge("host.pipeline.ops_per_sec").set(par_ops_sec);
+    reg.gauge("host.pipeline.sequential_ops_per_sec").set(seq_ops_sec);
+    reg.gauge("host.pipeline.speedup_vs_sequential")
+        .set(seq_ops_sec > 0 ? par_ops_sec / seq_ops_sec : 0.0);
+    reg.gauge("host.pipeline.identical_to_sequential").set(identical ? 1.0 : 0.0);
+    return {identical, 2 * ops};  // both runs count toward host throughput
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     obs::BenchReporter reporter("line_rate", argc, argv);
+    const unsigned threads = obs::bench_threads(argc, argv);  // validate up front
     std::printf("== P1: line-rate claim (35.8 Mpps -> 40 Gb/s at 140 B) ==\n\n");
 
     // --- cycle-accurate half -------------------------------------------
@@ -83,7 +171,19 @@ int main(int argc, char** argv) {
     const double mpps = analysis::circuit_mpps(model.clock_mhz, 4.0);
     reg.gauge("line_rate.mpps_pipelined").set(mpps);
     reg.gauge("line_rate.gbps_at_140B").set(analysis::line_rate_gbps(mpps, 140.0));
-    reporter.record_host_ops(kOps);
+
+    // --- host pipeline phase -------------------------------------------
+    std::printf("\n");
+    const PipelinePhaseResult pipeline = run_pipeline_phase(reporter, threads);
+
+    reporter.record_host_ops(kOps + pipeline.host_ops);
     reporter.finish();
+    if (!pipeline.identical) {
+        std::fprintf(stderr,
+                     "FAIL: pipelined SimResult diverged from the sequential "
+                     "driver at --threads %u\n",
+                     threads);
+        return 1;
+    }
     return 0;
 }

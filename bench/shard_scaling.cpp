@@ -34,6 +34,7 @@
 #include "core/synthesis_model.hpp"
 #include "core/tag_sorter.hpp"
 #include "hw/simulation.hpp"
+#include "net/parallel_driver.hpp"
 #include "net/sim_driver.hpp"
 #include "net/traffic_gen.hpp"
 #include "obs/bench_io.hpp"
@@ -63,7 +64,14 @@ template <typename Sorter>
 void drive(Sorter& s, std::uint64_t seed) {
     Rng rng(seed);
     std::uint64_t tag = 0;
-    for (int i = 0; i < kPrefill; ++i) s.insert(tag += rng.next_below(6), 0);
+    // Batched prefill: one dispatch for the whole warm-up backlog. The
+    // batch entry points preserve per-op cycle accounting exactly, so
+    // the modeled gauges below are unchanged from the scalar loop.
+    std::vector<core::SortedTag> prefill;
+    prefill.reserve(kPrefill);
+    for (int i = 0; i < kPrefill; ++i)
+        prefill.push_back({tag += rng.next_below(6), 0});
+    s.insert_batch(prefill.data(), prefill.size());
     for (int i = 0; i < kPairs; ++i) {
         tag += rng.next_below(6);
         s.insert(tag, 0);
@@ -115,27 +123,63 @@ bool check_n1_identity(std::uint64_t seed) {
 }
 
 /// End-to-end wiring: a 4-bank sorter behind the full WFQ scheduler and
-/// SimDriver, switched on by the factory's num_banks knob alone.
-std::uint64_t run_scheduler_demo() {
-    baselines::QueueParams params;
-    params.num_banks = 4;
-    scheduler::FairQueueingScheduler sched(
-        {20'000'000},
-        baselines::make_tag_queue(baselines::QueueKind::MultibitTree, params));
-    std::vector<net::FlowSpec> flows;
-    for (std::uint64_t f = 0; f < 8; ++f)
-        flows.push_back({std::make_unique<net::CbrSource>(
-                             2'000'000, 500, net::TimeNs{f * 1000},
-                             net::TimeNs{200'000'000}),
-                         static_cast<std::uint32_t>(1 + f % 4)});
-    net::SimDriver driver(20'000'000);
-    return driver.run(sched, flows).records.size();
+/// SimDriver, switched on by the factory's num_banks knob alone. With a
+/// host-pipeline thread budget the same workload also runs through the
+/// ParallelSimDriver, which must reproduce the sequential SimResult bit
+/// for bit (the process exits non-zero otherwise).
+struct SchedulerDemoResult {
+    std::uint64_t delivered = 0;
+    bool identical = true;
+    double pipeline_ops_per_sec = 0.0;
+};
+
+SchedulerDemoResult run_scheduler_demo(unsigned threads,
+                                       obs::MetricsRegistry& reg) {
+    const auto make_sched = [] {
+        baselines::QueueParams params;
+        params.num_banks = 4;
+        return scheduler::FairQueueingScheduler(
+            {20'000'000},
+            baselines::make_tag_queue(baselines::QueueKind::MultibitTree, params));
+    };
+    const auto make_flows = [] {
+        std::vector<net::FlowSpec> flows;
+        for (std::uint64_t f = 0; f < 8; ++f)
+            flows.push_back({std::make_unique<net::CbrSource>(
+                                 2'000'000, 500, net::TimeNs{f * 1000},
+                                 net::TimeNs{200'000'000}),
+                             static_cast<std::uint32_t>(1 + f % 4)});
+        return flows;
+    };
+
+    auto seq_sched = make_sched();
+    auto seq_flows = make_flows();
+    net::SimDriver seq_driver(20'000'000);
+    const net::SimResult seq = seq_driver.run(seq_sched, seq_flows);
+
+    auto par_sched = make_sched();
+    auto par_flows = make_flows();
+    net::ParallelSimDriver par_driver(20'000'000, threads);
+    par_driver.attach_metrics(reg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const net::SimResult par = par_driver.run(par_sched, par_flows);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    SchedulerDemoResult r;
+    r.delivered = seq.records.size();
+    r.identical = net::identical_results(seq, par);
+    const std::uint64_t ops = 2 * r.delivered + seq.dropped_packets;
+    r.pipeline_ops_per_sec = sec > 0 ? static_cast<double>(ops) / sec : 0.0;
+    return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     obs::BenchReporter reporter("shard_scaling", argc, argv);
+    const unsigned threads = obs::bench_threads(argc, argv);  // validate up front
     auto& reg = reporter.registry();
     std::printf("== S1: sharded multi-bank scaling (overlapped pipelines) ==\n\n");
 
@@ -201,17 +245,30 @@ int main(int argc, char** argv) {
                 identical ? "IDENTICAL" : "DIVERGED");
 
     // --- full-stack wiring demo -----------------------------------------
-    const std::uint64_t delivered = run_scheduler_demo();
+    const SchedulerDemoResult demo = run_scheduler_demo(threads, reg);
     reg.gauge("shard_scaling.scheduler_demo_packets")
-        .set(static_cast<double>(delivered));
+        .set(static_cast<double>(demo.delivered));
+    reg.gauge("host.pipeline.ops_per_sec").set(demo.pipeline_ops_per_sec);
+    reg.gauge("host.pipeline.identical_to_sequential")
+        .set(demo.identical ? 1.0 : 0.0);
     std::printf("WFQ scheduler + SimDriver over a 4-bank sorter: %llu packets "
-                "delivered\n",
-                static_cast<unsigned long long>(delivered));
+                "delivered;\nhost pipeline at --threads %u: %.0f ops/s, %s the "
+                "sequential driver\n",
+                static_cast<unsigned long long>(demo.delivered), threads,
+                demo.pipeline_ops_per_sec,
+                demo.identical ? "IDENTICAL to" : "DIVERGED from");
 
     reporter.record_host_ops(host_ops_total);
     reporter.finish();
     if (!identical) {
         std::fprintf(stderr, "FAIL: N=1 sharded run diverged from the bare sorter\n");
+        return 1;
+    }
+    if (!demo.identical) {
+        std::fprintf(stderr,
+                     "FAIL: pipelined SimResult diverged from the sequential "
+                     "driver at --threads %u\n",
+                     threads);
         return 1;
     }
     return 0;

@@ -67,6 +67,44 @@ public:
         return QueueEntry{popped->tag, popped->payload};
     }
 
+    /// Batched entry points: one stats bracket and one sorter dispatch
+    /// per batch (the inventory-wide SramStats sweep behind touch() is
+    /// the dominant host cost of a scalar op). Cycle accounting in the
+    /// sorter is per-op and identical to the scalar path.
+    static constexpr std::size_t kBatchChunk = 64;
+
+    void insert_batch(const QueueEntry* entries, std::size_t n) override {
+        const std::uint64_t before = sim_.total_memory_stats().total();
+        core::SortedTag buf[kBatchChunk];
+        std::size_t done = 0;
+        while (done < n) {
+            const std::size_t chunk = std::min(n - done, kBatchChunk);
+            for (std::size_t i = 0; i < chunk; ++i)
+                buf[i] = core::SortedTag{entries[done + i].tag, entries[done + i].payload};
+            sorter_.insert_batch(buf, chunk);
+            done += chunk;
+        }
+        record_batch(OpScope::Kind::Insert, n,
+                     sim_.total_memory_stats().total() - before);
+    }
+
+    std::size_t pop_batch(QueueEntry* out, std::size_t max_n) override {
+        const std::uint64_t before = sim_.total_memory_stats().total();
+        core::SortedTag buf[kBatchChunk];
+        std::size_t total = 0;
+        while (total < max_n) {
+            const std::size_t got =
+                sorter_.pop_batch(buf, std::min(max_n - total, kBatchChunk));
+            if (got == 0) break;
+            for (std::size_t i = 0; i < got; ++i)
+                out[total + i] = QueueEntry{buf[i].tag, buf[i].payload};
+            total += got;
+        }
+        record_batch(OpScope::Kind::Pop, total,
+                     sim_.total_memory_stats().total() - before);
+        return total;
+    }
+
     std::optional<QueueEntry> peek_min() override {
         const auto min = sorter_.peek_min();
         if (!min) return std::nullopt;

@@ -109,6 +109,17 @@ public:
     /// departing slot. Precondition: non-empty.
     SortedTag insert_and_pop(std::uint64_t tag, std::uint32_t payload);
 
+    /// Bulk insert for the batched host pipeline: semantically `n` scalar
+    /// inserts in order — identical clock advance, stats, histogram
+    /// samples, and exception behavior (a throw leaves entries [0, i)
+    /// applied, like a scalar loop would) — but the host-side trace span
+    /// and dispatch overhead is paid once per batch.
+    void insert_batch(const SortedTag* entries, std::size_t n);
+
+    /// Bulk pop: up to `max_n` pops into `out`, stopping when empty.
+    /// Returns the count. Same per-op accounting as scalar pop_min.
+    std::size_t pop_batch(SortedTag* out, std::size_t max_n);
+
     // -- integrity (core/tag_sorter_integrity.cpp) -------------------------
 
     /// Cross-check the linked list, empty list, translation table, and
@@ -169,6 +180,11 @@ public:
                           const std::string& prefix = "sorter") const;
 
 private:
+    /// Datapath bodies shared by the scalar and batch entry points (the
+    /// public wrappers add the per-op or per-batch trace span).
+    void insert_impl(std::uint64_t tag, std::uint32_t payload);
+    SortedTag pop_impl();  ///< precondition: non-empty
+
     fault::AuditReport audit_impl() const;
     std::uint64_t to_physical(std::uint64_t logical) const;
     void validate_incoming(std::uint64_t logical) const;

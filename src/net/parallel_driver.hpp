@@ -1,0 +1,99 @@
+// Multi-threaded batched host pipeline: the SimDriver event loop split
+// into stages connected by SPSC rings —
+//
+//   [gen workers] --per-flow rings--> [merge] --merged ring--> [schedule]
+//                                                                  |
+//                                   [egress] <--egress ring--------+
+//
+// with a SimResult bit-identical to the sequential SimDriver. The
+// determinism argument (DESIGN.md "Host pipeline"): in the sequential
+// loop, the scheduler's state only decides *when* the next pending
+// arrival is consumed, never *which* — the (time, seq) priority-queue
+// order, the seq numbering, and the packet-id assignment are functions of
+// the arrival times alone. So a dedicated merge stage can replay the
+// exact priority-queue discipline over per-flow streams generated ahead
+// of time, the schedule stage consumes the identical arrival sequence,
+// and the egress stage applies result/metric side effects in the
+// identical emission order (so even floating-point accumulation order in
+// the delay statistics is preserved).
+//
+// Thread budget `threads` (the calling thread included):
+//   1  — delegates to the sequential SimDriver (the bit-identity anchor);
+//   2  — [traffic gen + merge] thread, [schedule + egress] caller;
+//   3  — adds a dedicated egress thread;
+//   4+ — adds dedicated traffic-gen workers (flows split round-robin),
+//        with the merge stage pulling per-flow rings.
+//
+// The schedule stage is the only serial one (WFQ virtual time and the
+// cycle-accurate sorter are inherently sequential); everything the
+// sequential loop did around it — RNG draws in the traffic sources, the
+// arrival merge heap, transmission-time precomputation, per-packet
+// vectors, metrics, and trace instants — moves off that critical path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/sim_driver.hpp"
+
+namespace wfqs::net {
+
+/// Host-pipeline telemetry for the last run(). A stage's stall count is
+/// the number of wait episodes it entered (empty input ring or full
+/// output ring); occupancies are the mean fill level its consumer saw.
+struct PipelineStats {
+    unsigned threads = 1;
+    std::uint64_t gen_stalls = 0;     ///< gen workers blocked on full flow rings
+    std::uint64_t merge_stalls = 0;   ///< merge starved of arrivals or blocked downstream
+    std::uint64_t sched_stalls = 0;   ///< schedule starved of merged arrivals or blocked on egress
+    std::uint64_t egress_stalls = 0;  ///< egress starved of events
+    double flow_ring_occupancy = 0.0;
+    double merged_ring_occupancy = 0.0;
+    double egress_ring_occupancy = 0.0;
+    std::uint64_t sched_batches = 0;  ///< merged-ring refills in the schedule stage
+    std::uint64_t sched_items = 0;
+
+    double avg_sched_batch() const {
+        return sched_batches == 0 ? 0.0
+                                  : static_cast<double>(sched_items) /
+                                        static_cast<double>(sched_batches);
+    }
+};
+
+class ParallelSimDriver {
+public:
+    /// `threads` counts the calling thread; 0 and 1 both mean sequential.
+    ParallelSimDriver(std::uint64_t link_rate_bps, unsigned threads);
+
+    /// Same `net.*` metrics as SimDriver::attach_metrics, plus the
+    /// `host.pipeline.*` gauges (per-stage stalls, ring occupancy,
+    /// thread count) and the `host.pipeline.batch_size` histogram of
+    /// merged-ring batch sizes seen by the schedule stage.
+    void attach_metrics(obs::MetricsRegistry& registry);
+
+    /// Bit-identical to SimDriver::run on the same flows: identical
+    /// records, arrivals, counters, and metric values. Flow sources are
+    /// consumed from gen-stage threads (exclusively — callers must not
+    /// touch `flows` during the run).
+    SimResult run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flows);
+
+    const PipelineStats& pipeline_stats() const { return stats_; }
+
+private:
+    void publish_metrics();
+
+    std::uint64_t rate_;
+    unsigned threads_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    PipelineStats stats_;
+};
+
+/// Order-sensitive FNV-1a fingerprint over every field of a SimResult.
+/// Equal fingerprints across thread counts certify bit-identical runs
+/// (used by the benches and perf_smoke to gate determinism from JSON).
+std::uint64_t result_fingerprint(const SimResult& r);
+
+/// Field-by-field equality (the lockstep tests' byte-for-byte check).
+bool identical_results(const SimResult& a, const SimResult& b);
+
+}  // namespace wfqs::net

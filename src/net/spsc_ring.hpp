@@ -1,0 +1,179 @@
+// Lock-free single-producer / single-consumer ring connecting two host
+// pipeline stages.
+//
+// The classic bounded ring with monotonically increasing 64-bit produce /
+// consume cursors (masked on access, so the full power-of-two capacity is
+// usable) and cached counterpart cursors: the producer re-reads the
+// consumer's cursor only when its cached copy says the ring looks full,
+// and vice versa, so the steady-state cost per batch is one release store
+// and no shared-line ping-pong. Batched push/pop is the native interface
+// — the host pipeline moves Packets and egress events in bursts precisely
+// to amortize this synchronization.
+//
+// Progress and shutdown. Blocking variants spin briefly then yield; every
+// wait checks an external abort flag so a failing stage can unwind the
+// whole pipeline without deadlock. The producer close()s the ring after
+// its last push; pop_wait() returns 0 only once the ring is closed *and*
+// drained (or aborted), which is the consumer's end-of-stream signal.
+//
+// Telemetry. Each side owns a RingSideStats block (stall episodes, items,
+// batches; the consumer also samples occupancy per pop) read by the
+// driver after the stage threads join — single-writer, so plain uint64
+// fields suffice.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <type_traits>
+
+#include "common/assert.hpp"
+
+namespace wfqs::net {
+
+/// Per-side ring telemetry. Written only by the owning side's thread;
+/// read after join. Occupancy fields are consumer-side only.
+struct RingSideStats {
+    std::uint64_t items = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t stall_episodes = 0;  ///< waits that found no room / no data
+    std::uint64_t occupancy_sum = 0;   ///< sum of fill levels seen at pop
+    std::uint64_t occupancy_samples = 0;
+
+    double avg_occupancy() const {
+        return occupancy_samples == 0
+                   ? 0.0
+                   : static_cast<double>(occupancy_sum) /
+                         static_cast<double>(occupancy_samples);
+    }
+    double avg_batch() const {
+        return batches == 0 ? 0.0
+                            : static_cast<double>(items) / static_cast<double>(batches);
+    }
+};
+
+template <typename T>
+class SpscRing {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ring entries are moved with raw copies");
+
+public:
+    explicit SpscRing(std::size_t capacity) : capacity_(capacity), mask_(capacity - 1) {
+        WFQS_REQUIRE(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                     "ring capacity must be a power of two");
+        buffer_ = std::make_unique<T[]>(capacity);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    // -- producer side -----------------------------------------------------
+
+    /// Copy up to `n` items in; returns how many fit (0 when full).
+    std::size_t try_push(const T* items, std::size_t n) {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t free = capacity_ - static_cast<std::size_t>(tail - cached_head_);
+        if (free < n) {
+            cached_head_ = head_.load(std::memory_order_acquire);
+            free = capacity_ - static_cast<std::size_t>(tail - cached_head_);
+        }
+        const std::size_t count = n < free ? n : free;
+        for (std::size_t i = 0; i < count; ++i)
+            buffer_[static_cast<std::size_t>(tail + i) & mask_] = items[i];
+        if (count != 0) tail_.store(tail + count, std::memory_order_release);
+        return count;
+    }
+
+    /// Push all `n` items, waiting for room; false = aborted (items from
+    /// the unpushed suffix are dropped — the pipeline is unwinding).
+    bool push_all(const T* items, std::size_t n, const std::atomic<bool>& abort) {
+        std::size_t done = 0;
+        bool stalled = false;
+        while (done < n) {
+            const std::size_t pushed = try_push(items + done, n - done);
+            done += pushed;
+            if (done == n) break;
+            if (pushed == 0 && !stalled) {
+                stalled = true;
+                ++producer_.stall_episodes;
+            }
+            if (abort.load(std::memory_order_relaxed)) return false;
+            spin_wait();
+        }
+        producer_.items += n;
+        ++producer_.batches;
+        return true;
+    }
+
+    /// Producer's end-of-stream mark; call after the final push.
+    void close() { closed_.store(true, std::memory_order_release); }
+
+    // -- consumer side -----------------------------------------------------
+
+    /// Copy up to `max_n` items out; returns how many were available.
+    std::size_t try_pop(T* out, std::size_t max_n) {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        std::size_t avail = static_cast<std::size_t>(cached_tail_ - head);
+        if (avail == 0) {
+            cached_tail_ = tail_.load(std::memory_order_acquire);
+            avail = static_cast<std::size_t>(cached_tail_ - head);
+            if (avail == 0) return 0;
+        }
+        const std::size_t count = max_n < avail ? max_n : avail;
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = buffer_[static_cast<std::size_t>(head + i) & mask_];
+        head_.store(head + count, std::memory_order_release);
+        consumer_.items += count;
+        ++consumer_.batches;
+        consumer_.occupancy_sum += avail;
+        ++consumer_.occupancy_samples;
+        return count;
+    }
+
+    /// Pop at least one item unless the stream is over: returns 0 only
+    /// when the ring is closed and drained, or the pipeline aborted.
+    std::size_t pop_wait(T* out, std::size_t max_n, const std::atomic<bool>& abort) {
+        bool stalled = false;
+        for (;;) {
+            if (const std::size_t n = try_pop(out, max_n)) return n;
+            if (closed_.load(std::memory_order_acquire)) {
+                // Close happens-after the final push; one more pop decides.
+                return try_pop(out, max_n);
+            }
+            if (abort.load(std::memory_order_relaxed)) return 0;
+            if (!stalled) {
+                stalled = true;
+                ++consumer_.stall_episodes;
+            }
+            spin_wait();
+        }
+    }
+
+    /// Consumer-side fill estimate (exact at the consumer's cursor).
+    std::size_t size_approx() const {
+        return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                        head_.load(std::memory_order_acquire));
+    }
+
+    const RingSideStats& producer_stats() const { return producer_; }
+    const RingSideStats& consumer_stats() const { return consumer_; }
+
+private:
+    static void spin_wait() { std::this_thread::yield(); }
+
+    std::size_t capacity_;
+    std::uint64_t mask_;
+    std::unique_ptr<T[]> buffer_;
+
+    alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consume cursor
+    alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< produce cursor
+    std::atomic<bool> closed_{false};
+
+    alignas(64) std::uint64_t cached_head_ = 0;  ///< producer's view of head_
+    RingSideStats producer_;
+    alignas(64) std::uint64_t cached_tail_ = 0;  ///< consumer's view of tail_
+    RingSideStats consumer_;
+};
+
+}  // namespace wfqs::net

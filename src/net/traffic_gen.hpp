@@ -12,6 +12,13 @@
 //   VoIP     — 20-ms voice frames inside exponential talk spurts.
 //   Video    — periodic frames with heavy-tailed frame sizes split into
 //              MTU-sized packets.
+//
+// End-of-window convention: every source emits arrivals over the
+// half-open interval [start_ns, end_ns). An arrival stamped exactly
+// end_ns is NOT emitted, so back-to-back windows [0,T) and [T,2T)
+// partition time with no duplicated or lost boundary arrival. Sources
+// enforce it uniformly as `time >= end -> exhausted`; a workload that
+// wants an inclusive horizon passes end_ns + 1.
 #pragma once
 
 #include <cstdint>

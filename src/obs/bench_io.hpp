@@ -44,6 +44,11 @@ std::optional<std::string> bench_json_path(const std::string& bench_name,
 /// nullopt means "use each site's default".
 std::optional<std::uint64_t> bench_seed_override(int argc, char** argv);
 
+/// Resolve the host-pipeline thread budget from `--threads <n>` /
+/// `--threads=<n>` / WFQS_THREADS (flag wins). Returns 1 — the
+/// sequential SimDriver path — when nothing is requested; 0 is rejected.
+unsigned bench_threads(int argc, char** argv);
+
 /// Write the snapshot document to `path`. A resolved `seed` is emitted as
 /// a top-level "seed" field (omitted when the bench has no RNG).
 void write_bench_json(const MetricsRegistry& registry,

@@ -26,12 +26,14 @@ std::uint64_t Tracer::wall_ns() {
 }
 
 void Tracer::begin_span(const char* name, const char* category) {
+    std::lock_guard<std::mutex> lock(mutex_);
     open_.push_back(OpenSpan{name, category,
                              clock_ ? clock_->now() : wall_ns() / 1000,
                              wall_ns()});
 }
 
 void Tracer::end_span() {
+    std::lock_guard<std::mutex> lock(mutex_);
     WFQS_ASSERT_MSG(!open_.empty(), "Tracer::end_span with no open span");
     const OpenSpan s = open_.back();
     open_.pop_back();
@@ -43,20 +45,24 @@ void Tracer::end_span() {
 }
 
 void Tracer::instant(const char* name, const char* category, double ts_us) {
+    std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(Event{name, category, 'i', ts_us, 0.0, wall_ns(), 0, 0.0});
 }
 
 void Tracer::counter(const char* name, double ts_us, double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(Event{name, "counter", 'C', ts_us, 0.0, wall_ns(), 0, value});
 }
 
 void Tracer::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
     open_.clear();
 }
 
 void Tracer::write_json(std::ostream& os) {
-    while (!open_.empty()) end_span();
+    while (open_spans() != 0) end_span();
+    std::lock_guard<std::mutex> lock(mutex_);
     JsonWriter w(os);
     w.begin_object();
     w.key("traceEvents").begin_array();

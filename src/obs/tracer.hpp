@@ -12,12 +12,20 @@
 // macros, which compile to nothing when WFQS_DISABLE_TRACING is defined
 // and otherwise reduce to a single pointer test while no tracer is
 // installed — an idle simulation pays one predictable branch per span.
-// Installation is process-global (the simulation is single-threaded, like
-// the silicon it models).
+// Installation is process-global.
+//
+// Threads. Recording is serialized by an internal mutex so the host
+// pipeline's stage threads (ParallelSimDriver: sorter spans from the
+// schedule thread, net instants from the egress thread) can share one
+// installed tracer without corrupting the event log. Span begin/end
+// pairs still form a single process-wide stack, so nesting attribution
+// is only meaningful per emitting thread; the simulation's cycle-stamped
+// spans all come from the one thread that owns the hw::Clock.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,8 +62,14 @@ public:
     void counter(const char* name, double ts_us, double value);
 
     // -- export ------------------------------------------------------------
-    std::size_t event_count() const { return events_.size(); }
-    std::size_t open_spans() const { return open_.size(); }
+    std::size_t event_count() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return events_.size();
+    }
+    std::size_t open_spans() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return open_.size();
+    }
     void clear();
 
     /// {"traceEvents":[...],"displayTimeUnit":"ns"} — open spans are
@@ -87,6 +101,7 @@ private:
 
     static Tracer* current_;
     const hw::Clock* clock_;
+    mutable std::mutex mutex_;  ///< serializes recording across stage threads
     std::vector<Event> events_;
     std::vector<OpenSpan> open_;
 };

@@ -179,6 +179,31 @@ TEST(CalendarQueue, ResizesUnderGrowth) {
     }
 }
 
+TEST(CalendarQueue, ResizeCostIsAttributedToTheTriggeringInsert) {
+    // Brown's copy operation (maybe_resize) used to run *outside* the
+    // insert's OpScope, so its per-entry touches inflated accesses_total
+    // without ever registering in worst_insert_accesses — hiding the O(n)
+    // spike that is the calendar's Table I liability. The resize must bill
+    // to the insert that triggered it, and the access ledger must close:
+    // every touch recorded between the op counters' deltas.
+    CalendarQueue c(8, 4);
+    // 16 entries on 8 buckets: one below the 2n growth trigger.
+    for (std::uint64_t t = 0; t < 16; ++t) c.insert(t * 3, 0);
+    ASSERT_EQ(c.resizes(), 0u);
+    c.reset_stats();
+
+    const std::uint64_t before_total = c.stats().accesses_total;
+    c.insert(100, 1);  // 17 > 2*8: triggers the copy operation
+    ASSERT_EQ(c.resizes(), 1u);
+    const std::uint64_t insert_cost = c.stats().accesses_total - before_total;
+
+    // The copy touches all 17 live entries on top of the insert proper,
+    // and the worst-insert tracker must now carry the whole bill.
+    EXPECT_GE(insert_cost, 17u);
+    EXPECT_EQ(c.stats().worst_insert_accesses, insert_cost);
+    EXPECT_EQ(c.stats().inserts, 1u);
+}
+
 TEST(CalendarQueue, WorstCaseClusterDegradesAccesses) {
     // All tags in one bucket, then one far away: the calendar must walk an
     // empty year — the O(N)-ish worst case Table I records.

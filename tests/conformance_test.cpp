@@ -127,6 +127,17 @@ TEST(Conformance, ShardedFlowHashWrapBoundaryRaces) {
                << to_text(failure->ops);
 }
 
+// -------------------------------------------------------- baseline queues
+
+TEST(Conformance, BaselineQueuesAllFamilies) {
+    for (const auto& entry : standard_baseline_configs()) {
+        SCOPED_TRACE(entry.name);
+        expect_conformant(entry.name, entry.span, [&](const OpSeq& ops) {
+            return diff_baseline_queue(ops, entry);
+        });
+    }
+}
+
 // --------------------------------------------------------------- matcher
 
 TEST(Conformance, MatcherWordLevelAllKindsAllWidths) {

@@ -58,6 +58,17 @@ TEST(CorpusReplay, EveryShardedConfig) {
     }
 }
 
+TEST(CorpusReplay, EveryBaselineQueueConfig) {
+    for (const auto& file : corpus_files()) {
+        const OpSeq ops = read_ops_file(file.string());
+        for (const auto& entry : standard_baseline_configs()) {
+            const auto err = diff_baseline_queue(ops, entry);
+            EXPECT_EQ(err, std::nullopt)
+                << file.filename() << " on " << entry.name << ": " << *err;
+        }
+    }
+}
+
 TEST(CorpusReplay, NetlistMatcherOnCorpus) {
     // One gate-level engine over the corpus keeps the netlist path pinned
     // without blowing the tier-1 budget.

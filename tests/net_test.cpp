@@ -90,6 +90,73 @@ TEST(VideoSource, FragmentsRespectMtu) {
     for (const auto& a : arrivals) EXPECT_LE(a.size_bytes, 1500u);
 }
 
+// ----------------------------------------- end-of-window boundaries
+//
+// Every source emits over the half-open window [start_ns, end_ns); an
+// arrival stamped exactly end_ns must not appear (see the convention
+// note at the top of net/traffic_gen.hpp).
+
+TEST(WindowBoundary, CbrExcludesArrivalLandingExactlyOnEnd) {
+    // 1 ms grid: arrivals at 0, 1ms, ..., and the one at end_ns == 5 ms
+    // falls exactly on the boundary — it must be suppressed.
+    CbrSource src(1'000'000, 125, 0, 5'000'000);
+    const auto arrivals = collect(src);
+    ASSERT_EQ(arrivals.size(), 5u);
+    EXPECT_EQ(arrivals.back().time_ns, 4'000'000u);
+    // Widening the window by a single nanosecond admits the boundary tick.
+    CbrSource inclusive(1'000'000, 125, 0, 5'000'001);
+    EXPECT_EQ(collect(inclusive).size(), 6u);
+}
+
+TEST(WindowBoundary, BackToBackCbrWindowsPartitionTime) {
+    // [0,T) followed by [T,2T) must reproduce [0,2T) exactly: no boundary
+    // arrival duplicated or lost at the seam.
+    constexpr TimeNs kT = 7'000'000;
+    CbrSource first(1'000'000, 125, 0, kT);
+    CbrSource second(1'000'000, 125, kT, 2 * kT);
+    CbrSource whole(1'000'000, 125, 0, 2 * kT);
+    auto a = collect(first);
+    const auto b = collect(second);
+    a.insert(a.end(), b.begin(), b.end());
+    const auto w = collect(whole);
+    ASSERT_EQ(a.size(), w.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_EQ(a[i].time_ns, w[i].time_ns);
+}
+
+TEST(WindowBoundary, RandomSourcesStayStrictlyBeforeEnd) {
+    constexpr TimeNs kEnd = kSecond / 4;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        PoissonSource poisson(20000.0, 64, 1500, kEnd, seed);
+        while (auto a = poisson.next()) EXPECT_LT(a->time_ns, kEnd);
+        OnOffParetoSource onoff(10'000'000, 1250, 0.01, 0.02, 1.5, kEnd, seed);
+        while (auto a = onoff.next()) EXPECT_LT(a->time_ns, kEnd);
+        VoipSource voip(kEnd, seed);
+        while (auto a = voip.next()) EXPECT_LT(a->time_ns, kEnd);
+        VideoSource video(30.0, 12000, 1500, kEnd, seed);
+        while (auto a = video.next()) EXPECT_LT(a->time_ns, kEnd);
+    }
+}
+
+TEST(WindowBoundary, NextRangeIsInclusiveOfBothEndpoints) {
+    // The sources' size draws rely on Rng::next_range being the closed
+    // interval [lo, hi]; pin that contract here where the window tests
+    // that depend on it live.
+    Rng rng(99);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 4096; ++i) {
+        const std::uint64_t v = rng.next_range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo |= (v == 10);
+        saw_hi |= (v == 13);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    // Degenerate interval: a single point returns that point.
+    EXPECT_EQ(rng.next_range(42, 42), 42u);
+}
+
 TEST(Profiles, MixedProfileHasDiverseFlows) {
     auto flows = make_mixed_profile(kSecond, 1);
     EXPECT_GE(flows.size(), 5u);

@@ -1,0 +1,328 @@
+// The determinism contract of the multi-threaded host pipeline:
+// ParallelSimDriver must produce a SimResult *bit-identical* to the
+// sequential SimDriver for every thread count, plus unit coverage for
+// the SPSC ring it is built on and for the batched TagQueue entry
+// points it drives (batch == the same scalar ops, same stats, same
+// hardware cycles).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/factory.hpp"
+#include "core/tag_sorter.hpp"
+#include "hw/simulation.hpp"
+#include "net/parallel_driver.hpp"
+#include "net/sim_driver.hpp"
+#include "net/spsc_ring.hpp"
+#include "net/traffic_gen.hpp"
+#include "obs/metrics.hpp"
+#include "scheduler/wfq_scheduler.hpp"
+
+namespace wfqs {
+namespace {
+
+constexpr net::TimeNs kMs = 1'000'000;
+
+// ---------------------------------------------------------------------------
+// SPSC ring
+
+TEST(SpscRing, PushPopPreservesOrderAcrossWraparound) {
+    net::SpscRing<int> ring(8);
+    std::atomic<bool> abort{false};
+    int out[8];
+    int next_in = 0, next_out = 0;
+    // Many small batches through a tiny ring force the cursors to wrap.
+    for (int round = 0; round < 100; ++round) {
+        int batch[5];
+        for (int& v : batch) v = next_in++;
+        ASSERT_TRUE(ring.push_all(batch, 5, abort));
+        std::size_t got = 0;
+        while (got < 5) got += ring.try_pop(out, 5 - got);
+        for (std::size_t i = 0; i < got; ++i) ASSERT_EQ(out[i], next_out++);
+    }
+    EXPECT_EQ(ring.size_approx(), 0u);
+    EXPECT_EQ(ring.producer_stats().items, 500u);
+    EXPECT_EQ(ring.consumer_stats().items, 500u);
+}
+
+TEST(SpscRing, TryPushRespectsCapacity) {
+    net::SpscRing<int> ring(4);
+    int v[6] = {1, 2, 3, 4, 5, 6};
+    EXPECT_EQ(ring.try_push(v, 6), 4u);  // full after capacity items
+    EXPECT_EQ(ring.try_push(v, 1), 0u);
+    int out[6];
+    EXPECT_EQ(ring.try_pop(out, 6), 4u);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[3], 4);
+}
+
+TEST(SpscRing, PopWaitDrainsThenSeesClose) {
+    net::SpscRing<std::uint64_t> ring(64);
+    std::atomic<bool> abort{false};
+    constexpr std::uint64_t kTotal = 20'000;
+    std::thread producer([&] {
+        std::uint64_t batch[17];
+        std::uint64_t next = 0;
+        while (next < kTotal) {
+            std::size_t n = 0;
+            while (n < 17 && next < kTotal) batch[n++] = next++;
+            ASSERT_TRUE(ring.push_all(batch, n, abort));
+        }
+        ring.close();
+    });
+    std::uint64_t expected = 0;
+    std::uint64_t out[23];
+    for (;;) {
+        const std::size_t got = ring.pop_wait(out, 23, abort);
+        if (got == 0) break;  // closed and drained
+        for (std::size_t i = 0; i < got; ++i) ASSERT_EQ(out[i], expected++);
+    }
+    producer.join();
+    EXPECT_EQ(expected, kTotal);
+}
+
+TEST(SpscRing, AbortUnblocksBothSides) {
+    net::SpscRing<int> ring(4);
+    std::atomic<bool> abort{false};
+    int v[4] = {0, 1, 2, 3};
+    ASSERT_TRUE(ring.push_all(v, 4, abort));  // ring now full
+    std::thread aborter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        abort.store(true, std::memory_order_release);
+    });
+    EXPECT_FALSE(ring.push_all(v, 1, abort));  // producer side unblocks
+    aborter.join();
+}
+
+// ---------------------------------------------------------------------------
+// Batched queue entry points
+
+// Batch and scalar paths must agree on contents, stats, and — for the
+// sorter-backed queues — hardware cycles.
+TEST(BatchApi, SorterQueueBatchMatchesScalar) {
+    using baselines::QueueEntry;
+    const auto make = [] {
+        return baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
+                                         {16, 1 << 10});
+    };
+    auto scalar = make();
+    auto batched = make();
+
+    std::vector<QueueEntry> entries;
+    // Stay inside the sorter's moving window (span = 3/4 of the 16-bit
+    // range for a 4-ary tree).
+    for (std::uint32_t i = 0; i < 300; ++i)
+        entries.push_back({(i * 2654435761u) & 0x7FFF, i});
+
+    for (const auto& e : entries) scalar->insert(e.tag, e.payload);
+    batched->insert_batch(entries.data(), entries.size());
+
+    EXPECT_EQ(scalar->stats().inserts, batched->stats().inserts);
+    EXPECT_EQ(scalar->stats().accesses_total, batched->stats().accesses_total);
+    ASSERT_NE(scalar->simulation(), nullptr);
+    ASSERT_NE(batched->simulation(), nullptr);
+    EXPECT_EQ(scalar->simulation()->clock().now(),
+              batched->simulation()->clock().now());
+
+    std::vector<QueueEntry> batch_out(entries.size());
+    const std::size_t got = batched->pop_batch(batch_out.data(), batch_out.size());
+    ASSERT_EQ(got, entries.size());
+    for (std::size_t i = 0; i < got; ++i) {
+        const auto e = scalar->pop_min();
+        ASSERT_TRUE(e.has_value());
+        EXPECT_EQ(e->tag, batch_out[i].tag);
+        EXPECT_EQ(e->payload, batch_out[i].payload);
+    }
+    EXPECT_TRUE(scalar->empty());
+    EXPECT_TRUE(batched->empty());
+    EXPECT_EQ(scalar->stats().pops, batched->stats().pops);
+    EXPECT_EQ(scalar->stats().accesses_total, batched->stats().accesses_total);
+    EXPECT_EQ(scalar->simulation()->clock().now(),
+              batched->simulation()->clock().now());
+}
+
+// The default (software-baseline) implementation is literally the scalar
+// loop; spot-check one structure through the virtual interface.
+TEST(BatchApi, DefaultBatchMatchesScalarOnHeap) {
+    using baselines::QueueEntry;
+    auto scalar = baselines::make_tag_queue(baselines::QueueKind::Heap, {16, 256});
+    auto batched = baselines::make_tag_queue(baselines::QueueKind::Heap, {16, 256});
+
+    std::vector<QueueEntry> entries;
+    for (std::uint32_t i = 0; i < 64; ++i) entries.push_back({97 - (i % 13), i});
+    for (const auto& e : entries) scalar->insert(e.tag, e.payload);
+    batched->insert_batch(entries.data(), entries.size());
+    EXPECT_EQ(scalar->stats().inserts, batched->stats().inserts);
+    EXPECT_EQ(scalar->stats().accesses_total, batched->stats().accesses_total);
+
+    std::vector<QueueEntry> out(entries.size());
+    const std::size_t got = batched->pop_batch(out.data(), out.size());
+    ASSERT_EQ(got, entries.size());
+    for (std::size_t i = 0; i < got; ++i) {
+        const auto e = scalar->pop_min();
+        ASSERT_TRUE(e.has_value());
+        EXPECT_EQ(e->tag, out[i].tag);
+        EXPECT_EQ(e->payload, out[i].payload);  // FIFO among equal tags
+    }
+}
+
+TEST(BatchApi, TagSorterBatchKeepsCycleAccounting) {
+    hw::Simulation scalar_sim, batch_sim;
+    core::TagSorter::Config cfg{tree::TreeGeometry{4, 4}, 256, 32};
+    core::TagSorter scalar(cfg, scalar_sim);
+    core::TagSorter batched(cfg, batch_sim);
+
+    std::vector<core::SortedTag> tags;
+    for (std::uint32_t i = 0; i < 200; ++i)
+        tags.push_back({(i * 7919u) & 0x7FFF, i});
+
+    for (const auto& t : tags) scalar.insert(t.tag, t.payload);
+    batched.insert_batch(tags.data(), tags.size());
+    EXPECT_EQ(scalar_sim.clock().now(), batch_sim.clock().now());
+    EXPECT_EQ(scalar.stats().inserts, batched.stats().inserts);
+    EXPECT_EQ(scalar.stats().insert_cycles_total, batched.stats().insert_cycles_total);
+
+    std::vector<core::SortedTag> out(tags.size());
+    const std::size_t got = batched.pop_batch(out.data(), out.size());
+    ASSERT_EQ(got, tags.size());
+    for (std::size_t i = 0; i < got; ++i) {
+        const auto e = scalar.pop_min();
+        ASSERT_TRUE(e.has_value());
+        EXPECT_EQ(e->tag, out[i].tag);
+        EXPECT_EQ(e->payload, out[i].payload);
+    }
+    EXPECT_EQ(scalar_sim.clock().now(), batch_sim.clock().now());
+    EXPECT_EQ(scalar.stats().pop_cycles_total, batched.stats().pop_cycles_total);
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep: parallel == sequential, bit for bit
+
+scheduler::FairQueueingScheduler::Config wfq_config(std::uint64_t rate) {
+    scheduler::FairQueueingScheduler::Config cfg;
+    cfg.link_rate_bps = rate;
+    cfg.tag_granularity_bits = -6;
+    return cfg;
+}
+
+net::SimResult run_driver(std::uint64_t rate, std::uint64_t seed, unsigned threads,
+                          net::TimeNs horizon = 200 * kMs) {
+    scheduler::FairQueueingScheduler sched(
+        wfq_config(rate),
+        baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}));
+    auto flows = net::make_mixed_profile(horizon, seed);
+    if (threads == 0) {
+        net::SimDriver driver(rate);
+        return driver.run(sched, flows);
+    }
+    net::ParallelSimDriver driver(rate, threads);
+    return driver.run(sched, flows);
+}
+
+TEST(ParallelDriver, LockstepWithSequentialAcrossSeedsAndThreads) {
+    const std::uint64_t rate = 50'000'000;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto sequential = run_driver(rate, seed, 0);
+        ASSERT_GT(sequential.records.size(), 100u) << "seed " << seed;
+        const auto baseline_fp = net::result_fingerprint(sequential);
+        for (unsigned threads : {1u, 2u, 4u, 8u}) {
+            const auto parallel = run_driver(rate, seed, threads);
+            EXPECT_TRUE(net::identical_results(sequential, parallel))
+                << "seed " << seed << ", threads " << threads;
+            EXPECT_EQ(baseline_fp, net::result_fingerprint(parallel))
+                << "seed " << seed << ", threads " << threads;
+        }
+    }
+}
+
+TEST(ParallelDriver, LockstepUnderDrops) {
+    // A starved buffer forces the drop path through the pipeline; the
+    // drop decisions (made serially in the schedule stage) must still
+    // replay identically.
+    const std::uint64_t rate = 10'000'000;
+    auto run_with = [&](unsigned threads) {
+        auto cfg = wfq_config(rate);
+        cfg.buffer.total_bytes = 8 << 10;  // tiny shared pool
+        scheduler::FairQueueingScheduler sched(
+            cfg, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
+                                           {20, 1 << 16}));
+        auto flows = net::make_mixed_profile(200 * kMs, 7);
+        if (threads == 0) {
+            net::SimDriver driver(rate);
+            return driver.run(sched, flows);
+        }
+        net::ParallelSimDriver driver(rate, threads);
+        return driver.run(sched, flows);
+    };
+    const auto sequential = run_with(0);
+    ASSERT_GT(sequential.dropped_packets, 0u);
+    for (unsigned threads : {2u, 4u}) {
+        const auto parallel = run_with(threads);
+        EXPECT_TRUE(net::identical_results(sequential, parallel))
+            << "threads " << threads;
+    }
+}
+
+TEST(ParallelDriver, SingleFlowAndManyThreads) {
+    // More gen workers than flows: the extra workers must park cleanly.
+    const std::uint64_t rate = 20'000'000;
+    auto run_with = [&](unsigned threads) {
+        scheduler::FairQueueingScheduler sched(
+            wfq_config(rate),
+            baselines::make_tag_queue(baselines::QueueKind::Heap, {20, 1 << 16}));
+        std::vector<net::FlowSpec> flows;
+        flows.push_back({std::make_unique<net::PoissonSource>(2000.0, 64, 1500,
+                                                              30 * kMs, 42),
+                         1});
+        if (threads == 0) {
+            net::SimDriver driver(rate);
+            return driver.run(sched, flows);
+        }
+        net::ParallelSimDriver driver(rate, threads);
+        return driver.run(sched, flows);
+    };
+    const auto sequential = run_with(0);
+    ASSERT_GT(sequential.records.size(), 10u);
+    for (unsigned threads : {2u, 8u}) {
+        EXPECT_TRUE(net::identical_results(sequential, run_with(threads)))
+            << "threads " << threads;
+    }
+}
+
+TEST(ParallelDriver, MetricsMatchSequentialCounts) {
+    const std::uint64_t rate = 50'000'000;
+    obs::MetricsRegistry seq_reg, par_reg;
+
+    scheduler::FairQueueingScheduler seq_sched(
+        wfq_config(rate),
+        baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}));
+    auto seq_flows = net::make_mixed_profile(20 * kMs, 3);
+    net::SimDriver seq_driver(rate);
+    seq_driver.attach_metrics(seq_reg);
+    const auto sequential = seq_driver.run(seq_sched, seq_flows);
+
+    scheduler::FairQueueingScheduler par_sched(
+        wfq_config(rate),
+        baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}));
+    auto par_flows = net::make_mixed_profile(20 * kMs, 3);
+    net::ParallelSimDriver par_driver(rate, 4);
+    par_driver.attach_metrics(par_reg);
+    const auto parallel = par_driver.run(par_sched, par_flows);
+
+    ASSERT_TRUE(net::identical_results(sequential, parallel));
+    for (const char* name :
+         {"net.offered_packets", "net.dropped_packets", "net.delivered_packets"}) {
+        EXPECT_EQ(seq_reg.counter(name).value(), par_reg.counter(name).value())
+            << name;
+    }
+    const auto& stats = par_driver.pipeline_stats();
+    EXPECT_EQ(stats.threads, 4u);
+    EXPECT_GT(stats.sched_items, 0u);
+    EXPECT_GT(stats.avg_sched_batch(), 0.0);
+}
+
+}  // namespace
+}  // namespace wfqs

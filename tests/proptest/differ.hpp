@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -436,6 +437,145 @@ inline std::optional<std::string> diff_sharded_sorter(
     return run_ops(ops, ref, dut, opt);
 }
 
+// ------------------------------------------- baseline-queue differential
+
+/// Golden model for the Table I baseline queues behind
+/// baselines::TagQueue: an ordered multimap, FIFO among equivalent keys.
+/// Two optional disciplines mirror how the configs drive the bounded
+/// structures:
+///
+///   * universe > 0 — tags wrap (tag % universe) before use. The DUT
+///     hooks apply the same wrap, so both sides see the same tag and
+///     every op is accepted; wrapping folds the generators' forward
+///     marches back behind the current minimum, which is exactly the
+///     re-anchoring traffic the calendar/vEB serving paths find hard.
+///   * bound > 0 — tags >= bound are rejected (would_accept false); the
+///     interpreter then demands the DUT throw (WFQS_REQUIRE's
+///     invalid_argument on the bounded universes) and leave state intact.
+///
+/// bin_width > 1 turns the model into the *exact* oracle for the binning
+/// queue: the key becomes the bin index, so pop/peek serve the FIFO head
+/// of the lowest non-empty bin — deterministic, even though the result
+/// is not the numeric minimum (the §II-B inaccuracy, modelled exactly).
+class RefQueue {
+public:
+    struct Config {
+        std::uint64_t universe = 0;   ///< wrap modulus (0 = unbounded tags)
+        std::uint64_t bound = 0;      ///< reject tags >= bound (0 = accept all)
+        std::uint64_t bin_width = 1;  ///< >1: binning service order
+    };
+
+    // No default argument: a nested aggregate's member initializers are
+    // only complete at the enclosing class's closing brace.
+    explicit RefQueue(const Config& cfg) : cfg_(cfg) {}
+
+    std::uint64_t wrap(std::uint64_t tag) const {
+        return cfg_.universe ? tag % cfg_.universe : tag;
+    }
+
+    bool would_accept(std::uint64_t tag) const {
+        return cfg_.bound == 0 || wrap(tag) < cfg_.bound;
+    }
+    bool would_accept_combined(std::uint64_t tag) const { return would_accept(tag); }
+
+    void insert(std::uint64_t tag, std::uint32_t payload) {
+        const std::uint64_t t = wrap(tag);
+        entries_.emplace(t / cfg_.bin_width, core::SortedTag{t, payload});
+    }
+
+    std::optional<core::SortedTag> pop_min() {
+        if (entries_.empty()) return std::nullopt;
+        const auto it = entries_.begin();
+        const core::SortedTag e = it->second;
+        entries_.erase(it);
+        return e;
+    }
+
+    /// Baseline "combined" = insert then pop: the queues have no fused
+    /// §III-C op, and the DUT hook issues the same two calls.
+    core::SortedTag insert_and_pop(std::uint64_t tag, std::uint32_t payload) {
+        insert(tag, payload);
+        return *pop_min();
+    }
+
+    std::optional<core::SortedTag> peek_min() const {
+        if (entries_.empty()) return std::nullopt;
+        return entries_.begin()->second;
+    }
+
+    /// Delta base for the interpreter: the tag the next pop would serve
+    /// (under binning this is the head of the lowest bin, not the numeric
+    /// minimum — any stable base keeps delta sequences meaningful).
+    std::optional<std::uint64_t> min_tag() const {
+        const auto head = peek_min();
+        if (!head) return std::nullopt;
+        return head->tag;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+private:
+    Config cfg_;
+    std::multimap<std::uint64_t, core::SortedTag> entries_;
+};
+
+/// One baseline-queue configuration under differential test.
+struct BaselineDiffConfig {
+    std::string name;
+    baselines::QueueKind kind = baselines::QueueKind::Heap;
+    unsigned range_bits = 12;     ///< QueueParams universe for bounded kinds
+    std::size_t capacity = 4096;  ///< QueueParams capacity
+    std::uint64_t universe = 0;   ///< wrap tags (both sides) into [0, universe)
+    std::uint64_t bound = 0;      ///< rejection-parity limit (0 = accept all)
+    std::uint64_t span = 4096;    ///< generator reach for this config
+};
+
+/// Differential-test one baseline queue against RefQueue. Payload
+/// comparison stays on: every baseline (including binning's bin FIFO and
+/// the calendar's in-bucket ordering) promises global FIFO among the
+/// tags its service discipline treats as equivalent.
+inline std::optional<std::string> diff_baseline_queue(
+    const OpSeq& ops, const BaselineDiffConfig& cfg, const DiffOptions& opt = {}) {
+    auto queue = baselines::make_tag_queue(cfg.kind, {cfg.range_bits, cfg.capacity});
+    RefQueue::Config rc;
+    rc.universe = cfg.universe;
+    rc.bound = cfg.bound;
+    if (!queue->exact())
+        rc.bin_width = (std::uint64_t{1} << cfg.range_bits) / 64;  // factory's 64 bins
+    RefQueue ref(rc);
+
+    const auto wrap = [&](std::uint64_t t) {
+        return cfg.universe ? t % cfg.universe : t;
+    };
+    const auto lift = [](const std::optional<baselines::QueueEntry>& e)
+        -> std::optional<core::SortedTag> {
+        if (!e) return std::nullopt;
+        return core::SortedTag{e->tag, e->payload};
+    };
+
+    DutHooks dut;
+    dut.insert = [&](std::uint64_t t, std::uint32_t p) { queue->insert(wrap(t), p); };
+    dut.pop = [&] { return lift(queue->pop_min()); };
+    dut.combined = [&](std::uint64_t t, std::uint32_t p) {
+        queue->insert(wrap(t), p);
+        return *lift(queue->pop_min());
+    };
+    dut.peek = [&] { return lift(queue->peek_min()); };
+    dut.size = [&] { return queue->size(); };
+    dut.burst_check = [&](std::size_t) -> std::optional<std::string> {
+        // Every queue rejects (or reports empty) *before* opening its
+        // OpScope, so the boundary counters must balance the live size.
+        const auto& s = queue->stats();
+        if (s.inserts < s.pops || s.inserts - s.pops != queue->size())
+            return "op accounting drift: " + std::to_string(s.inserts) +
+                   " inserts, " + std::to_string(s.pops) + " pops, but size " +
+                   std::to_string(queue->size());
+        return std::nullopt;
+    };
+    return run_ops(ops, ref, dut, opt);
+}
+
 // ------------------------------------------------- matcher differentials
 
 /// Compare one engine against ref_match on one vector.
@@ -562,6 +702,56 @@ inline std::vector<NamedShardedConfig> standard_sharded_configs() {
     byseq.num_banks = 4;
     byseq.select = Select::kFlowHash;
     v.push_back({"flowhash-n4-byseq", byseq, FlowKeyMode::kBySeq});
+    return v;
+}
+
+/// Every baseline queue family under the harness. The wrapped rows fold
+/// tags into a small universe so forward marches land behind the current
+/// minimum over and over (re-anchoring and serving-path stress); the
+/// bound rows leave tags unwrapped so the bounded structures' rejection
+/// contract is exercised through the exception-parity path.
+inline std::vector<BaselineDiffConfig> standard_baseline_configs() {
+    using Kind = baselines::QueueKind;
+    std::vector<BaselineDiffConfig> v;
+
+    const auto plain = [&](const char* name, Kind kind) {
+        BaselineDiffConfig c;
+        c.name = name;
+        c.kind = kind;
+        v.push_back(c);
+    };
+    // Unbounded software structures: raw tags, monotone-ish marches.
+    plain("heap", Kind::Heap);
+    plain("sorted-list", Kind::SortedList);
+    plain("skiplist", Kind::Skiplist);
+    plain("calendar", Kind::Calendar);
+
+    const auto wrapped = [&](const char* name, Kind kind) {
+        BaselineDiffConfig c;
+        c.name = name;
+        c.kind = kind;
+        c.universe = 4096;  // = 2^range_bits: every wrapped tag is legal
+        v.push_back(c);
+    };
+    // The calendar again, folded: inserts keep landing before day_start_.
+    wrapped("calendar-wrapped", Kind::Calendar);
+    wrapped("binning-wrapped", Kind::Binning);
+    wrapped("cam-wrapped", Kind::BinaryCam);
+    wrapped("tcam-wrapped", Kind::Tcam);
+    wrapped("tcq-wrapped", Kind::Tcq);
+    wrapped("veb-wrapped", Kind::Veb);
+
+    const auto bounded = [&](const char* name, Kind kind) {
+        BaselineDiffConfig c;
+        c.name = name;
+        c.kind = kind;
+        c.bound = 4096;  // tags past the universe must throw, in parity
+        v.push_back(c);
+    };
+    bounded("binning-bound", Kind::Binning);
+    bounded("cam-bound", Kind::BinaryCam);
+    bounded("tcq-bound", Kind::Tcq);
+    bounded("veb-bound", Kind::Veb);
     return v;
 }
 

@@ -11,10 +11,18 @@ Checks (all on *modeled*, machine-independent metrics):
      drift means the modeled circuit changed without the artifact being
      regenerated;
   3. the "shard_scaling.n1_identical_to_single" gauge, when present, must
-     be 1.0 in the fresh run (the bench also exits non-zero on its own).
+     be 1.0 in the fresh run (the bench also exits non-zero on its own);
+  4. the "host.pipeline.identical_to_sequential" gauge, when present,
+     must be 1.0 — the multi-threaded host pipeline reproduced the
+     sequential SimDriver bit for bit. Together with check 2 this gates
+     that running a bench with --threads (including --threads 1, the
+     delegating path) keeps "hw.cycles" exactly unchanged: the pipeline
+     never touches the bench-registered simulation.
 
-host.* gauges (wall-clock speed) vary machine to machine and are ignored.
-Exits 0 when every check passes, 1 otherwise.
+host.* *wall-clock* gauges (elapsed_ms, ops_per_sec) vary machine to
+machine and are skipped by the name scan; the identity gate above is the
+one host.* value that is machine-independent. Exits 0 when every check
+passes, 1 otherwise.
 """
 
 import argparse
@@ -77,6 +85,15 @@ def main():
             failures.append(f"{gate}: N=1 sharded run diverged from the bare sorter")
         else:
             print(f"  {gate}: 1 (N=1 bit/cycle identity holds)")
+
+    gate = "host.pipeline.identical_to_sequential"
+    if gate in fresh:
+        checked += 1
+        if fresh[gate] != 1.0:
+            failures.append(
+                f"{gate}: pipelined SimResult diverged from the sequential driver")
+        else:
+            print(f"  {gate}: 1 (host pipeline bit-identical to sequential)")
 
     if checked == 0:
         failures.append("no comparable modeled metrics found — wrong file pair?")

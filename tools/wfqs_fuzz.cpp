@@ -9,19 +9,29 @@
 //   wfqs_fuzz --minutes 10 --seed 7            # time-budgeted soak
 //   wfqs_fuzz --cases 200 --ops 5000           # fixed-size run
 //   wfqs_fuzz --target matcher                 # one family only
+//   wfqs_fuzz --threads 4 --minutes 5          # parallel soak (N workers)
 //   wfqs_fuzz --replay tests/corpus/foo.ops    # replay an artifact
 //
+// --threads N runs N soak workers over decorrelated round numbers; the
+// first divergence stops every worker. Each differential harness is
+// self-contained (own Simulation, own reference), so workers share
+// nothing but the atomic op counter and the failure latch.
+//
 // Exit code: 0 = no divergence, 1 = divergence found, 2 = usage error.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "matcher/matcher.hpp"
+#include "net/parallel_driver.hpp"
 #include "proptest/differ.hpp"
 #include "proptest/proptest.hpp"
 
@@ -35,7 +45,8 @@ struct Options {
     std::size_t ops = 5000;        ///< ops per generated case
     std::size_t cases = 0;         ///< 0 = unbounded (budget-limited)
     double minutes = 1.0;          ///< wall-clock budget; 0 = unbounded
-    std::string target = "all";    ///< tag | sharded | matcher | scheduler | all
+    unsigned threads = 1;          ///< soak workers
+    std::string target = "all";    ///< tag|sharded|baseline|matcher|scheduler|pipeline|all
     std::string artifact_dir = ".";
     std::string replay;            ///< replay one .ops file instead of fuzzing
 };
@@ -43,7 +54,9 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--ops N] [--cases N] [--minutes F]\n"
-                 "          [--target tag|sharded|matcher|scheduler|all]\n"
+                 "          [--threads N]\n"
+                 "          [--target tag|sharded|baseline|matcher|scheduler|"
+                 "pipeline|all]\n"
                  "          [--artifact-dir DIR] [--replay FILE.ops]\n",
                  argv0);
     std::exit(2);
@@ -61,14 +74,18 @@ Options parse_args(int argc, char** argv) {
         else if (arg == "--ops") opt.ops = std::strtoull(value().c_str(), nullptr, 0);
         else if (arg == "--cases") opt.cases = std::strtoull(value().c_str(), nullptr, 0);
         else if (arg == "--minutes") opt.minutes = std::strtod(value().c_str(), nullptr);
+        else if (arg == "--threads")
+            opt.threads = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 0));
         else if (arg == "--target") opt.target = value();
         else if (arg == "--artifact-dir") opt.artifact_dir = value();
         else if (arg == "--replay") opt.replay = value();
         else usage(argv[0]);
     }
     if (opt.target != "all" && opt.target != "tag" && opt.target != "sharded" &&
-        opt.target != "matcher" && opt.target != "scheduler")
+        opt.target != "baseline" && opt.target != "matcher" &&
+        opt.target != "scheduler" && opt.target != "pipeline")
         usage(argv[0]);
+    if (opt.threads == 0) opt.threads = 1;
     return opt;
 }
 
@@ -82,7 +99,8 @@ struct Budget {
     }
 };
 
-std::uint64_t g_total_ops = 0;
+std::atomic<std::uint64_t> g_total_ops{0};
+std::mutex g_print_mutex;  ///< serializes failure reports across workers
 
 /// One fuzz pass of a sorter family config; returns false on divergence.
 bool fuzz_sorter_config(const std::string& name, const CheckFn& check,
@@ -98,6 +116,7 @@ bool fuzz_sorter_config(const std::string& name, const CheckFn& check,
     const auto failure = run_property(cfg, check);
     g_total_ops += cfg.cases * cfg.ops_per_case;
     if (!failure) return true;
+    const std::lock_guard<std::mutex> lock(g_print_mutex);
     std::printf("FAIL %s: %s\n", name.c_str(), failure->message.c_str());
     std::printf("  profile %s, case seed %llu, minimized %zu ops (from %zu)\n",
                 failure->profile.c_str(),
@@ -152,12 +171,68 @@ bool fuzz_sharded(const Options& opt, std::uint64_t round) {
     return true;
 }
 
+bool fuzz_baseline(const Options& opt, std::uint64_t round) {
+    for (const auto& entry : standard_baseline_configs()) {
+        const CheckFn check = [&](const OpSeq& ops) {
+            return diff_baseline_queue(ops, entry);
+        };
+        if (!fuzz_sorter_config("baseline-" + entry.name, check, entry.span, opt,
+                                round))
+            return false;
+    }
+    return true;
+}
+
+/// Lockstep soak of the multi-threaded host pipeline: the parallel
+/// driver must reproduce the sequential SimResult bit for bit on a
+/// randomized workload, at several thread counts.
+bool fuzz_pipeline(const Options& opt, std::uint64_t round) {
+    const std::uint64_t seed = case_seed(opt.seed + 0x917, round);
+    const std::uint64_t rate = 20'000'000 * (1 + seed % 4);
+    const net::TimeNs horizon = 30'000'000 * (1 + seed % 3);  // 30–90 ms
+    const auto run_with = [&](unsigned threads) {
+        scheduler::FairQueueingScheduler::Config sc;
+        sc.link_rate_bps = rate;
+        sc.tag_granularity_bits = -6;
+        scheduler::FairQueueingScheduler sched(
+            sc, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
+                                          {20, 1 << 16}));
+        auto flows = net::make_mixed_profile(horizon, seed);
+        if (threads == 0) {
+            net::SimDriver driver(rate);
+            return driver.run(sched, flows);
+        }
+        net::ParallelSimDriver driver(rate, threads);
+        return driver.run(sched, flows);
+    };
+    const auto sequential = run_with(0);
+    for (const unsigned threads : {2u, 4u}) {
+        const auto parallel = run_with(threads);
+        if (!net::identical_results(sequential, parallel)) {
+            const std::lock_guard<std::mutex> lock(g_print_mutex);
+            std::printf("FAIL pipeline: %u-thread SimResult diverged from "
+                        "sequential (seed %llu, rate %llu, fingerprints %llx vs "
+                        "%llx)\n",
+                        threads, static_cast<unsigned long long>(seed),
+                        static_cast<unsigned long long>(rate),
+                        static_cast<unsigned long long>(
+                            net::result_fingerprint(sequential)),
+                        static_cast<unsigned long long>(
+                            net::result_fingerprint(parallel)));
+            return false;
+        }
+    }
+    g_total_ops += sequential.offered_packets * 3;
+    return true;
+}
+
 bool fuzz_matcher(const Options& opt, std::uint64_t round) {
     const std::vector<unsigned> widths = {2, 3, 4, 8, 16, 24, 32, 48, 64};
     matcher::BehavioralMatcher behavioral;
     for (const unsigned width : widths) {
         const std::uint64_t seed = case_seed(opt.seed ^ width, round);
         if (auto err = diff_matcher_width(behavioral, width, 8, 2000, seed)) {
+            const std::lock_guard<std::mutex> lock(g_print_mutex);
             std::printf("FAIL matcher-behavioral: %s\n", err->c_str());
             return false;
         }
@@ -165,6 +240,7 @@ bool fuzz_matcher(const Options& opt, std::uint64_t round) {
         for (const matcher::MatcherKind kind : matcher::all_matcher_kinds()) {
             matcher::NetlistMatcher engine(kind);
             if (auto err = diff_matcher_width(engine, width, 8, 500, seed)) {
+                const std::lock_guard<std::mutex> lock(g_print_mutex);
                 std::printf("FAIL matcher-%s: %s\n", engine.name().c_str(),
                             err->c_str());
                 return false;
@@ -186,6 +262,7 @@ bool fuzz_scheduler(const Options& opt, std::uint64_t round) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
         configs[i].seed = case_seed(opt.seed + i, round);
         if (auto err = diff_scheduler_vs_gps(configs[i])) {
+            const std::lock_guard<std::mutex> lock(g_print_mutex);
             std::printf("FAIL scheduler-%s (seed %llu): %s\n", names[i],
                         static_cast<unsigned long long>(configs[i].seed),
                         err->c_str());
@@ -218,6 +295,12 @@ int replay(const Options& opt) {
             ok = false;
         }
     }
+    for (const auto& entry : standard_baseline_configs()) {
+        if (auto err = diff_baseline_queue(ops, entry)) {
+            std::printf("FAIL baseline-%s: %s\n", entry.name.c_str(), err->c_str());
+            ok = false;
+        }
+    }
     std::printf("%s\n", ok ? "ok: every configuration conforms" : "DIVERGENCE");
     return ok ? 0 : 1;
 }
@@ -231,29 +314,59 @@ int main(int argc, char** argv) {
     const Budget budget{std::chrono::steady_clock::now(), opt.minutes};
     const bool do_tag = opt.target == "all" || opt.target == "tag";
     const bool do_sharded = opt.target == "all" || opt.target == "sharded";
+    const bool do_baseline = opt.target == "all" || opt.target == "baseline";
     const bool do_matcher = opt.target == "all" || opt.target == "matcher";
     const bool do_scheduler = opt.target == "all" || opt.target == "scheduler";
+    const bool do_pipeline = opt.target == "all" || opt.target == "pipeline";
 
-    std::uint64_t round = 0;
-    std::size_t cases_done = 0;
-    bool ok = true;
-    while (ok) {
-        if (budget.expired()) break;
-        if (opt.cases != 0 && cases_done >= opt.cases) break;
+    // One full round of every selected family at round number `round`.
+    const auto run_round = [&](std::uint64_t round) {
+        bool ok = true;
         if (do_tag) ok = ok && fuzz_tag(opt, round);
         if (ok && do_sharded) ok = ok && fuzz_sharded(opt, round);
+        if (ok && do_baseline) ok = ok && fuzz_baseline(opt, round);
         if (ok && do_matcher) ok = ok && fuzz_matcher(opt, round);
         if (ok && do_scheduler) ok = ok && fuzz_scheduler(opt, round);
-        ++round;
-        ++cases_done;
-        std::printf("round %llu complete, ~%llu ops total\n",
-                    static_cast<unsigned long long>(round),
-                    static_cast<unsigned long long>(g_total_ops));
-        std::fflush(stdout);
+        if (ok && do_pipeline) ok = ok && fuzz_pipeline(opt, round);
+        return ok;
+    };
+
+    // Workers interleave round numbers (worker w: w, w+N, w+2N, ...), so
+    // every round that would run single-threaded runs somewhere, just in
+    // parallel; the first divergence latches and stops everyone.
+    std::atomic<bool> failed{false};
+    std::atomic<std::uint64_t> rounds_done{0};
+    const auto worker = [&](unsigned index) {
+        for (std::uint64_t round = index;; round += opt.threads) {
+            if (failed.load(std::memory_order_acquire)) return;
+            if (budget.expired()) return;
+            if (opt.cases != 0 && round >= opt.cases) return;
+            if (!run_round(round)) {
+                failed.store(true, std::memory_order_release);
+                return;
+            }
+            const std::uint64_t done = ++rounds_done;
+            const std::lock_guard<std::mutex> lock(g_print_mutex);
+            std::printf("round %llu complete, ~%llu ops total\n",
+                        static_cast<unsigned long long>(done),
+                        static_cast<unsigned long long>(g_total_ops.load()));
+            std::fflush(stdout);
+        }
+    };
+
+    if (opt.threads <= 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(opt.threads);
+        for (unsigned w = 0; w < opt.threads; ++w) pool.emplace_back(worker, w);
+        for (auto& t : pool) t.join();
     }
+
+    const bool ok = !failed.load();
     std::printf("%s after %llu round(s), ~%llu randomized ops\n",
                 ok ? "ok: no divergence" : "DIVERGENCE FOUND",
-                static_cast<unsigned long long>(round),
-                static_cast<unsigned long long>(g_total_ops));
+                static_cast<unsigned long long>(rounds_done.load()),
+                static_cast<unsigned long long>(g_total_ops.load()));
     return ok ? 0 : 1;
 }
