@@ -5,12 +5,21 @@
 // (the same oracle the conformance harness uses).
 //
 //     fault_soak [--ops N] [--rate P] [--stuck N] [--ecc none|parity|secded]
-//                [--seed N] [--json PATH]
+//                [--flight PATH] [--seed N] [--json PATH] [--timeseries]
 //
 //   --ops    verified operations to complete        (default 1,000,000)
 //   --rate   bit-flip probability per SRAM access   (default 1e-6)
 //   --stuck  stuck-at cells in the tag-store SRAM   (default 0)
 //   --ecc    word protection mode                   (default secded)
+//   --flight flight-recorder dump path: the last 8192 soak events (ops,
+//            faults, scrub outcomes) are kept in a ring and dumped as a
+//            replayable `.ops` artifact at the end of the run — and on a
+//            crash or fault escalation via the armed death hooks. Replay
+//            with `wfqs_fuzz --replay PATH` or `wfqs_top --replay PATH`.
+//
+// With --timeseries the soak also ticks a windowed timeline (ops, faults,
+// injected flips, backlog) every 4096 verified ops on the hw-cycle axis;
+// it lands in the JSON export's "timeseries" section.
 //
 // A faulted operation triggers the Scrubber (relaunder → audit →
 // repair/rebuild), the reference is resynchronised from the recovered
@@ -25,6 +34,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "common/rng.hpp"
@@ -34,6 +44,7 @@
 #include "fault/scrubber.hpp"
 #include "hw/simulation.hpp"
 #include "obs/bench_io.hpp"
+#include "obs/flight_recorder.hpp"
 #include "ref/ref_sorter.hpp"
 
 using namespace wfqs;
@@ -45,6 +56,7 @@ struct Options {
     double rate = 1e-6;
     std::size_t stuck = 0;
     fault::Protection ecc = fault::Protection::kSecded;
+    std::string flight;  ///< flight-recorder dump path ("" = off)
 };
 
 Options parse_options(int argc, char** argv) {
@@ -71,8 +83,11 @@ Options parse_options(int argc, char** argv) {
                 std::exit(2);
             }
             opt.ecc = *p;
+        } else if (const char* v = value_of(i, "--flight")) {
+            opt.flight = v;
         }
-        // --json/--seed belong to BenchReporter; anything else is ignored.
+        // --json/--seed/--timeseries belong to BenchReporter; anything
+        // else is ignored.
     }
     return opt;
 }
@@ -147,6 +162,34 @@ int main(int argc, char** argv) {
     std::uint64_t done = 0, inserts = 0, pops = 0;
     std::uint64_t faults_recovered = 0, order_mismatches = 0, entries_lost = 0;
     std::uint64_t last_min = 0;
+
+    // Post-mortem ring: ops land as replayable `i <delta>` / `p` lines,
+    // faults and scrub outcomes as annotations. The death hooks dump it
+    // if an escalation aborts the soak; a clean run dumps at the end.
+    std::optional<obs::FlightRecorder> flight;
+    if (!opt.flight.empty()) {
+        flight.emplace(8192);
+        obs::FlightRecorder::install(&*flight);
+        obs::FlightRecorder::arm_crash_dump(opt.flight);
+    }
+
+    // Windowed soak timeline on the hw-cycle axis, ticked every 4096
+    // verified ops. Probes read the loop's own tallies.
+    const bool timeline = reporter.timeseries_enabled();
+    if (timeline) {
+        auto& ts = reporter.series();
+        ts.add_counter("soak.ops", [&done] { return done; });
+        ts.add_counter("soak.faults_recovered",
+                       [&faults_recovered] { return faults_recovered; });
+        ts.add_counter("soak.flips_injected", [&injector] {
+            return injector.stats().transient_flips;
+        });
+        ts.add_gauge("soak.backlog", [&oracle] {
+            return static_cast<double>(oracle.size());
+        });
+    }
+    constexpr std::uint64_t kTickEvery = 4096;
+    std::uint64_t next_tick = kTickEvery;
     const std::uint64_t c0 = sim.clock().now();
 
     while (done < opt.ops) {
@@ -160,6 +203,9 @@ int main(int argc, char** argv) {
                 const auto payload = static_cast<std::uint32_t>(done) & kPayloadMask;
                 sorter.insert(tag, payload);
                 oracle.insert(tag, payload);
+                obs::flight_record(obs::FlightEventKind::kInsert,
+                                   static_cast<double>(done),
+                                   static_cast<std::int64_t>(tag - current_min));
                 ++inserts;
             } else {
                 const auto popped = sorter.pop_min();
@@ -167,6 +213,9 @@ int main(int argc, char** argv) {
                     // Sorter disagrees that anything is stored: silent loss
                     // (only reachable without ECC). Resync and move on.
                     ++order_mismatches;
+                    obs::flight_record(obs::FlightEventKind::kDivergence,
+                                       static_cast<double>(done),
+                                       static_cast<std::int64_t>(done));
                     oracle.resync(sorter);
                     continue;
                 }
@@ -175,20 +224,36 @@ int main(int argc, char** argv) {
                     // what its scrambled memories hold (unprotected runs
                     // only — with ECC this path fails the bench).
                     ++order_mismatches;
+                    obs::flight_record(obs::FlightEventKind::kDivergence,
+                                       static_cast<double>(done),
+                                       static_cast<std::int64_t>(done));
                     oracle.resync(sorter);
                 } else {
                     oracle.pop_min();
                 }
                 last_min = popped->tag;
+                obs::flight_record(obs::FlightEventKind::kPop,
+                                   static_cast<double>(done));
                 ++pops;
             }
             ++done;
+            if (timeline && done >= next_tick) {
+                reporter.series().tick(static_cast<double>(sim.clock().now()));
+                next_tick += kTickEvery;
+            }
         } catch (const fault::FaultError&) {
             // The op died mid-flight; the scrubber restores consistency
             // and the sorter becomes the authority on what survived.
             ++faults_recovered;
+            obs::flight_record(obs::FlightEventKind::kFault,
+                               static_cast<double>(done),
+                               static_cast<std::int64_t>(faults_recovered));
             const auto outcome = scrubber.scrub();
             entries_lost += outcome.entries_lost;
+            obs::flight_record(obs::FlightEventKind::kScrub,
+                               static_cast<double>(done),
+                               static_cast<std::int64_t>(outcome.action),
+                               static_cast<std::int64_t>(outcome.entries_lost));
             oracle.resync(sorter);
         }
     }
@@ -218,6 +283,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(order_mismatches));
     std::printf("entries lost       : %llu\n",
                 static_cast<unsigned long long>(entries_lost));
+    if (flight) {
+        flight->dump_to_file(
+            opt.flight,
+            "fault_soak post-run dump: " + std::to_string(faults_recovered) +
+                " faults recovered, " + std::to_string(order_mismatches) +
+                " order mismatches, seed " + std::to_string(seed) +
+                "\nreplay: wfqs_fuzz --replay <this file> or wfqs_top "
+                "--replay <this file>");
+        std::printf("flight dump        : %s (%zu of %llu events)\n",
+                    opt.flight.c_str(), flight->size(),
+                    static_cast<unsigned long long>(flight->total_recorded()));
+    }
 
     auto& reg = reporter.registry();
     reg.counter("soak.ops").inc(done);

@@ -25,6 +25,7 @@
 #include "net/parallel_driver.hpp"
 #include "net/traffic_gen.hpp"
 #include "obs/bench_io.hpp"
+#include "obs/profiler.hpp"
 #include "scheduler/wfq_scheduler.hpp"
 
 using namespace wfqs;
@@ -55,6 +56,7 @@ scheduler::FairQueueingScheduler make_wfq(std::uint64_t rate) {
 }
 
 PipelinePhaseResult run_pipeline_phase(obs::BenchReporter& reporter,
+                                       obs::HostProfiler& prof,
                                        unsigned threads) {
     constexpr std::uint64_t kRate = 50'000'000;
     constexpr net::TimeNs kHorizon = 5'000'000'000;  // 5 s of traffic
@@ -77,6 +79,14 @@ PipelinePhaseResult run_pipeline_phase(obs::BenchReporter& reporter,
 
     net::ParallelSimDriver par_driver(kRate, threads);
     par_driver.attach_metrics(reg);
+    // Telemetry rides only when asked for, so a plain run stays a true
+    // telemetry-off baseline for the perf-smoke overhead gate.
+    const bool telemetry =
+        reporter.timeseries_enabled() || reporter.live_path().has_value();
+    if (telemetry) {
+        if (reporter.live_path()) prof.set_live_path(*reporter.live_path());
+        par_driver.attach_profiler(&prof);
+    }
     auto [par, par_sec] = timed_run(par_driver);
 
     // One host "op" per scheduler engagement: enqueue + dequeue per
@@ -99,6 +109,10 @@ PipelinePhaseResult run_pipeline_phase(obs::BenchReporter& reporter,
                 identical ? "IDENTICAL to" : "DIVERGED from");
     std::printf("  sched batch mean     : %.1f arrivals/refill\n\n",
                 par_driver.pipeline_stats().avg_sched_batch());
+    if (telemetry) {
+        std::printf("%s\n", prof.to_table().c_str());
+        reporter.set_profiler(&prof);
+    }
 
     reg.gauge("host.pipeline.ops_per_sec").set(par_ops_sec);
     reg.gauge("host.pipeline.sequential_ops_per_sec").set(seq_ops_sec);
@@ -174,7 +188,10 @@ int main(int argc, char** argv) {
 
     // --- host pipeline phase -------------------------------------------
     std::printf("\n");
-    const PipelinePhaseResult pipeline = run_pipeline_phase(reporter, threads);
+    // Outlives reporter.finish(): the reporter exports its per-stage
+    // timeline under "host_profile" when --timeseries is on.
+    obs::HostProfiler prof;
+    const PipelinePhaseResult pipeline = run_pipeline_phase(reporter, prof, threads);
 
     reporter.record_host_ops(kOps + pipeline.host_ops);
     reporter.finish();

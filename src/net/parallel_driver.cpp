@@ -11,6 +11,8 @@
 #include "common/assert.hpp"
 #include "fault/errors.hpp"
 #include "net/spsc_ring.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
 namespace wfqs::net {
@@ -56,7 +58,9 @@ struct EgressEvent {
 /// histogram (same floating-point accumulation order), trace instants.
 class EgressSink {
 public:
-    EgressSink(SimResult& result, obs::MetricsRegistry* metrics) : result_(result) {
+    EgressSink(SimResult& result, obs::MetricsRegistry* metrics,
+               obs::HostProfiler::StageCounters* prof)
+        : result_(result), prof_(prof) {
         if (metrics) {
             m_offered_ = &metrics->counter("net.offered_packets");
             m_dropped_ = &metrics->counter("net.dropped_packets");
@@ -67,6 +71,7 @@ public:
     }
 
     void apply(const EgressEvent& e) {
+        if (prof_) prof_->add_items(1);
         switch (e.kind) {
             case EgressEvent::kArrival:
                 result_.all_arrivals.push_back(e.pkt);
@@ -99,6 +104,7 @@ public:
 
 private:
     SimResult& result_;
+    obs::HostProfiler::StageCounters* prof_;
     obs::Counter* m_offered_ = nullptr;
     obs::Counter* m_dropped_ = nullptr;
     obs::Counter* m_delivered_ = nullptr;
@@ -150,7 +156,8 @@ private:
 /// identical order, and emits fully-formed Packets time-ordered.
 template <typename NextFn>
 void run_merge(std::size_t flow_count, NextFn&& next, SpscRing<Packet>& out,
-               const std::atomic<bool>& abort) {
+               const std::atomic<bool>& abort,
+               obs::HostProfiler::StageCounters* prof) {
     std::priority_queue<PendingArrival, std::vector<PendingArrival>,
                         std::greater<PendingArrival>>
         pq;
@@ -168,6 +175,7 @@ void run_merge(std::size_t flow_count, NextFn&& next, SpscRing<Packet>& out,
         buf[n++] = Packet{next_packet_id++, static_cast<FlowId>(a.source),
                           a.size_bytes, a.time};
         if (n == kGenBatch) {
+            if (prof) prof->add_items(n);
             if (!out.push_all(buf, n, abort)) return;
             n = 0;
         }
@@ -177,7 +185,10 @@ void run_merge(std::size_t flow_count, NextFn&& next, SpscRing<Packet>& out,
             pq.push(PendingArrival{nx->time_ns, a.source, nx->size_bytes, seq++});
         }
     }
-    if (n != 0) out.push_all(buf, n, abort);
+    if (n != 0) {
+        if (prof) prof->add_items(n);
+        out.push_all(buf, n, abort);
+    }
     out.close();
 }
 
@@ -197,11 +208,26 @@ public:
         bool done() const { return exhausted && off == n; }
     };
 
-    GenWorker(std::vector<Feed> feeds, const std::atomic<bool>& abort)
-        : feeds_(std::move(feeds)), abort_(abort) {}
+    GenWorker(std::vector<Feed> feeds, const std::atomic<bool>& abort,
+              obs::HostProfiler::StageCounters* prof)
+        : feeds_(std::move(feeds)), abort_(abort), prof_(prof) {}
 
     void run() {
         std::size_t live = feeds_.size();
+        bool stalled = false;  // inside a run of no-progress passes
+        std::chrono::steady_clock::time_point stall_start;
+        const auto settle = [&] {
+            if (stalled) {
+                stalled = false;
+                const auto ns =
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - stall_start)
+                        .count();
+                stall_ns += static_cast<std::uint64_t>(ns);
+                if (prof_)
+                    prof_->add_stall_ns(static_cast<std::uint64_t>(ns));
+            }
+        };
         while (live != 0) {
             bool progress = false;
             live = 0;
@@ -218,6 +244,7 @@ public:
                         f.pending[f.n++] = *a;
                     }
                     progress = progress || f.n != 0;
+                    if (prof_ && f.n != 0) prof_->add_items(f.n);
                 }
                 if (f.off < f.n) {
                     const std::size_t pushed =
@@ -231,18 +258,31 @@ public:
                     ++live;
             }
             if (live != 0 && !progress) {
-                ++stall_episodes;
-                if (abort_.load(std::memory_order_relaxed)) return;
+                if (!stalled) {
+                    stalled = true;
+                    stall_start = std::chrono::steady_clock::now();
+                    ++stall_episodes;
+                    if (prof_) prof_->inc_stalls();
+                }
+                if (abort_.load(std::memory_order_relaxed)) {
+                    settle();
+                    return;
+                }
                 std::this_thread::yield();
+            } else {
+                settle();
             }
         }
+        settle();
     }
 
     std::uint64_t stall_episodes = 0;
+    std::uint64_t stall_ns = 0;
 
 private:
     std::vector<Feed> feeds_;
     const std::atomic<bool>& abort_;
+    obs::HostProfiler::StageCounters* prof_;
 };
 
 /// Merge-stage view of one per-flow ring: batched blocking consumer.
@@ -268,9 +308,10 @@ class MergedTap {
 public:
     MergedTap(SpscRing<Packet>& ring, const std::atomic<bool>& abort,
               EgressEmitter& egress, PipelineStats& stats,
-              obs::CycleHistogram* batch_hist)
+              obs::CycleHistogram* batch_hist,
+              obs::HostProfiler::StageCounters* prof)
         : ring_(ring), abort_(abort), egress_(egress), stats_(stats),
-          batch_hist_(batch_hist) {}
+          batch_hist_(batch_hist), prof_(prof) {}
 
     /// Next merged arrival, or nullptr once the stream is over. Blocks
     /// on an empty ring (flushing pending egress events first).
@@ -283,6 +324,14 @@ public:
 private:
     void refill() {
         egress_.flush();
+        if (ring_.size_approx() == 0) {
+            // The serial stage is about to wait on its input — the exact
+            // signature of a merge-bound pipeline; worth a black-box event.
+            obs::flight_record(obs::FlightEventKind::kStall,
+                               static_cast<double>(stats_.sched_items),
+                               static_cast<std::int64_t>(
+                                   obs::HostProfiler::Stage::kSched));
+        }
         const std::size_t got = ring_.pop_wait(buf_, kSchedBatch, abort_);
         if (got == 0) {
             end_ = true;
@@ -292,6 +341,10 @@ private:
         off_ = 0;
         ++stats_.sched_batches;
         stats_.sched_items += got;
+        if (prof_) {
+            prof_->add_items(got);
+            prof_->inc_batches();
+        }
         if (batch_hist_) batch_hist_->record_cycles(got);
     }
 
@@ -300,6 +353,7 @@ private:
     EgressEmitter& egress_;
     PipelineStats& stats_;
     obs::CycleHistogram* batch_hist_;
+    obs::HostProfiler::StageCounters* prof_;
     Packet buf_[kSchedBatch];
     std::size_t n_ = 0, off_ = 0;
     bool end_ = false;
@@ -314,7 +368,12 @@ void run_sched(scheduler::Scheduler& sched, std::uint64_t rate, MergedTap& in,
     constexpr int kMaxRecoveries = 3;
 
     const auto note_fault = [&](TimeNs at) {
+        obs::flight_record(obs::FlightEventKind::kFault, static_cast<double>(at));
         out.emit(EgressEvent{EgressEvent::kFault, Packet{}, at, 0});
+    };
+    const auto note_recovery = [](TimeNs at) {
+        obs::flight_record(obs::FlightEventKind::kRecovery,
+                           static_cast<double>(at));
     };
     const auto deliver = [&](const Packet& pkt) {
         now = std::max(now, pkt.arrival_ns);
@@ -327,6 +386,7 @@ void run_sched(scheduler::Scheduler& sched, std::uint64_t rate, MergedTap& in,
             } catch (const fault::FaultError&) {
                 note_fault(pkt.arrival_ns);
                 if (attempt >= kMaxRecoveries || !sched.recover()) throw;
+                note_recovery(pkt.arrival_ns);
             }
         }
         if (!accepted)
@@ -357,6 +417,7 @@ void run_sched(scheduler::Scheduler& sched, std::uint64_t rate, MergedTap& in,
                 faulted = true;
                 note_fault(service_start);
                 if (attempt >= kMaxRecoveries || !sched.recover()) throw;
+                note_recovery(service_start);
             }
         }
         if (!pkt) {
@@ -405,6 +466,10 @@ void ParallelSimDriver::attach_metrics(obs::MetricsRegistry& registry) {
     registry.gauge("host.pipeline.merge_stalls");
     registry.gauge("host.pipeline.sched_stalls");
     registry.gauge("host.pipeline.egress_stalls");
+    registry.gauge("host.pipeline.gen_stall_ns");
+    registry.gauge("host.pipeline.merge_stall_ns");
+    registry.gauge("host.pipeline.sched_stall_ns");
+    registry.gauge("host.pipeline.egress_stall_ns");
     registry.gauge("host.pipeline.flow_ring_occupancy");
     registry.gauge("host.pipeline.merged_ring_occupancy");
     registry.gauge("host.pipeline.egress_ring_occupancy");
@@ -422,6 +487,14 @@ void ParallelSimDriver::publish_metrics() {
         .set(static_cast<double>(stats_.sched_stalls));
     metrics_->gauge("host.pipeline.egress_stalls")
         .set(static_cast<double>(stats_.egress_stalls));
+    metrics_->gauge("host.pipeline.gen_stall_ns")
+        .set(static_cast<double>(stats_.gen_stall_ns));
+    metrics_->gauge("host.pipeline.merge_stall_ns")
+        .set(static_cast<double>(stats_.merge_stall_ns));
+    metrics_->gauge("host.pipeline.sched_stall_ns")
+        .set(static_cast<double>(stats_.sched_stall_ns));
+    metrics_->gauge("host.pipeline.egress_stall_ns")
+        .set(static_cast<double>(stats_.egress_stall_ns));
     metrics_->gauge("host.pipeline.flow_ring_occupancy").set(stats_.flow_ring_occupancy);
     metrics_->gauge("host.pipeline.merged_ring_occupancy")
         .set(stats_.merged_ring_occupancy);
@@ -438,7 +511,26 @@ SimResult ParallelSimDriver::run(scheduler::Scheduler& sched,
         // The bit-identity anchor: literally the sequential driver.
         SimDriver seq(rate_);
         if (metrics_) seq.attach_metrics(*metrics_);
+        if (profiler_) {
+            // One logical thread runs every stage section.
+            using Stage = obs::HostProfiler::Stage;
+            profiler_->set_stage_threads(Stage::kGen, 1);
+            profiler_->set_stage_threads(Stage::kSched, 1);
+            profiler_->set_stage_threads(Stage::kEgress, 1);
+            seq.set_profiler(profiler_);
+            profiler_->start_sampling();
+        }
         SimResult result = seq.run(sched, flows);
+        if (profiler_) profiler_->stop_sampling();
+        // The sequential loop consumes one arrival per service decision:
+        // every "batch" the schedule stage sees has size 1. Recording
+        // them keeps host.pipeline.batch_size populated (and honest)
+        // on the delegate path instead of silently empty.
+        stats_.sched_batches = result.offered_packets;
+        stats_.sched_items = result.offered_packets;
+        if (metrics_)
+            metrics_->histogram("host.pipeline.batch_size")
+                .record_cycles(1, result.offered_packets);
         publish_metrics();
         return result;
     }
@@ -450,8 +542,18 @@ SimResult ParallelSimDriver::run(scheduler::Scheduler& sched,
         WFQS_ASSERT_MSG(id == i, "scheduler must number flows sequentially");
     }
 
+    using Stage = obs::HostProfiler::Stage;
+    obs::HostProfiler::StageCounters* prof_gen =
+        profiler_ ? &profiler_->stage(Stage::kGen) : nullptr;
+    obs::HostProfiler::StageCounters* prof_merge =
+        profiler_ ? &profiler_->stage(Stage::kMerge) : nullptr;
+    obs::HostProfiler::StageCounters* prof_sched =
+        profiler_ ? &profiler_->stage(Stage::kSched) : nullptr;
+    obs::HostProfiler::StageCounters* prof_egress =
+        profiler_ ? &profiler_->stage(Stage::kEgress) : nullptr;
+
     SimResult result;
-    EgressSink sink(result, metrics_);
+    EgressSink sink(result, metrics_, prof_egress);
     std::atomic<bool> abort{false};
 
     const bool own_egress_thread = threads_ >= 3;
@@ -476,7 +578,8 @@ SimResult ParallelSimDriver::run(scheduler::Scheduler& sched,
             assignment[i % gen_workers].push_back(GenWorker::Feed{
                 i, flows[i].source.get(), flow_rings[i].get()});
         workers.reserve(gen_workers);
-        for (auto& feeds : assignment) workers.emplace_back(std::move(feeds), abort);
+        for (auto& feeds : assignment)
+            workers.emplace_back(std::move(feeds), abort, prof_gen);
     }
 
     std::vector<std::thread> threads;
@@ -490,6 +593,57 @@ SimResult ParallelSimDriver::run(scheduler::Scheduler& sched,
             if (t.joinable()) t.join();
     };
 
+    // Batch-size distribution is recorded into a stage-local histogram
+    // (single writer: the schedule thread) and merged into the registry's
+    // view at quiescence — the profiler's sampler thread may read the
+    // registry concurrently, and CycleHistogram is not atomic.
+    obs::CycleHistogram local_batch_hist(0.0, static_cast<double>(kSchedBatch), 64);
+
+    if (profiler_) {
+        profiler_->set_stage_threads(Stage::kGen, gen_workers);
+        profiler_->set_stage_threads(Stage::kMerge, 1);
+        profiler_->set_stage_threads(Stage::kSched, 1);
+        profiler_->set_stage_threads(Stage::kEgress, own_egress_thread ? 1 : 0);
+        // Live ring probes: occupancy is instantaneous fill, stall series
+        // come from the rings' single-writer atomic side stats. Sampling
+        // stops before these rings leave scope.
+        profiler_->add_gauge("ring.merged.occupancy", [&merged] {
+            return static_cast<double>(merged.size_approx());
+        });
+        profiler_->add_counter("ring.merged.producer_stall_ns", [&merged] {
+            return merged.producer_stats().stall_ns();
+        });
+        profiler_->add_counter("ring.merged.consumer_stall_ns", [&merged] {
+            return merged.consumer_stats().stall_ns();
+        });
+        if (egress_ring) {
+            SpscRing<EgressEvent>* er = egress_ring.get();
+            profiler_->add_gauge("ring.egress.occupancy", [er] {
+                return static_cast<double>(er->size_approx());
+            });
+            profiler_->add_counter("ring.egress.producer_stall_ns", [er] {
+                return er->producer_stats().stall_ns();
+            });
+            profiler_->add_counter("ring.egress.consumer_stall_ns", [er] {
+                return er->consumer_stats().stall_ns();
+            });
+        }
+        if (!flow_rings.empty()) {
+            profiler_->add_gauge("ring.flow.occupancy", [&flow_rings] {
+                std::uint64_t fill = 0;
+                for (const auto& r : flow_rings) fill += r->size_approx();
+                return static_cast<double>(fill) /
+                       static_cast<double>(flow_rings.size());
+            });
+            profiler_->add_counter("ring.flow.consumer_stall_ns", [&flow_rings] {
+                std::uint64_t ns = 0;
+                for (const auto& r : flow_rings) ns += r->consumer_stats().stall_ns();
+                return ns;
+            });
+        }
+        profiler_->start_sampling();
+    }
+
     try {
         for (unsigned w = 0; w < gen_workers; ++w)
             threads.push_back(
@@ -497,16 +651,17 @@ SimResult ParallelSimDriver::run(scheduler::Scheduler& sched,
 
         // Merge thread: pulls flow rings when gen workers exist, calls the
         // traffic sources directly (fused gen+merge) otherwise.
-        threads.push_back(stage_thread(abort, errors[gen_workers], [&, this] {
+        threads.push_back(stage_thread(abort, errors[gen_workers], [&] {
             if (gen_workers != 0) {
                 run_merge(
                     flows.size(),
-                    [&](std::size_t i) { return taps[i].next(abort); }, merged, abort);
+                    [&](std::size_t i) { return taps[i].next(abort); }, merged, abort,
+                    prof_merge);
             } else {
                 run_merge(
                     flows.size(),
                     [&](std::size_t i) { return flows[i].source->next(); }, merged,
-                    abort);
+                    abort, prof_merge);
             }
         }));
 
@@ -521,36 +676,75 @@ SimResult ParallelSimDriver::run(scheduler::Scheduler& sched,
 
         EgressEmitter emitter(own_egress_thread ? nullptr : &sink, egress_ring.get(),
                               abort);
-        obs::CycleHistogram* batch_hist =
-            metrics_ ? &metrics_->histogram("host.pipeline.batch_size") : nullptr;
-        MergedTap tap(merged, abort, emitter, stats_, batch_hist);
+        MergedTap tap(merged, abort, emitter, stats_, &local_batch_hist,
+                      prof_sched);
         run_sched(sched, rate_, tap, emitter);
     } catch (...) {
         abort.store(true, std::memory_order_relaxed);
         join_all();
+        if (profiler_) profiler_->stop_sampling();
         throw;
     }
     join_all();
+    // Stop sampling before folding so the burst of end-of-run bookkeeping
+    // never shows up as a fake final window (and before any ring a probe
+    // reads can leave scope).
+    if (profiler_) profiler_->stop_sampling();
     for (const auto& err : errors)
         if (err) std::rethrow_exception(err);
 
-    // Fold ring telemetry into the per-stage stall/occupancy view.
-    for (const auto& w : workers) stats_.gen_stalls += w.stall_episodes;
+    if (metrics_)
+        metrics_->histogram("host.pipeline.batch_size").merge(local_batch_hist);
+
+    // Fold ring telemetry into the per-stage stall/occupancy view. The
+    // stage-to-ring-side mapping: a side's stalls charge the stage that
+    // waited on it.
+    for (const auto& w : workers) {
+        stats_.gen_stalls += w.stall_episodes;
+        stats_.gen_stall_ns += w.stall_ns;
+    }
     double flow_occ = 0.0;
     for (const auto& ring : flow_rings) {
-        stats_.gen_stalls += ring->producer_stats().stall_episodes;
-        stats_.merge_stalls += ring->consumer_stats().stall_episodes;
+        stats_.gen_stalls += ring->producer_stats().stall_episodes();
+        stats_.gen_stall_ns += ring->producer_stats().stall_ns();
+        stats_.merge_stalls += ring->consumer_stats().stall_episodes();
+        stats_.merge_stall_ns += ring->consumer_stats().stall_ns();
         flow_occ += ring->consumer_stats().avg_occupancy();
     }
     stats_.flow_ring_occupancy =
         flow_rings.empty() ? 0.0 : flow_occ / static_cast<double>(flow_rings.size());
-    stats_.merge_stalls += merged.producer_stats().stall_episodes;
-    stats_.sched_stalls += merged.consumer_stats().stall_episodes;
+    stats_.merge_stalls += merged.producer_stats().stall_episodes();
+    stats_.merge_stall_ns += merged.producer_stats().stall_ns();
+    stats_.sched_stalls += merged.consumer_stats().stall_episodes();
+    stats_.sched_stall_ns += merged.consumer_stats().stall_ns();
     stats_.merged_ring_occupancy = merged.consumer_stats().avg_occupancy();
     if (egress_ring) {
-        stats_.sched_stalls += egress_ring->producer_stats().stall_episodes;
-        stats_.egress_stalls += egress_ring->consumer_stats().stall_episodes;
+        stats_.sched_stalls += egress_ring->producer_stats().stall_episodes();
+        stats_.sched_stall_ns += egress_ring->producer_stats().stall_ns();
+        stats_.egress_stalls += egress_ring->consumer_stats().stall_episodes();
+        stats_.egress_stall_ns += egress_ring->consumer_stats().stall_ns();
         stats_.egress_ring_occupancy = egress_ring->consumer_stats().avg_occupancy();
+    }
+    if (profiler_) {
+        // Ring-side stall telemetry reaches the profiler's stage counters
+        // at quiescence (the live timeline reads the rings directly); the
+        // GenWorker stall time was charged live, so only the flow-ring
+        // producer share of gen remains.
+        const auto fold = [](obs::HostProfiler::StageCounters* c,
+                             std::uint64_t episodes, std::uint64_t ns) {
+            c->add_stalls(episodes);
+            c->add_stall_ns(ns);
+        };
+        std::uint64_t live_gen_eps = 0, live_gen_ns = 0;
+        for (const auto& w : workers) {
+            live_gen_eps += w.stall_episodes;
+            live_gen_ns += w.stall_ns;
+        }
+        fold(prof_gen, stats_.gen_stalls - live_gen_eps,
+             stats_.gen_stall_ns - live_gen_ns);
+        fold(prof_merge, stats_.merge_stalls, stats_.merge_stall_ns);
+        fold(prof_sched, stats_.sched_stalls, stats_.sched_stall_ns);
+        fold(prof_egress, stats_.egress_stalls, stats_.egress_stall_ns);
     }
     publish_metrics();
     return result;

@@ -36,17 +36,26 @@
 
 #include "net/sim_driver.hpp"
 
+namespace wfqs::obs {
+class HostProfiler;
+}
+
 namespace wfqs::net {
 
 /// Host-pipeline telemetry for the last run(). A stage's stall count is
 /// the number of wait episodes it entered (empty input ring or full
-/// output ring); occupancies are the mean fill level its consumer saw.
+/// output ring) and its stall time the nanoseconds spent inside them;
+/// occupancies are the mean fill level its consumer saw.
 struct PipelineStats {
     unsigned threads = 1;
     std::uint64_t gen_stalls = 0;     ///< gen workers blocked on full flow rings
     std::uint64_t merge_stalls = 0;   ///< merge starved of arrivals or blocked downstream
     std::uint64_t sched_stalls = 0;   ///< schedule starved of merged arrivals or blocked on egress
     std::uint64_t egress_stalls = 0;  ///< egress starved of events
+    std::uint64_t gen_stall_ns = 0;
+    std::uint64_t merge_stall_ns = 0;
+    std::uint64_t sched_stall_ns = 0;
+    std::uint64_t egress_stall_ns = 0;
     double flow_ring_occupancy = 0.0;
     double merged_ring_occupancy = 0.0;
     double egress_ring_occupancy = 0.0;
@@ -66,10 +75,20 @@ public:
     ParallelSimDriver(std::uint64_t link_rate_bps, unsigned threads);
 
     /// Same `net.*` metrics as SimDriver::attach_metrics, plus the
-    /// `host.pipeline.*` gauges (per-stage stalls, ring occupancy,
-    /// thread count) and the `host.pipeline.batch_size` histogram of
-    /// merged-ring batch sizes seen by the schedule stage.
+    /// `host.pipeline.*` gauges (per-stage stalls and stall time, ring
+    /// occupancy, thread count) and the `host.pipeline.batch_size`
+    /// histogram of merged-ring batch sizes seen by the schedule stage
+    /// (the --threads 1 delegate path records one unit batch per
+    /// arrival, so the histogram is populated in every mode).
     void attach_metrics(obs::MetricsRegistry& registry);
+
+    /// Attach a per-stage profiler for the next run(). The driver sets
+    /// stage thread counts, registers ring-occupancy probes, and runs
+    /// the profiler's sampler for the duration of run() — per-stage
+    /// busy/stall timelines with zero hot-path cost beyond the ring
+    /// stats the pipeline already keeps (sequential delegate runs use
+    /// SampledTimer stage sections instead). One profiler per run.
+    void attach_profiler(obs::HostProfiler* profiler) { profiler_ = profiler; }
 
     /// Bit-identical to SimDriver::run on the same flows: identical
     /// records, arrivals, counters, and metric values. Flow sources are
@@ -85,6 +104,7 @@ private:
     std::uint64_t rate_;
     unsigned threads_;
     obs::MetricsRegistry* metrics_ = nullptr;
+    obs::HostProfiler* profiler_ = nullptr;
     PipelineStats stats_;
 };
 

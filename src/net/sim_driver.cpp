@@ -5,6 +5,8 @@
 
 #include "common/assert.hpp"
 #include "fault/errors.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
 namespace wfqs::net {
@@ -51,6 +53,26 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
         metrics_ ? &metrics_->counter("net.delivered_packets") : nullptr;
     obs::Counter* m_faults = metrics_ ? &metrics_->counter("net.sorter_faults") : nullptr;
     obs::CycleHistogram* m_delay = metrics_ ? &metrics_->histogram("net.delay_us") : nullptr;
+    // Stage-section attribution (SampledTimer: 1-in-64 brackets, charged
+    // x64); disabled — a null target, one branch per scope — without a
+    // profiler.
+    using Stage = obs::HostProfiler::Stage;
+    obs::SampledTimer gen_timer(profiler_ ? &profiler_->stage(Stage::kGen) : nullptr);
+    obs::SampledTimer sched_timer(profiler_ ? &profiler_->stage(Stage::kSched)
+                                            : nullptr);
+    obs::SampledTimer egress_timer(profiler_ ? &profiler_->stage(Stage::kEgress)
+                                             : nullptr);
+    // Item counts flush to the profiler in blocks so the per-op cost is a
+    // local increment, not an atomic RMW.
+    constexpr std::uint64_t kItemFlush = 1024;
+    std::uint64_t gen_items = 0, sched_items = 0, egress_items = 0;
+    const auto flush_items = [&] {
+        if (!profiler_) return;
+        profiler_->stage(Stage::kGen).add_items(gen_items);
+        profiler_->stage(Stage::kSched).add_items(sched_items);
+        profiler_->stage(Stage::kEgress).add_items(egress_items);
+        gen_items = sched_items = egress_items = 0;
+    };
     std::priority_queue<PendingArrival, std::vector<PendingArrival>,
                         std::greater<PendingArrival>>
         arrivals;
@@ -75,39 +97,56 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
     const auto note_fault = [&](TimeNs at) {
         ++result.sorter_faults;
         WFQS_TRACE_INSTANT("sorter-fault", "net", ns_to_trace_us(at));
+        obs::flight_record(obs::FlightEventKind::kFault, static_cast<double>(at));
         if (m_faults) m_faults->inc();
+    };
+    const auto note_recovery = [](TimeNs at) {
+        obs::flight_record(obs::FlightEventKind::kRecovery,
+                           static_cast<double>(at));
     };
 
     auto deliver_next_arrival = [&] {
-        const PendingArrival a = arrivals.top();
-        arrivals.pop();
+        const PendingArrival a = [&] {
+            auto scope = gen_timer.time();
+            const PendingArrival top = arrivals.top();
+            arrivals.pop();
+            if (const auto next = flows[top.source].source->next()) {
+                WFQS_ASSERT_MSG(next->time_ns >= top.time,
+                                "traffic source went backwards in time");
+                arrivals.push(PendingArrival{next->time_ns, top.source,
+                                             next->size_bytes, seq++});
+            }
+            return top;
+        }();
         now = std::max(now, a.time);
         const Packet pkt{next_packet_id++, static_cast<FlowId>(a.source),
                          a.size_bytes, a.time};
-        result.all_arrivals.push_back(pkt);
-        ++result.offered_packets;
-        WFQS_TRACE_INSTANT("arrival", "net", ns_to_trace_us(a.time));
-        if (m_offered) m_offered->inc();
+        {
+            // Arrival-side result/metric recording is egress-stage work in
+            // the pipeline; attribute it the same way here.
+            auto scope = egress_timer.time();
+            result.all_arrivals.push_back(pkt);
+            ++result.offered_packets;
+            WFQS_TRACE_INSTANT("arrival", "net", ns_to_trace_us(a.time));
+            if (m_offered) m_offered->inc();
+        }
+        if (profiler_ && ++gen_items % kItemFlush == 0) flush_items();
         bool accepted = false;
         for (int attempt = 0;; ++attempt) {
             try {
+                auto scope = sched_timer.time();
                 accepted = sched.enqueue(pkt, a.time);
                 break;
             } catch (const fault::FaultError&) {
                 note_fault(a.time);
                 if (attempt >= kMaxRecoveries || !sched.recover()) throw;
+                note_recovery(a.time);
             }
         }
         if (!accepted) {
             ++result.dropped_packets;
             WFQS_TRACE_INSTANT("drop", "net", ns_to_trace_us(a.time));
             if (m_dropped) m_dropped->inc();
-        }
-        if (const auto next = flows[a.source].source->next()) {
-            WFQS_ASSERT_MSG(next->time_ns >= a.time,
-                            "traffic source went backwards in time");
-            arrivals.push(PendingArrival{next->time_ns, a.source, next->size_bytes,
-                                         seq++});
         }
     };
 
@@ -126,12 +165,14 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
         bool faulted = false;
         for (int attempt = 0;; ++attempt) {
             try {
+                auto scope = sched_timer.time();
                 pkt = sched.dequeue(service_start);
                 break;
             } catch (const fault::FaultError&) {
                 faulted = true;
                 note_fault(service_start);
                 if (attempt >= kMaxRecoveries || !sched.recover()) throw;
+                note_recovery(service_start);
             }
         }
         if (!pkt) {
@@ -140,16 +181,24 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
             WFQS_ASSERT_MSG(faulted, "scheduler claimed packets but gave none");
             continue;
         }
-        const TimeNs done = service_start + transmission_ns(pkt->size_bytes, rate_);
-        result.records.push_back(PacketRecord{*pkt, service_start, done});
-        WFQS_TRACE_INSTANT("departure", "net", ns_to_trace_us(done));
-        if (m_delivered) {
-            m_delivered->inc();
-            m_delay->record(static_cast<double>(done - pkt->arrival_ns) / 1000.0);
+        if (profiler_) ++sched_items;
+        {
+            auto scope = egress_timer.time();
+            const TimeNs done =
+                service_start + transmission_ns(pkt->size_bytes, rate_);
+            result.records.push_back(PacketRecord{*pkt, service_start, done});
+            WFQS_TRACE_INSTANT("departure", "net", ns_to_trace_us(done));
+            if (m_delivered) {
+                m_delivered->inc();
+                m_delay->record(static_cast<double>(done - pkt->arrival_ns) /
+                                1000.0);
+            }
+            result.last_departure_ns = done;
+            link_free_at = done;
         }
-        result.last_departure_ns = done;
-        link_free_at = done;
+        if (profiler_) ++egress_items;
     }
+    flush_items();
     return result;
 }
 

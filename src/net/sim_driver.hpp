@@ -13,6 +13,10 @@
 #include "obs/metrics.hpp"
 #include "scheduler/scheduler.hpp"
 
+namespace wfqs::obs {
+class HostProfiler;
+}
+
 namespace wfqs::net {
 
 struct SimResult {
@@ -33,6 +37,12 @@ public:
     /// run(). The registry must outlive the driver's last run.
     void attach_metrics(obs::MetricsRegistry& registry);
 
+    /// Attribute the sequential loop's time to gen/sched/egress stage
+    /// sections with 1-in-64 SampledTimer brackets (see obs::HostProfiler;
+    /// this is what bounds the host pipeline's achievable speedup). The
+    /// caller owns the profiler's sampling lifecycle; null detaches.
+    void set_profiler(obs::HostProfiler* profiler) { profiler_ = profiler; }
+
     /// Registers every flow with the scheduler (in order — flow ids are
     /// the indices of `flows`) and runs to completion: all arrivals
     /// delivered and the scheduler drained. When a Tracer is installed
@@ -44,6 +54,7 @@ public:
 private:
     std::uint64_t rate_;
     obs::MetricsRegistry* metrics_ = nullptr;
+    obs::HostProfiler* profiler_ = nullptr;
 };
 
 }  // namespace wfqs::net

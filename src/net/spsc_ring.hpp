@@ -16,13 +16,18 @@
 // its last push; pop_wait() returns 0 only once the ring is closed *and*
 // drained (or aborted), which is the consumer's end-of-stream signal.
 //
-// Telemetry. Each side owns a RingSideStats block (stall episodes, items,
-// batches; the consumer also samples occupancy per pop) read by the
-// driver after the stage threads join — single-writer, so plain uint64
-// fields suffice.
+// Telemetry. Each side owns a RingSideStats block (stall episodes and
+// stall time, items, batches; the consumer also samples occupancy per
+// pop). The owning side's thread is the *only writer*, so updates are
+// relaxed load+store on atomics — no RMW, no lock prefix — and a
+// profiler thread may sample the block mid-run without tearing (the
+// single-writer rule; see DESIGN.md "Continuous telemetry"). Stall time
+// reads the clock only at stall-episode boundaries, so a stage that
+// never blocks never pays for a clock read.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -33,25 +38,63 @@
 
 namespace wfqs::net {
 
-/// Per-side ring telemetry. Written only by the owning side's thread;
-/// read after join. Occupancy fields are consumer-side only.
-struct RingSideStats {
-    std::uint64_t items = 0;
-    std::uint64_t batches = 0;
-    std::uint64_t stall_episodes = 0;  ///< waits that found no room / no data
-    std::uint64_t occupancy_sum = 0;   ///< sum of fill levels seen at pop
-    std::uint64_t occupancy_samples = 0;
+/// Per-side ring telemetry. Written only by the owning side's thread
+/// (relaxed single-writer atomics); readable concurrently — a sample is
+/// untorn per field, slightly stale at worst. Occupancy fields are
+/// consumer-side only.
+class RingSideStats {
+public:
+    // Writer side (owning thread only).
+    void add_batch(std::uint64_t n) {
+        bump(items_, n);
+        bump(batches_, 1);
+    }
+    void note_stall_begin() { bump(stall_episodes_, 1); }
+    void note_stall_ns(std::uint64_t ns) { bump(stall_ns_, ns); }
+    void sample_occupancy(std::uint64_t fill) {
+        bump(occupancy_sum_, fill);
+        bump(occupancy_samples_, 1);
+    }
+
+    // Reader side (any thread).
+    std::uint64_t items() const { return items_.load(std::memory_order_relaxed); }
+    std::uint64_t batches() const {
+        return batches_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t stall_episodes() const {
+        return stall_episodes_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t stall_ns() const {
+        return stall_ns_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t occupancy_samples() const {
+        return occupancy_samples_.load(std::memory_order_relaxed);
+    }
 
     double avg_occupancy() const {
-        return occupancy_samples == 0
-                   ? 0.0
-                   : static_cast<double>(occupancy_sum) /
-                         static_cast<double>(occupancy_samples);
+        const std::uint64_t n = occupancy_samples_.load(std::memory_order_relaxed);
+        return n == 0 ? 0.0
+                      : static_cast<double>(
+                            occupancy_sum_.load(std::memory_order_relaxed)) /
+                            static_cast<double>(n);
     }
     double avg_batch() const {
-        return batches == 0 ? 0.0
-                            : static_cast<double>(items) / static_cast<double>(batches);
+        const std::uint64_t b = batches_.load(std::memory_order_relaxed);
+        return b == 0 ? 0.0
+                      : static_cast<double>(items_.load(std::memory_order_relaxed)) /
+                            static_cast<double>(b);
     }
+
+private:
+    static void bump(std::atomic<std::uint64_t>& a, std::uint64_t n) {
+        a.store(a.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+    }
+    std::atomic<std::uint64_t> items_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> stall_episodes_{0};  ///< waits with no room/data
+    std::atomic<std::uint64_t> stall_ns_{0};        ///< time inside those waits
+    std::atomic<std::uint64_t> occupancy_sum_{0};   ///< fill levels seen at pop
+    std::atomic<std::uint64_t> occupancy_samples_{0};
 };
 
 template <typename T>
@@ -89,6 +132,7 @@ public:
     /// the unpushed suffix are dropped — the pipeline is unwinding).
     bool push_all(const T* items, std::size_t n, const std::atomic<bool>& abort) {
         std::size_t done = 0;
+        std::chrono::steady_clock::time_point stall_start;
         bool stalled = false;
         while (done < n) {
             const std::size_t pushed = try_push(items + done, n - done);
@@ -96,13 +140,17 @@ public:
             if (done == n) break;
             if (pushed == 0 && !stalled) {
                 stalled = true;
-                ++producer_.stall_episodes;
+                producer_.note_stall_begin();
+                stall_start = std::chrono::steady_clock::now();
             }
-            if (abort.load(std::memory_order_relaxed)) return false;
+            if (abort.load(std::memory_order_relaxed)) {
+                if (stalled) producer_.note_stall_ns(since_ns(stall_start));
+                return false;
+            }
             spin_wait();
         }
-        producer_.items += n;
-        ++producer_.batches;
+        if (stalled) producer_.note_stall_ns(since_ns(stall_start));
+        producer_.add_batch(n);
         return true;
     }
 
@@ -124,27 +172,37 @@ public:
         for (std::size_t i = 0; i < count; ++i)
             out[i] = buffer_[static_cast<std::size_t>(head + i) & mask_];
         head_.store(head + count, std::memory_order_release);
-        consumer_.items += count;
-        ++consumer_.batches;
-        consumer_.occupancy_sum += avail;
-        ++consumer_.occupancy_samples;
+        consumer_.add_batch(count);
+        consumer_.sample_occupancy(avail);
         return count;
     }
 
     /// Pop at least one item unless the stream is over: returns 0 only
     /// when the ring is closed and drained, or the pipeline aborted.
     std::size_t pop_wait(T* out, std::size_t max_n, const std::atomic<bool>& abort) {
+        std::chrono::steady_clock::time_point stall_start;
         bool stalled = false;
+        const auto settle = [&] {
+            if (stalled) consumer_.note_stall_ns(since_ns(stall_start));
+        };
         for (;;) {
-            if (const std::size_t n = try_pop(out, max_n)) return n;
+            if (const std::size_t n = try_pop(out, max_n)) {
+                settle();
+                return n;
+            }
             if (closed_.load(std::memory_order_acquire)) {
                 // Close happens-after the final push; one more pop decides.
+                settle();
                 return try_pop(out, max_n);
             }
-            if (abort.load(std::memory_order_relaxed)) return 0;
+            if (abort.load(std::memory_order_relaxed)) {
+                settle();
+                return 0;
+            }
             if (!stalled) {
                 stalled = true;
-                ++consumer_.stall_episodes;
+                consumer_.note_stall_begin();
+                stall_start = std::chrono::steady_clock::now();
             }
             spin_wait();
         }
@@ -161,6 +219,12 @@ public:
 
 private:
     static void spin_wait() { std::this_thread::yield(); }
+    static std::uint64_t since_ns(std::chrono::steady_clock::time_point t0) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
 
     std::size_t capacity_;
     std::uint64_t mask_;

@@ -9,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 
 namespace wfqs::obs {
 
@@ -107,6 +108,31 @@ unsigned bench_threads(int argc, char** argv) {
     return 1;
 }
 
+bool bench_timeseries(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--timeseries") == 0) return true;
+    if (const char* env = std::getenv("WFQS_TIMESERIES"); env && *env)
+        return std::strcmp(env, "0") != 0;
+    return false;
+}
+
+std::optional<std::string> bench_live_path(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--live") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --live needs a path argument\n", argv[0]);
+                std::exit(2);
+            }
+            return std::string(argv[i + 1]);
+        }
+        if (std::strncmp(a, "--live=", 7) == 0) return std::string(a + 7);
+    }
+    if (const char* env = std::getenv("WFQS_LIVE"); env && *env)
+        return std::string(env);
+    return std::nullopt;
+}
+
 void write_bench_json(const MetricsRegistry& registry,
                       const std::string& bench_name, const std::string& path,
                       std::optional<std::uint64_t> seed) {
@@ -138,9 +164,40 @@ void BenchReporter::finish() {
                     static_cast<unsigned long long>(host_ops_), elapsed_ms,
                     ops_per_sec);
     }
+    if (timeseries_ && series_.window_count() == 0) {
+        // Whole-run fallback window: benches without a natural time axis
+        // still export a uniformly-shaped timeseries section.
+        if (series_.counter_names().empty())
+            for (const auto& [cname, v] : registry_.counter_values()) {
+                (void)v;
+                const std::string probe = cname;
+                const MetricsRegistry* reg = &registry_;
+                series_.add_counter(
+                    probe, [reg, probe] { return reg->counter_values()[probe]; });
+            }
+        series_.tick(elapsed_ms / 1000.0);
+    }
     if (!path_) return;
     try {
-        write_bench_json(registry_, name_, *path_, seed_);
+        std::ofstream os(*path_);
+        WFQS_REQUIRE(os.good(), "cannot open metrics output file '" + *path_ + "'");
+        JsonWriter w(os);
+        w.begin_object();
+        w.field("bench", name_);
+        w.field("schema", std::uint64_t{1});
+        if (seed_) w.field("seed", *seed_);
+        w.key("metrics");
+        registry_.write_json(w);
+        if (timeseries_) {
+            w.key("timeseries");
+            series_.write_json(w);
+            if (profiler_) {
+                w.key("host_profile");
+                profiler_->write_json(w);
+            }
+        }
+        w.end_object();
+        os << '\n';
     } catch (const std::exception& e) {
         std::fprintf(stderr, "[metrics] export failed: %s\n", e.what());
         std::exit(2);

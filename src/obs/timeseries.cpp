@@ -1,0 +1,240 @@
+#include "obs/timeseries.hpp"
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+
+namespace wfqs::obs {
+
+void HistWindow::merge(const HistWindow& other) {
+    WFQS_REQUIRE(bins.size() == other.bins.size(),
+                 "histogram window merge needs identical bin counts");
+    count += other.count;
+    sum += other.sum;
+    nan_rejects += other.nan_rejects;
+    for (std::size_t i = 0; i < bins.size(); ++i) bins[i] += other.bins[i];
+}
+
+double HistWindow::quantile(double q, double lo, double hi) const {
+    WFQS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    // Quantiles come from the binned lane only: the double-lane spill of
+    // the source CycleHistogram also lands in its bins, so binned totals
+    // track `count` except for clamped outliers (last bin, as upstream).
+    std::uint64_t binned = 0;
+    for (const std::uint64_t b : bins) binned += b;
+    if (binned == 0) return 0.0;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(binned - 1)) + 1;
+    std::uint64_t seen = 0;
+    const double width = (hi - lo) / static_cast<double>(bins.size());
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        seen += bins[i];
+        if (seen >= target) return lo + width * static_cast<double>(i + 1);
+    }
+    return hi;
+}
+
+TimeSeries::TimeSeries(std::size_t budget) : budget_(budget) {
+    WFQS_REQUIRE(budget >= 2 && budget % 2 == 0,
+                 "time series budget must be even and at least 2");
+}
+
+void TimeSeries::add_counter(const std::string& name,
+                             std::function<std::uint64_t()> fn) {
+    WFQS_REQUIRE(!ticked_, "register probes before the first tick");
+    CounterSeries s;
+    s.name = name;
+    s.fn = std::move(fn);
+    s.last = s.fn();
+    counters_.push_back(std::move(s));
+}
+
+void TimeSeries::add_gauge(const std::string& name, std::function<double()> fn) {
+    WFQS_REQUIRE(!ticked_, "register probes before the first tick");
+    GaugeSeries s;
+    s.name = name;
+    s.fn = std::move(fn);
+    gauges_.push_back(std::move(s));
+}
+
+void TimeSeries::add_histogram(const std::string& name, const CycleHistogram* h) {
+    WFQS_REQUIRE(h != nullptr, "histogram probe must not be null");
+    WFQS_REQUIRE(!ticked_, "register probes before the first tick");
+    HistSeries s;
+    s.name = name;
+    s.h = h;
+    const Histogram& bins = h->bins();
+    s.lo = bins.bin_lo(0);
+    s.hi = bins.bin_hi(bins.bin_count() - 1);
+    s.last_bins.assign(bins.bin_count(), 0);
+    for (std::size_t i = 0; i < bins.bin_count(); ++i) s.last_bins[i] = bins.bin(i);
+    const RunningStats st = h->stats();
+    s.last_count = st.count();
+    s.last_sum = st.sum();
+    s.last_nan = bins.nan_rejects();
+    hists_.push_back(std::move(s));
+}
+
+void TimeSeries::tick(double t) {
+    WFQS_ASSERT_MSG(!ticked_ || t >= last_t_, "time series ticks went backwards");
+    ticked_ = true;
+    last_t_ = t;
+    if (++pending_ < stride_) return;
+    pending_ = 0;
+    close_window(t);
+}
+
+void TimeSeries::close_window(double t) {
+    if (t_.size() == budget_) downsample();
+    t_.push_back(t);
+    for (auto& s : counters_) {
+        const std::uint64_t now = s.fn();
+        // Guard a non-monotonic source (reset mid-run): clamp to zero
+        // rather than wrapping to a huge delta.
+        s.v.push_back(now >= s.last ? now - s.last : 0);
+        s.last = now;
+    }
+    for (auto& s : gauges_) s.v.push_back(s.fn());
+    for (auto& s : hists_) {
+        const Histogram& bins = s.h->bins();
+        const RunningStats st = s.h->stats();
+        HistWindow w;
+        w.bins.resize(s.last_bins.size());
+        for (std::size_t i = 0; i < w.bins.size(); ++i) {
+            const std::uint64_t b = bins.bin(i);
+            w.bins[i] = b - s.last_bins[i];
+            s.last_bins[i] = b;
+        }
+        w.count = st.count() - s.last_count;
+        w.sum = st.sum() - s.last_sum;
+        w.nan_rejects = bins.nan_rejects() - s.last_nan;
+        s.last_count = st.count();
+        s.last_sum = st.sum();
+        s.last_nan = bins.nan_rejects();
+        s.v.push_back(std::move(w));
+    }
+}
+
+void TimeSeries::downsample() {
+    const std::size_t half = t_.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) t_[i] = t_[2 * i + 1];
+    t_.resize(half);
+    for (auto& s : counters_) {
+        for (std::size_t i = 0; i < half; ++i) s.v[i] = s.v[2 * i] + s.v[2 * i + 1];
+        s.v.resize(half);
+    }
+    for (auto& s : gauges_) {
+        for (std::size_t i = 0; i < half; ++i)
+            s.v[i] = (s.v[2 * i] + s.v[2 * i + 1]) / 2.0;
+        s.v.resize(half);
+    }
+    for (auto& s : hists_) {
+        for (std::size_t i = 0; i < half; ++i) {
+            HistWindow merged = std::move(s.v[2 * i]);
+            merged.merge(s.v[2 * i + 1]);
+            s.v[i] = std::move(merged);
+        }
+        s.v.resize(half);
+    }
+    stride_ *= 2;
+}
+
+namespace {
+
+template <typename Vec, typename Fn>
+const typename Vec::value_type* find_series(const Vec& vec, const std::string& name,
+                                            Fn name_of) {
+    for (const auto& s : vec)
+        if (name_of(s) == name) return &s;
+    return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> TimeSeries::counter_names() const {
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto& s : counters_) out.push_back(s.name);
+    return out;
+}
+
+std::vector<std::string> TimeSeries::gauge_names() const {
+    std::vector<std::string> out;
+    out.reserve(gauges_.size());
+    for (const auto& s : gauges_) out.push_back(s.name);
+    return out;
+}
+
+std::vector<std::string> TimeSeries::histogram_names() const {
+    std::vector<std::string> out;
+    out.reserve(hists_.size());
+    for (const auto& s : hists_) out.push_back(s.name);
+    return out;
+}
+
+const std::vector<std::uint64_t>& TimeSeries::counter_series(
+    const std::string& name) const {
+    const auto* s =
+        find_series(counters_, name, [](const CounterSeries& c) { return c.name; });
+    WFQS_REQUIRE(s != nullptr, "no counter series named '" + name + "'");
+    return s->v;
+}
+
+const std::vector<double>& TimeSeries::gauge_series(const std::string& name) const {
+    const auto* s =
+        find_series(gauges_, name, [](const GaugeSeries& g) { return g.name; });
+    WFQS_REQUIRE(s != nullptr, "no gauge series named '" + name + "'");
+    return s->v;
+}
+
+const std::vector<HistWindow>& TimeSeries::histogram_series(
+    const std::string& name) const {
+    const auto* s =
+        find_series(hists_, name, [](const HistSeries& h) { return h.name; });
+    WFQS_REQUIRE(s != nullptr, "no histogram series named '" + name + "'");
+    return s->v;
+}
+
+void TimeSeries::write_json(JsonWriter& w) const {
+    w.begin_object();
+    w.field("budget", static_cast<std::uint64_t>(budget_));
+    w.field("stride", static_cast<std::uint64_t>(stride_));
+    w.field("windows", static_cast<std::uint64_t>(t_.size()));
+    w.key("t").begin_array();
+    for (const double t : t_) w.value(t);
+    w.end_array();
+    w.key("counters").begin_object();
+    for (const auto& s : counters_) {
+        w.key(s.name).begin_array();
+        for (const std::uint64_t v : s.v) w.value(v);
+        w.end_array();
+    }
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& s : gauges_) {
+        w.key(s.name).begin_array();
+        for (const double v : s.v) w.value(v);
+        w.end_array();
+    }
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& s : hists_) {
+        w.key(s.name).begin_object();
+        w.field("lo", s.lo);
+        w.field("hi", s.hi);
+        const auto emit = [&](const char* key, auto fn) {
+            w.key(key).begin_array();
+            for (const HistWindow& win : s.v) w.value(fn(win));
+            w.end_array();
+        };
+        emit("count", [](const HistWindow& win) { return win.count; });
+        emit("mean", [](const HistWindow& win) { return win.mean(); });
+        emit("p50", [&](const HistWindow& win) { return win.quantile(0.50, s.lo, s.hi); });
+        emit("p99", [&](const HistWindow& win) { return win.quantile(0.99, s.lo, s.hi); });
+        emit("nan_rejects", [](const HistWindow& win) { return win.nan_rejects; });
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+}
+
+}  // namespace wfqs::obs

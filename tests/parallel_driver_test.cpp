@@ -44,8 +44,8 @@ TEST(SpscRing, PushPopPreservesOrderAcrossWraparound) {
         for (std::size_t i = 0; i < got; ++i) ASSERT_EQ(out[i], next_out++);
     }
     EXPECT_EQ(ring.size_approx(), 0u);
-    EXPECT_EQ(ring.producer_stats().items, 500u);
-    EXPECT_EQ(ring.consumer_stats().items, 500u);
+    EXPECT_EQ(ring.producer_stats().items(), 500u);
+    EXPECT_EQ(ring.consumer_stats().items(), 500u);
 }
 
 TEST(SpscRing, TryPushRespectsCapacity) {

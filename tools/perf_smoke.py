@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Perf smoke gate: compare a fresh bench JSON against the committed artifact.
 
-Usage: perf_smoke.py <committed.json> <fresh.json> [--tolerance FRAC]
+Usage:
+  perf_smoke.py <committed.json> <fresh.json> [--tolerance FRAC]
+  perf_smoke.py --host-overhead <off.json[,off2,...]> <on.json[,on2,...]>
+                [--overhead-tolerance FRAC]
 
-Checks (all on *modeled*, machine-independent metrics):
+Default mode checks (all on *modeled*, machine-independent metrics):
   1. every committed gauge whose name contains "cycles_per_op" must not
      regress: fresh <= committed * (1 + tolerance)  [lower is better];
   2. the "hw.cycles" counter, when present, must match exactly — the
@@ -19,20 +22,38 @@ Checks (all on *modeled*, machine-independent metrics):
      delegating path) keeps "hw.cycles" exactly unchanged: the pipeline
      never touches the bench-registered simulation.
 
+It also prints an *informational* per-stage stall breakdown from the
+fresh run's host.pipeline.*_stall_ns gauges (and the host_profile
+bottleneck when the run was made with --timeseries): wall-clock numbers
+never gate in this mode, but the breakdown is what explains a pipeline
+speedup — or the lack of one — at a glance.
+
+--host-overhead mode gates the cost of telemetry itself: both file lists
+come from the *same machine and bench*, the first run plain, the second
+with --timeseries (profiler + sampler attached). Comma-separated lists
+are best-of-N: the best ops/sec on each side is compared, and the run
+fails if telemetry costs more than --overhead-tolerance (default 3%) of
+host.ops_per_sec.
+
 host.* *wall-clock* gauges (elapsed_ms, ops_per_sec) vary machine to
-machine and are skipped by the name scan; the identity gate above is the
-one host.* value that is machine-independent. Exits 0 when every check
-passes, 1 otherwise.
+machine and are skipped by the default mode's name scan; the identity
+gate above is the one host.* value that is machine-independent. Exits 0
+when every check passes, 1 otherwise.
 """
 
 import argparse
 import json
 import sys
 
+STAGES = ("gen", "merge", "sched", "egress")
 
-def load_metrics(path):
+
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def flat_metrics(doc):
     metrics = doc.get("metrics", {})
     flat = {}
     flat.update(metrics.get("counters", {}))
@@ -40,16 +61,87 @@ def load_metrics(path):
     return flat
 
 
+def stall_breakdown(committed, fresh, fresh_doc):
+    """Informational: where did the pipelined run wait, and did it move?"""
+    rows = []
+    for stage in STAGES:
+        name = f"host.pipeline.{stage}_stall_ns"
+        if name not in fresh:
+            continue
+        rows.append((stage, committed.get(name), fresh[name]))
+    if not rows:
+        return
+    print("host pipeline stall breakdown (informational):")
+    for stage, base, now in rows:
+        if base is not None:
+            print(f"  {stage:<6}: {base / 1e6:9.2f} ms -> {now / 1e6:9.2f} ms")
+        else:
+            print(f"  {stage:<6}: {now / 1e6:9.2f} ms")
+    waiter = max(rows, key=lambda r: r[2])
+    print(f"  dominant waiter: {waiter[0]} "
+          "(the stage that spends longest blocked on its neighbours)")
+    profile = fresh_doc.get("host_profile")
+    if profile and "bottleneck" in profile:
+        print(f"  profiler bottleneck: {profile['bottleneck']} "
+              "(highest busy fraction; the stage the others wait for)")
+
+
+def best_ops_per_sec(paths):
+    """Best-of-N host.ops_per_sec over a comma-separated file list."""
+    best = None
+    for path in paths.split(","):
+        metrics = flat_metrics(load_doc(path))
+        ops = metrics.get("host.ops_per_sec")
+        if ops is None:
+            raise SystemExit(f"perf_smoke: {path} has no host.ops_per_sec "
+                             "(bench must call record_host_ops)")
+        best = ops if best is None or ops > best else best
+    return best
+
+
+def run_host_overhead(args):
+    off = best_ops_per_sec(args.committed)
+    on = best_ops_per_sec(args.fresh)
+    floor = off * (1.0 - args.overhead_tolerance)
+    overhead = 1.0 - on / off if off > 0 else 0.0
+    print(f"  telemetry off: {off:.0f} ops/s (best of "
+          f"{args.committed.count(',') + 1})")
+    print(f"  telemetry on : {on:.0f} ops/s (best of "
+          f"{args.fresh.count(',') + 1})")
+    print(f"  overhead     : {overhead * 100.0:.2f}% "
+          f"(limit {args.overhead_tolerance * 100.0:.1f}%)")
+    if on < floor:
+        print(f"PERF SMOKE FAIL: telemetry-on hot path below "
+              f"{floor:.0f} ops/s floor", file=sys.stderr)
+        return 1
+    print("PERF SMOKE PASS (telemetry overhead within budget)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("committed")
-    parser.add_argument("fresh")
+    parser.add_argument("committed",
+                        help="committed artifact, or telemetry-OFF list in "
+                             "--host-overhead mode")
+    parser.add_argument("fresh",
+                        help="fresh run, or telemetry-ON list in "
+                             "--host-overhead mode")
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="allowed fractional cycles/op regression (default 5%%)")
+    parser.add_argument("--host-overhead", action="store_true",
+                        help="gate telemetry cost: both args are same-machine "
+                             "host.ops_per_sec runs, plain vs --timeseries")
+    parser.add_argument("--overhead-tolerance", type=float, default=0.03,
+                        help="allowed telemetry slowdown (default 3%%)")
     args = parser.parse_args()
 
-    committed = load_metrics(args.committed)
-    fresh = load_metrics(args.fresh)
+    if args.host_overhead:
+        return run_host_overhead(args)
+
+    committed_doc = load_doc(args.committed)
+    fresh_doc = load_doc(args.fresh)
+    committed = flat_metrics(committed_doc)
+    fresh = flat_metrics(fresh_doc)
     failures = []
     checked = 0
 
@@ -94,6 +186,8 @@ def main():
                 f"{gate}: pipelined SimResult diverged from the sequential driver")
         else:
             print(f"  {gate}: 1 (host pipeline bit-identical to sequential)")
+
+    stall_breakdown(committed, fresh, fresh_doc)
 
     if checked == 0:
         failures.append("no comparable modeled metrics found — wrong file pair?")

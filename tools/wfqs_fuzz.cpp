@@ -11,6 +11,14 @@
 //   wfqs_fuzz --target matcher                 # one family only
 //   wfqs_fuzz --threads 4 --minutes 5          # parallel soak (N workers)
 //   wfqs_fuzz --replay tests/corpus/foo.ops    # replay an artifact
+//   wfqs_fuzz --flight crash.ops --minutes 5   # post-mortem flight dump
+//
+// --flight PATH arms the flight recorder: on a divergence the minimized
+// reproducer is recorded into the ring with a divergence marker and
+// dumped to PATH as an annotated, replayable `.ops` artifact (crash and
+// terminate paths dump whatever the ring holds). Flight dumps from any
+// source — including bench/fault_soak --flight — replay here via
+// --replay, since parse_ops skips the `# ev` annotation lines.
 //
 // --threads N runs N soak workers over decorrelated round numbers; the
 // first divergence stops every worker. Each differential harness is
@@ -32,6 +40,7 @@
 
 #include "matcher/matcher.hpp"
 #include "net/parallel_driver.hpp"
+#include "obs/flight_recorder.hpp"
 #include "proptest/differ.hpp"
 #include "proptest/proptest.hpp"
 
@@ -49,6 +58,7 @@ struct Options {
     std::string target = "all";    ///< tag|sharded|baseline|matcher|scheduler|pipeline|all
     std::string artifact_dir = ".";
     std::string replay;            ///< replay one .ops file instead of fuzzing
+    std::string flight;            ///< flight-recorder dump path ("" = off)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -57,7 +67,8 @@ struct Options {
                  "          [--threads N]\n"
                  "          [--target tag|sharded|baseline|matcher|scheduler|"
                  "pipeline|all]\n"
-                 "          [--artifact-dir DIR] [--replay FILE.ops]\n",
+                 "          [--artifact-dir DIR] [--replay FILE.ops]\n"
+                 "          [--flight DUMP.ops]\n",
                  argv0);
     std::exit(2);
 }
@@ -79,6 +90,7 @@ Options parse_args(int argc, char** argv) {
         else if (arg == "--target") opt.target = value();
         else if (arg == "--artifact-dir") opt.artifact_dir = value();
         else if (arg == "--replay") opt.replay = value();
+        else if (arg == "--flight") opt.flight = value();
         else usage(argv[0]);
     }
     if (opt.target != "all" && opt.target != "tag" && opt.target != "sharded" &&
@@ -101,6 +113,36 @@ struct Budget {
 
 std::atomic<std::uint64_t> g_total_ops{0};
 std::mutex g_print_mutex;  ///< serializes failure reports across workers
+std::string g_flight_path;  ///< set once in main before workers start
+
+/// With --flight: push the minimized reproducer into the flight ring (op
+/// events replay verbatim), mark the divergence, and dump. The recorder
+/// serializes internally, so concurrent workers can land here safely.
+void flight_dump_failure(const std::string& name, const OpSeq& ops,
+                         const std::string& message) {
+    obs::FlightRecorder* rec = obs::FlightRecorder::current();
+    if (rec == nullptr) return;
+    double t = 0.0;
+    for (const Op& op : ops) {
+        switch (op.kind) {
+            case OpKind::kInsert:
+                obs::flight_record(obs::FlightEventKind::kInsert, t, op.delta);
+                break;
+            case OpKind::kPop:
+                obs::flight_record(obs::FlightEventKind::kPop, t);
+                break;
+            case OpKind::kCombined:
+                obs::flight_record(obs::FlightEventKind::kCombined, t, op.delta);
+                break;
+        }
+        t += 1.0;
+    }
+    obs::flight_record(obs::FlightEventKind::kDivergence, t,
+                       static_cast<std::int64_t>(ops.size()));
+    rec->dump_to_file(g_flight_path, name + " divergence\n" + message +
+                                         "\nreplay: wfqs_fuzz --replay " +
+                                         g_flight_path);
+}
 
 /// One fuzz pass of a sorter family config; returns false on divergence.
 bool fuzz_sorter_config(const std::string& name, const CheckFn& check,
@@ -124,6 +166,7 @@ bool fuzz_sorter_config(const std::string& name, const CheckFn& check,
                 failure->original_size);
     std::printf("  artifact: %s\n  replay:   wfqs_fuzz --replay %s\n",
                 failure->artifact_path.c_str(), failure->artifact_path.c_str());
+    flight_dump_failure(name, failure->ops, failure->message);
     return false;
 }
 
@@ -219,6 +262,10 @@ bool fuzz_pipeline(const Options& opt, std::uint64_t round) {
                             net::result_fingerprint(sequential)),
                         static_cast<unsigned long long>(
                             net::result_fingerprint(parallel)));
+            flight_dump_failure(
+                "pipeline", {},
+                "pipeline divergence at " + std::to_string(threads) +
+                    " threads, seed " + std::to_string(seed));
             return false;
         }
     }
@@ -310,6 +357,15 @@ int replay(const Options& opt) {
 int main(int argc, char** argv) {
     const Options opt = parse_args(argc, argv);
     if (!opt.replay.empty()) return replay(opt);
+
+    // Armed before workers start; shared by all of them (internal mutex).
+    std::optional<obs::FlightRecorder> flight;
+    if (!opt.flight.empty()) {
+        g_flight_path = opt.flight;
+        flight.emplace(8192);
+        obs::FlightRecorder::install(&*flight);
+        obs::FlightRecorder::arm_crash_dump(opt.flight);
+    }
 
     const Budget budget{std::chrono::steady_clock::now(), opt.minutes};
     const bool do_tag = opt.target == "all" || opt.target == "tag";
