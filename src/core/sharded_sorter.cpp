@@ -5,6 +5,8 @@
 #include <string>
 
 #include "common/assert.hpp"
+#include "core/reshard.hpp"
+#include "fault/errors.hpp"
 #include "fault/scrubber.hpp"
 
 namespace wfqs::core {
@@ -20,10 +22,19 @@ std::uint64_t mix64(std::uint64_t x) {
     return x ^ (x >> 31);
 }
 
+/// Restores the outer SRAM prefix on every exit path — a throwing
+/// TagSorter constructor must not leave the Simulation mis-naming
+/// subsequently created SRAMs.
+struct PrefixGuard {
+    hw::Simulation& sim;
+    std::string outer;
+    ~PrefixGuard() { sim.set_sram_name_prefix(std::move(outer)); }
+};
+
 }  // namespace
 
 ShardedSorter::ShardedSorter(const Config& config, hw::Simulation& sim)
-    : config_(config), clock_(sim.clock()) {
+    : config_(config), sim_(sim), clock_(sim.clock()) {
     WFQS_REQUIRE(config.num_banks >= 1 &&
                      std::has_single_bit(std::uint64_t{config.num_banks}),
                  "bank count must be a power of two");
@@ -37,14 +48,7 @@ ShardedSorter::ShardedSorter(const Config& config, hw::Simulation& sim)
     // unscoped names — the unsharded inventory, bit for bit.
     banks_.reserve(config.num_banks);
     {
-        // Restores the outer prefix on every exit path — a throwing
-        // TagSorter constructor must not leave the Simulation mis-naming
-        // subsequently created SRAMs.
-        struct PrefixGuard {
-            hw::Simulation& sim;
-            std::string outer;
-            ~PrefixGuard() { sim.set_sram_name_prefix(std::move(outer)); }
-        } guard{sim, sim.sram_name_prefix()};
+        PrefixGuard guard{sim, sim.sram_name_prefix()};
         for (unsigned i = 0; i < config.num_banks; ++i) {
             if (config.num_banks > 1)
                 sim.set_sram_name_prefix(guard.outer + "bank" + std::to_string(i) +
@@ -53,15 +57,47 @@ ShardedSorter::ShardedSorter(const Config& config, hw::Simulation& sim)
         }
     }
 
+    bank_state_.assign(config.num_banks, BankState::kActive);
+    rebuild_routing();
     head_cache_.resize(config.num_banks);
     bank_free_at_.assign(config.num_banks, 0);
     bank_ops_.assign(config.num_banks, 0);
+    bank_wait_cycles_.assign(config.num_banks, 0);
+}
+
+void ShardedSorter::rebuild_routing() {
+    routing_.clear();
+    for (unsigned i = 0; i < banks_.size(); ++i)
+        if (bank_state_[i] == BankState::kActive) routing_.push_back(i);
+    WFQS_ASSERT(!routing_.empty());
 }
 
 unsigned ShardedSorter::select_bank(std::uint64_t tag, std::uint64_t flow_key) const {
+    // Before any reshard routing_ is {0..N-1} with N a power of two, so
+    // the modulo is exactly the historical `mix64(flow_key) & mask_` —
+    // bit-identical placements for a never-resharded sorter.
     if (config_.select == BankSelect::kFlowHash)
-        return static_cast<unsigned>(mix64(flow_key) & mask_);
+        return routing_[mix64(flow_key) % routing_.size()];
     return static_cast<unsigned>(tag & mask_);
+}
+
+unsigned ShardedSorter::bank_for(std::uint64_t tag, std::uint64_t flow_key) const {
+    const unsigned primary = select_bank(tag, flow_key);
+    if (config_.select != BankSelect::kFlowHash || !banks_[primary]->full())
+        return primary;
+    // Capacity spill: the primary bank is full, so probe the other active
+    // banks in deterministic (ascending physical index, starting after the
+    // primary) order for room. Flow-hash skew can then only be rejected on
+    // capacity when the whole aggregate is full — full() is exact. When
+    // everything is full, return the primary so the overflow throw is
+    // attributed to the flow's own bank.
+    const unsigned n = num_banks();
+    for (unsigned k = 1; k < n; ++k) {
+        const unsigned cand = (primary + k) % n;
+        if (bank_state_[cand] != BankState::kActive) continue;
+        if (!banks_[cand]->full()) return cand;
+    }
+    return primary;
 }
 
 std::uint64_t ShardedSorter::to_local(std::uint64_t tag) const {
@@ -79,7 +115,9 @@ void ShardedSorter::refresh_head(unsigned i) {
                           : std::nullopt;
     // Comparator sweep over the bank head registers. Ascending scan with a
     // strict compare keeps ties (possible under kFlowHash only) on the
-    // lowest bank index, deterministically.
+    // lowest bank index, deterministically. Draining banks still
+    // participate — their entries must keep departing in global order —
+    // and detached banks are empty, so their nullopt heads drop out.
     ++stats_.head_merge_updates;
     min_bank_ = -1;
     std::uint64_t best = 0;
@@ -95,6 +133,7 @@ void ShardedSorter::refresh_head(unsigned i) {
 std::uint64_t ShardedSorter::engage_bank(unsigned bank, std::uint64_t arrival) {
     const std::uint64_t issue = std::max(arrival, bank_free_at_[bank]);
     stats_.bank_wait_cycles += issue - arrival;
+    bank_wait_cycles_[bank] += issue - arrival;
     bank_free_at_[bank] = issue + ii_;
     ++bank_ops_[bank];
     return issue;
@@ -107,14 +146,19 @@ void ShardedSorter::finish_op(std::uint64_t issue_cycle, std::uint64_t measured_
     ++arrivals_;
 }
 
+void ShardedSorter::notify_op() {
+    if (controller_ != nullptr) controller_->on_op();
+}
+
 void ShardedSorter::insert(std::uint64_t tag, std::uint32_t payload,
                            std::uint64_t flow_key) {
-    const unsigned b = select_bank(tag, flow_key);
+    const unsigned b = bank_for(tag, flow_key);
     const std::uint64_t t0 = clock_.now();
     banks_[b]->insert(to_local(tag), payload);
     finish_op(engage_bank(b, arrivals_), clock_.now() - t0);
     ++stats_.inserts;
     refresh_head(b);
+    notify_op();
 }
 
 std::optional<SortedTag> ShardedSorter::peek_min() const {
@@ -134,6 +178,7 @@ std::optional<SortedTag> ShardedSorter::pop_min() {
     finish_op(engage_bank(b, arrivals_), clock_.now() - t0);
     ++stats_.pops;
     refresh_head(b);
+    notify_op();
     return SortedTag{to_global(popped->tag, b), popped->payload};
 }
 
@@ -152,7 +197,7 @@ std::size_t ShardedSorter::pop_batch(SortedTag* out, std::size_t max_n) {
 SortedTag ShardedSorter::insert_and_pop(std::uint64_t tag, std::uint32_t payload,
                                         std::uint64_t flow_key) {
     WFQS_REQUIRE(min_bank_ >= 0, "insert_and_pop needs a non-empty sorter");
-    const unsigned a = select_bank(tag, flow_key);
+    const unsigned a = bank_for(tag, flow_key);
     const unsigned b = static_cast<unsigned>(min_bank_);
     const std::uint64_t t0 = clock_.now();
     SortedTag result;
@@ -182,6 +227,7 @@ SortedTag ShardedSorter::insert_and_pop(std::uint64_t tag, std::uint32_t payload
         refresh_head(b);
     }
     ++stats_.combined_ops;
+    notify_op();
     return result;
 }
 
@@ -192,6 +238,15 @@ std::size_t ShardedSorter::size() const {
 }
 
 bool ShardedSorter::full() const {
+    if (config_.select == BankSelect::kFlowHash) {
+        // Exact: inserts spill around a capacity-full bank, so rejection
+        // on capacity needs every routable bank full.
+        for (const unsigned i : routing_)
+            if (!banks_[i]->full()) return false;
+        return true;
+    }
+    // Interleaved placement is structural (tag mod N): one full bank can
+    // reject the next insert even while others have room.
     for (const auto& b : banks_)
         if (b->full()) return true;
     return false;
@@ -199,7 +254,7 @@ bool ShardedSorter::full() const {
 
 std::size_t ShardedSorter::capacity() const {
     std::size_t n = 0;
-    for (const auto& b : banks_) n += b->capacity();
+    for (const unsigned i : routing_) n += banks_[i]->capacity();
     return n;
 }
 
@@ -223,15 +278,138 @@ double ShardedSorter::overlap_factor() const {
                                 static_cast<double>(makespan_);
 }
 
+unsigned ShardedSorter::grow_bank() {
+    WFQS_REQUIRE(reshard_supported(),
+                 "online bank add needs kFlowHash: interleaved placement is "
+                 "structural (tag mod N), entries cannot move between banks");
+    const unsigned idx = static_cast<unsigned>(banks_.size());
+    {
+        PrefixGuard guard{sim_, sim_.sram_name_prefix()};
+        // Always scoped: even a sorter born with one (unscoped) bank names
+        // online additions "bank<i>." — existing SRAM names never change.
+        sim_.set_sram_name_prefix(guard.outer + "bank" + std::to_string(idx) + ".");
+        banks_.push_back(std::make_unique<TagSorter>(config_.bank, sim_));
+    }
+    bank_state_.push_back(BankState::kActive);
+    head_cache_.emplace_back(std::nullopt);
+    bank_free_at_.push_back(0);
+    bank_ops_.push_back(0);
+    bank_wait_cycles_.push_back(0);
+    rebuild_routing();
+    refresh_head(idx);
+    return idx;
+}
+
+bool ShardedSorter::fence_bank(unsigned i) {
+    if (!reshard_supported() || i >= banks_.size()) return false;
+    if (bank_state_[i] != BankState::kActive) return false;
+    if (routing_.size() <= 1) return false;  // the routing table may not empty
+    bank_state_[i] = BankState::kDraining;
+    rebuild_routing();
+    return true;
+}
+
+bool ShardedSorter::maybe_detach(unsigned i) {
+    if (i >= banks_.size()) return false;
+    if (bank_state_[i] != BankState::kDraining || !banks_[i]->empty()) return false;
+    // Tombstone: the TagSorter (and its SRAM inventory) stays allocated so
+    // bank indices, metric names, and the Table II area model stay stable.
+    bank_state_[i] = BankState::kDetached;
+    return true;
+}
+
+std::optional<MoveRecord> ShardedSorter::migrate_from(unsigned from) {
+    WFQS_ASSERT(reshard_supported());  // interleave entries cannot move banks
+    if (from >= banks_.size() || banks_[from]->empty()) return std::nullopt;
+    const auto head = banks_[from]->peek_min();
+    unsigned dest = num_banks();
+    for (const unsigned cand : routing_) {
+        if (cand == from) continue;
+        if (banks_[cand]->can_accept(head->tag)) {
+            dest = cand;
+            break;
+        }
+    }
+    if (dest == num_banks()) {
+        ++stats_.migration_stalls;
+        return std::nullopt;
+    }
+    const std::uint64_t t0 = clock_.now();
+    const auto popped = banks_[from]->pop_min();
+    WFQS_ASSERT(popped.has_value() && popped->tag == head->tag);
+    try {
+        banks_[dest]->insert(popped->tag, popped->payload);
+    } catch (const fault::FaultError&) {
+        // A fresh upset struck the destination mid-insert. The entry is
+        // still in hand — put it back where it came from (the slot it
+        // occupied a moment ago is necessarily still acceptable) and
+        // report a stall; only a second fault on that return path can
+        // propagate, leaving the caller's scrub machinery to clean up.
+        banks_[from]->insert(popped->tag, popped->payload);
+        refresh_head(from);
+        stats_.migration_cycles += clock_.now() - t0;
+        ++stats_.migration_stalls;
+        return std::nullopt;
+    }
+    stats_.migration_cycles += clock_.now() - t0;
+    ++stats_.migration_moves;
+    // Stolen engagement: the move occupies both banks' pipelines for one
+    // initiation interval in the current arrival slot — later datapath ops
+    // queue behind it — but it is not an offered op, so arrivals_,
+    // bank_ops_, and the wait tallies stay untouched and the makespan only
+    // grows through the delayed real ops.
+    bank_free_at_[from] = std::max(arrivals_, bank_free_at_[from]) + ii_;
+    bank_free_at_[dest] = std::max(arrivals_, bank_free_at_[dest]) + ii_;
+    refresh_head(from);
+    refresh_head(dest);
+    const MoveRecord record{from, dest, popped->tag, popped->payload};
+    if (move_listener_) move_listener_(record);
+    return record;
+}
+
 bool ShardedSorter::recover() {
-    for (auto& b : banks_) {
-        fault::Scrubber scrubber(*b);
-        (void)scrubber.scrub();  // always leaves the bank consistent
+    bool fenced = false;
+    for (unsigned i = 0; i < banks_.size(); ++i) {
+        if (bank_state_[i] == BankState::kDetached) continue;
+        fault::Scrubber scrubber(*banks_[i]);
+        const fault::ScrubOutcome outcome = scrubber.scrub();
+        // Degraded mode: a rebuild means uncorrectable damage — fence the
+        // bank out of the routing table (flow-hash only; interleave has no
+        // way to rehome its entries) and drain it below.
+        if (outcome.action == fault::ScrubAction::kRebuilt && fence_bank(i))
+            fenced = true;
     }
     // A lossy rebuild (ScrubOutcome::entries_lost) can change — or empty —
     // any bank's head, so the cached head registers and comparator winner
     // must be re-derived before the next retrieve.
     for (unsigned i = 0; i < num_banks(); ++i) refresh_head(i);
+    // Drain every draining bank — freshly fenced or fenced mid-migration
+    // before the fault hit. The scrub already left each bank internally
+    // consistent, so an in-flight incremental drain simply continues; a
+    // stall (no destination can accept the head) leaves the bank fenced
+    // for an attached controller to keep pumping.
+    (void)fenced;
+    for (unsigned i = 0; i < banks_.size(); ++i) {
+        while (bank_state_[i] == BankState::kDraining && !banks_[i]->empty()) {
+            try {
+                if (!migrate_from(i)) break;
+            } catch (const fault::FaultError&) {
+                // The drain's own datapath op took a fresh upset (live
+                // injection keeps running during recovery). Scrub the
+                // damage and leave this bank fenced — an attached
+                // controller resumes the drain on later ops; recover()
+                // itself never throws.
+                for (unsigned j = 0; j < banks_.size(); ++j) {
+                    if (bank_state_[j] == BankState::kDetached) continue;
+                    fault::Scrubber rescuer(*banks_[j]);
+                    rescuer.scrub();
+                }
+                for (unsigned j = 0; j < num_banks(); ++j) refresh_head(j);
+                break;
+            }
+        }
+        maybe_detach(i);
+    }
     return true;
 }
 
@@ -249,10 +427,16 @@ void ShardedSorter::register_metrics(obs::MetricsRegistry& registry,
     cnt("bank_wait_cycles", &ShardedStats::bank_wait_cycles);
     cnt("sequential_cycles", &ShardedStats::sequential_cycles);
     cnt("head_merge_updates", &ShardedStats::head_merge_updates);
+    cnt("migration_moves", &ShardedStats::migration_moves);
+    cnt("migration_cycles", &ShardedStats::migration_cycles);
+    cnt("migration_stalls", &ShardedStats::migration_stalls);
     registry.register_counter_fn(prefix + ".modeled_cycles",
                                  [this] { return makespan_; });
     registry.register_gauge_fn(prefix + ".num_banks", [this] {
         return static_cast<double>(num_banks());
+    });
+    registry.register_gauge_fn(prefix + ".active_banks", [this] {
+        return static_cast<double>(active_banks());
     });
     registry.register_gauge_fn(prefix + ".occupancy",
                                [this] { return static_cast<double>(size()); });
@@ -261,8 +445,17 @@ void ShardedSorter::register_metrics(obs::MetricsRegistry& registry,
     registry.register_gauge_fn(prefix + ".overlap_factor",
                                [this] { return overlap_factor(); });
     for (unsigned i = 0; i < num_banks(); ++i) {
-        registry.register_counter_fn(prefix + ".bank" + std::to_string(i) + ".ops",
+        const std::string bank = prefix + ".bank" + std::to_string(i);
+        registry.register_counter_fn(bank + ".ops",
                                      [this, i] { return bank_ops_[i]; });
+        registry.register_counter_fn(bank + ".wait_cycles",
+                                     [this, i] { return bank_wait_cycles_[i]; });
+        registry.register_gauge_fn(bank + ".occupancy", [this, i] {
+            return static_cast<double>(banks_[i]->size());
+        });
+        registry.register_gauge_fn(bank + ".state", [this, i] {
+            return static_cast<double>(bank_state_[i]);
+        });
     }
 }
 

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -46,6 +47,8 @@
 #include "core/tag_sorter.hpp"
 
 namespace wfqs::core {
+
+class ReshardController;
 
 struct ShardedStats {
     std::uint64_t inserts = 0;
@@ -56,6 +59,19 @@ struct ShardedStats {
     std::uint64_t bank_wait_cycles = 0;     ///< modeled queueing at busy banks
     std::uint64_t sequential_cycles = 0;    ///< sum of behavioural op latencies
     std::uint64_t head_merge_updates = 0;   ///< comparator-tree re-evaluations
+    std::uint64_t migration_moves = 0;      ///< entries moved between banks
+    std::uint64_t migration_cycles = 0;     ///< behavioural cycles stolen by moves
+    std::uint64_t migration_stalls = 0;     ///< deferred moves: no bank could accept
+};
+
+/// One completed migration step: the minimum of bank `from` re-inserted
+/// into bank `to`. Emitted through the move listener so conformance
+/// oracles (and the reshard controller) can mirror every move.
+struct MoveRecord {
+    unsigned from = 0;
+    unsigned to = 0;
+    std::uint64_t tag = 0;
+    std::uint32_t payload = 0;
 };
 
 class ShardedSorter {
@@ -65,9 +81,19 @@ public:
         kFlowHash,       ///< bank = hash(flow_key) mod N, store full tag
     };
 
+    /// Lifecycle of a bank under online resharding. Interleaved banks are
+    /// always kActive: the compressed local-tag encoding couples an
+    /// entry's value to its bank index, so cross-bank migration (and with
+    /// it fencing/detaching) only exists under kFlowHash.
+    enum class BankState : std::uint8_t {
+        kActive,    ///< routable: bank_for may place new tags here
+        kDraining,  ///< fenced: still serves the head merge, receives no new tags
+        kDetached,  ///< empty tombstone: keeps its index and SRAM inventory
+    };
+
     struct Config {
         TagSorter::Config bank = {};  ///< per-bank circuit (capacity is per bank)
-        unsigned num_banks = 1;       ///< power of two
+        unsigned num_banks = 1;       ///< power of two (at construction)
         BankSelect select = BankSelect::kTagInterleave;
     };
 
@@ -109,22 +135,49 @@ public:
 
     std::size_t size() const;
     bool empty() const { return size() == 0; }
-    /// True when some bank is full: a further insert *may* throw,
-    /// depending on which bank its tag selects.
+    /// Exact under kFlowHash: inserts spill around a capacity-full bank,
+    /// so this is true only when *every* routable bank is full (a further
+    /// insert must throw on capacity). Under kTagInterleave placement is
+    /// structural — no routing around a full bank — so this stays the
+    /// conservative "some bank is full: a further insert *may* throw".
     bool full() const;
-    std::size_t capacity() const;  ///< sum over banks
+    /// Sum over routable (kActive) banks. A draining bank's slots are no
+    /// longer offered to new tags, so they drop out here; size() still
+    /// counts its entries until the drain completes, and can therefore
+    /// transiently exceed capacity() mid-migration.
+    std::size_t capacity() const;
 
+    /// Physical bank count, detached tombstones included — indices,
+    /// per-bank metric names, and the SRAM inventory stay stable across
+    /// resharding.
     unsigned num_banks() const { return static_cast<unsigned>(banks_.size()); }
-    /// Bank the selector routes (tag, flow_key) to — a pure function of
-    /// the configuration, exposed so conformance oracles and
-    /// instrumentation can predict placements without replicating the
-    /// selector (notably the flow-hash mixing function).
-    unsigned bank_for(std::uint64_t tag, std::uint64_t flow_key = 0) const {
-        return select_bank(tag, flow_key);
-    }
+    /// Banks currently routable by bank_for.
+    unsigned active_banks() const { return static_cast<unsigned>(routing_.size()); }
+    BankState bank_state(unsigned i) const { return bank_state_[i]; }
+    /// Online add/remove and degraded-mode drain need cross-bank
+    /// migration, which the interleave placement rules out structurally.
+    bool reshard_supported() const { return config_.select == BankSelect::kFlowHash; }
+
+    /// Bank an insert of (tag, flow_key) lands in *right now*. Under
+    /// kFlowHash this is the routing table's pick for the flow, spilled
+    /// deterministically to the next non-full active bank when the
+    /// primary is capacity-full — i.e. a deterministic function of the
+    /// configuration, the live routing table, and bank occupancy, exposed
+    /// so conformance oracles can predict placements without replicating
+    /// the selector. Under kTagInterleave it is the pure tag mod N.
+    unsigned bank_for(std::uint64_t tag, std::uint64_t flow_key = 0) const;
     TagSorter& bank(unsigned i) { return *banks_[i]; }
     const TagSorter& bank(unsigned i) const { return *banks_[i]; }
     std::uint64_t bank_ops(unsigned i) const { return bank_ops_[i]; }
+    /// Modeled queueing spent waiting on bank `i` alone (the aggregate is
+    /// ShardedStats::bank_wait_cycles) — the rebalancer's skew signal.
+    std::uint64_t bank_wait_cycles(unsigned i) const { return bank_wait_cycles_[i]; }
+    /// Reconstruct the aggregate-level tag for bank `i`'s stored value
+    /// (undoes the interleave compression; identity under kFlowHash).
+    /// Lets oracles absorb bank contents without re-deriving the encoding.
+    std::uint64_t global_tag(std::uint64_t local, unsigned i) const {
+        return to_global(local, i);
+    }
 
     /// Largest logical tag span the aggregate accepts (N x the bank span
     /// under interleave; the bank span under flow hashing).
@@ -143,16 +196,34 @@ public:
     double overlap_factor() const;
     unsigned pipeline_interval() const { return ii_; }
 
-    /// Scrub every bank back to consistency after a fault (mirrors
-    /// TagSorter-based recovery; returns true — scrubbing cannot fail).
+    /// Scrub every bank back to consistency after a fault. Degraded mode:
+    /// a flow-hash bank whose scrub escalated to a full rebuild
+    /// (uncorrectable damage) is fenced out of the routing table and
+    /// drained into its neighbours via the migration machinery, then
+    /// detached — instead of staying in rotation with suspect memory.
+    /// A drain that stalls (no bank can accept the head) leaves the bank
+    /// fenced; an attached ReshardController keeps pumping it with stolen
+    /// cycles on later ops. Interleaved sorters keep the original
+    /// scrub-everything behaviour. Returns true — scrubbing cannot fail.
     bool recover();
 
-    /// Register aggregate counters/gauges as `<prefix>.*` and per-bank op
-    /// tallies as `<prefix>.bank<i>.ops`.
+    /// Observe every completed migration move (controller pumps and
+    /// degraded-mode drains alike). Conformance oracles mirror moves from
+    /// here; pass nullptr to detach.
+    void set_move_listener(std::function<void(const MoveRecord&)> listener) {
+        move_listener_ = std::move(listener);
+    }
+
+    /// Register aggregate counters/gauges as `<prefix>.*` and per-bank
+    /// rows as `<prefix>.bank<i>.{ops,wait_cycles,occupancy,state}` for
+    /// the banks existing at registration time (banks added online later
+    /// show up in the live dashboard's bank rows, not here).
     void register_metrics(obs::MetricsRegistry& registry,
                           const std::string& prefix = "sharded") const;
 
 private:
+    friend class ReshardController;
+
     unsigned select_bank(std::uint64_t tag, std::uint64_t flow_key) const;
     std::uint64_t to_local(std::uint64_t tag) const;
     std::uint64_t to_global(std::uint64_t local, unsigned bank) const;
@@ -164,13 +235,43 @@ private:
     std::uint64_t engage_bank(unsigned bank, std::uint64_t arrival);
     /// Close the current op: advance the arrival counter, record latency.
     void finish_op(std::uint64_t issue_cycle, std::uint64_t measured_cycles);
+    /// Give an attached controller its stolen-cycle slot after a datapath op.
+    void notify_op();
+
+    // -- resharding primitives (driven by the friend ReshardController
+    //    and by recover()'s degraded mode; kFlowHash only) ----------------
+    /// Sorted active bank indices — the flow-hash routing table.
+    void rebuild_routing();
+    /// Append a fresh kActive bank ("bank<i>."-scoped SRAMs); returns its
+    /// index. Requires reshard_supported().
+    unsigned grow_bank();
+    /// kActive -> kDraining: remove bank `i` from the routing table while
+    /// the head merge keeps serving its entries (dual ownership). Refuses
+    /// to fence the last routable bank. Returns whether the state changed.
+    bool fence_bank(unsigned i);
+    /// kDraining + empty -> kDetached tombstone. Returns whether it fired.
+    bool maybe_detach(unsigned i);
+    /// One migration step: pop bank `from`'s minimum and re-insert it into
+    /// the first routable bank that can accept it (deterministic routing
+    /// scan). Steals one engagement slot from both banks and bills the
+    /// behavioural cycles to migration_cycles, not sequential_cycles.
+    /// Returns nullopt — and counts a migration stall — when the source is
+    /// empty or no destination can take the tag right now.
+    std::optional<MoveRecord> migrate_from(unsigned from);
 
     Config config_;
     std::vector<std::unique_ptr<TagSorter>> banks_;
+    hw::Simulation& sim_;
     hw::Clock& clock_;
     unsigned shift_ = 0;   ///< log2(num_banks) (interleave compression)
     std::uint64_t mask_ = 0;
     unsigned ii_ = 4;      ///< per-bank initiation interval
+
+    // Resharding state.
+    std::vector<BankState> bank_state_;
+    std::vector<unsigned> routing_;  ///< sorted active bank indices
+    ReshardController* controller_ = nullptr;
+    std::function<void(const MoveRecord&)> move_listener_;
 
     // Head-merge state: cached global head tag per bank + current winner.
     std::vector<std::optional<std::uint64_t>> head_cache_;
@@ -181,6 +282,7 @@ private:
     std::vector<std::uint64_t> bank_free_at_;  ///< pipeline free cycle per bank
     std::uint64_t makespan_ = 0;
     std::vector<std::uint64_t> bank_ops_;
+    std::vector<std::uint64_t> bank_wait_cycles_;
 
     ShardedStats stats_;
 };

@@ -44,6 +44,15 @@ std::uint64_t TagSorter::to_physical(std::uint64_t logical) const {
     return logical & (range_ - 1);
 }
 
+bool TagSorter::can_accept(std::uint64_t logical) const {
+    if (full()) return false;
+    if (empty()) return true;
+    if (config_.strict_min_discipline && logical < head_logical_) return false;
+    const std::uint64_t lo = std::min(logical, head_logical_);
+    const std::uint64_t hi = std::max(logical, max_logical_);
+    return hi - lo < window_span();
+}
+
 void TagSorter::validate_incoming(std::uint64_t logical) const {
     if (empty()) return;
     if (config_.strict_min_discipline) {

@@ -151,6 +151,12 @@ public:
     std::size_t capacity() const { return store_.capacity(); }
     const Config& config() const { return config_; }
 
+    /// Would `insert(tag, ...)` succeed right now? Pure inspection, zero
+    /// cycles: the capacity check first (mirroring insert), then the
+    /// moving-window discipline of Fig. 6. The sharded layer uses this to
+    /// pick a migration destination without trial-and-error inserts.
+    bool can_accept(std::uint64_t logical) const;
+
     /// Largest logical tag span the window discipline accepts.
     std::uint64_t window_span() const;
 

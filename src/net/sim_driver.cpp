@@ -100,9 +100,11 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
         obs::flight_record(obs::FlightEventKind::kFault, static_cast<double>(at));
         if (m_faults) m_faults->inc();
     };
-    const auto note_recovery = [](TimeNs at) {
+    const auto note_recovery = [](TimeNs at, int attempt) {
+        // a = retry attempt (1-based): repeated recoveries at one
+        // timestamp read as an escalating sequence in the flight dump.
         obs::flight_record(obs::FlightEventKind::kRecovery,
-                           static_cast<double>(at));
+                           static_cast<double>(at), attempt + 1);
     };
 
     auto deliver_next_arrival = [&] {
@@ -140,7 +142,7 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
             } catch (const fault::FaultError&) {
                 note_fault(a.time);
                 if (attempt >= kMaxRecoveries || !sched.recover()) throw;
-                note_recovery(a.time);
+                note_recovery(a.time, attempt);
             }
         }
         if (!accepted) {
@@ -172,7 +174,7 @@ SimResult SimDriver::run(scheduler::Scheduler& sched, std::vector<FlowSpec>& flo
                 faulted = true;
                 note_fault(service_start);
                 if (attempt >= kMaxRecoveries || !sched.recover()) throw;
-                note_recovery(service_start);
+                note_recovery(service_start, attempt);
             }
         }
         if (!pkt) {

@@ -22,6 +22,7 @@ const char* event_kind_name(FlightEventKind k) {
         case FlightEventKind::kRecovery: return "recovery";
         case FlightEventKind::kStall: return "stall";
         case FlightEventKind::kDivergence: return "divergence";
+        case FlightEventKind::kReshard: return "reshard";
         case FlightEventKind::kNote: return "note";
     }
     return "unknown";

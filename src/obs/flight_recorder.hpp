@@ -38,9 +38,11 @@ enum class FlightEventKind : std::uint8_t {
     // Annotations (a/b are kind-specific, see event_kind_name()).
     kFault,       ///< injected/detected fault (a = bank or flow, b = detail)
     kScrub,       ///< scrub pass (a = ScrubAction, b = repaired count)
-    kRecovery,    ///< recovery completed (a = outcome code)
+    kRecovery,    ///< recovery completed (a = 1-based retry attempt)
     kStall,       ///< pipeline stall episode (a = stage, b = ns waited)
     kDivergence,  ///< conformance divergence detected (a = op index)
+    kReshard,     ///< online reshard step (a = 0 add / 1 fence / 2 detach /
+                  ///<   3 rebalance trigger, b = bank index)
     kNote,        ///< free-form marker (a/b caller-defined)
 };
 

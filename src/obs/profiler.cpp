@@ -198,6 +198,7 @@ void HostProfiler::write_live() const {
                 << s.items << " stalls " << s.stall_episodes << " stall_ns "
                 << s.stall_ns << " busy_ns " << s.busy_ns << " busy "
                 << s.busy_fraction << "\n";
+        for (const auto& line : live_lines_) out << line() << "\n";
         // Sparkline tails: the last few closed windows of every probe
         // (counters are per-window deltas, gauges close samples).
         constexpr std::size_t kTail = 32;

@@ -144,6 +144,15 @@ public:
     /// while sampling). Set before start_sampling(); empty disables.
     void set_live_path(const std::string& path) { live_path_ = path; }
 
+    /// Append one extra line to every live status write — e.g. the
+    /// reshard soak's per-bank `bank <i> state <s> occ <n> ...` rows.
+    /// The callback runs on the sampler thread, so whatever it reads
+    /// must be safe to read concurrently; register before
+    /// start_sampling().
+    void add_live_line(std::function<std::string()> fn) {
+        live_lines_.push_back(std::move(fn));
+    }
+
     // -- results (read after end_run/stop_sampling) ------------------------
     double elapsed_seconds() const;
     std::vector<StageSummary> summary() const;
@@ -168,6 +177,7 @@ private:
     TimeSeries series_;
     std::chrono::milliseconds period_;
     std::string live_path_;
+    std::vector<std::function<std::string()>> live_lines_;
     bool probes_registered_ = false;
     std::chrono::steady_clock::time_point t0_;
     std::chrono::steady_clock::time_point t1_;

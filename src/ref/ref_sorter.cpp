@@ -93,17 +93,32 @@ std::optional<std::uint64_t> RefSorter::min_tag() const {
     return by_tag_.begin()->first;
 }
 
-void RefSorter::resync(const core::TagSorter& sorter) {
-    by_tag_.clear();
+void RefSorter::absorb(
+    const core::TagSorter& sorter,
+    const std::function<std::uint64_t(std::uint64_t)>& to_aggregate) {
     if (sorter.empty()) return;
     const std::uint64_t range = sorter.search_tree().geometry().capacity();
     const auto snap = sorter.store().snapshot();
     const std::uint64_t head_logical = sorter.peek_min()->tag;
     const std::uint64_t head_physical = snap.front().tag;
     for (const auto& e : snap)
-        by_tag_.emplace(head_logical + ((e.tag - head_physical) & (range - 1)),
-                        e.payload);
-    max_seen_ = by_tag_.rbegin()->first;
+        by_tag_.emplace(
+            to_aggregate(head_logical + ((e.tag - head_physical) & (range - 1))),
+            e.payload);
+}
+
+void RefSorter::resync(const core::TagSorter& sorter) {
+    by_tag_.clear();
+    absorb(sorter, [](std::uint64_t tag) { return tag; });
+    if (!by_tag_.empty()) max_seen_ = by_tag_.rbegin()->first;
+}
+
+void RefSorter::resync(const core::ShardedSorter& sorter) {
+    by_tag_.clear();
+    for (unsigned i = 0; i < sorter.num_banks(); ++i)
+        absorb(sorter.bank(i),
+               [&sorter, i](std::uint64_t tag) { return sorter.global_tag(tag, i); });
+    if (!by_tag_.empty()) max_seen_ = by_tag_.rbegin()->first;
 }
 
 }  // namespace wfqs::ref

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <optional>
@@ -99,7 +100,18 @@ public:
     /// from the store snapshot.
     void resync(const core::TagSorter& sorter);
 
+    /// Sharded variant: re-adopt every bank's surviving contents (fenced
+    /// and draining banks included — their entries are still owed to the
+    /// output). Used by the reshard soak after scrubs and by degraded-mode
+    /// recovery checks.
+    void resync(const core::ShardedSorter& sorter);
+
 private:
+    /// Append one recovered TagSorter's contents (resync minus the clear);
+    /// `to_aggregate` lifts a bank-local logical tag to the aggregate tag.
+    void absorb(const core::TagSorter& sorter,
+                const std::function<std::uint64_t(std::uint64_t)>& to_aggregate);
+
     void validate_incoming(std::uint64_t tag) const;
 
     Config config_;

@@ -89,7 +89,8 @@ TEST(Conformance, ShardedSorterAllBankConfigs) {
         const std::uint64_t bank_span =
             core::TagSorter(entry.config.bank, probe).window_span();
         expect_conformant(entry.name, bank_span, [&](const OpSeq& ops) {
-            return diff_sharded_sorter(ops, entry.config, entry.flow_mode);
+            return diff_sharded_sorter(ops, entry.config, entry.flow_mode, {},
+                                       entry.reshard);
         });
     }
 }

@@ -23,6 +23,7 @@
 // mutates them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "baselines/factory.hpp"
+#include "core/reshard.hpp"
 #include "core/sharded_sorter.hpp"
 #include "core/tag_sorter.hpp"
 #include "hw/simulation.hpp"
@@ -76,6 +78,16 @@ struct DutHooks {
     std::function<std::size_t()> size;
     std::function<std::optional<std::string>(std::size_t)> burst_check;
     std::function<void(std::size_t)> before_op;
+    /// Executes one reshard op (kAddBank/kRemoveBank/kPumpMigration) on
+    /// the DUT, returning a divergence message on failure. Targets without
+    /// this hook skip reshard ops, so old artifacts and non-sharded
+    /// targets replay unchanged.
+    std::function<std::optional<std::string>(const Op&)> reshard;
+    /// Runs after every op, *before* the post-op parity block — the
+    /// sharded driver drains queued migration moves into the reference
+    /// here (a datapath op's stolen cycles may have moved entries, and the
+    /// reference must see [op, then moves] in DUT order).
+    std::function<std::optional<std::string>(std::size_t)> post_op;
 };
 
 inline std::uint64_t apply_delta(std::uint64_t base, std::int64_t delta) {
@@ -200,6 +212,19 @@ inline std::optional<std::string> run_ops(const OpSeq& ops, RefModel& ref,
                 }
                 break;
             }
+            case OpKind::kAddBank:
+            case OpKind::kRemoveBank:
+            case OpKind::kPumpMigration: {
+                if (!dut.reshard) break;  // target has no reshard surface: skip
+                if (auto err = dut.reshard(op)) return fail(i, *err);
+                break;
+            }
+        }
+
+        // Drain DUT-side migration moves into the reference before parity:
+        // the op above may have stolen cycles to move entries.
+        if (dut.post_op) {
+            if (auto err = dut.post_op(i)) return fail(i, *err);
         }
 
         // Post-op parity: occupancy and the head register.
@@ -300,16 +325,23 @@ enum class FlowKeyMode {
 /// DUT's own selector (bank_for), so the model never drifts from the
 /// flow-hash mixing function, and the head merge breaks cross-bank ties
 /// on the lowest bank index exactly like the comparator sweep.
+///
+/// bank_for is occupancy-dependent (capacity spill) and a DUT op can
+/// steal cycles to migrate entries, so the placement decided at
+/// would_accept time is cached and reused by the subsequent insert —
+/// re-asking bank_for after the DUT already mutated would race the
+/// spill/routing state and can name a different bank than the DUT used.
+/// Live resharding is mirrored move-by-move: apply_move() replays each
+/// DUT MoveRecord, ensure_banks() tracks live bank adds.
 class ShardedRef {
 public:
     ShardedRef(const core::ShardedSorter& dut, FlowKeyMode mode,
                const std::size_t* op_index)
         : dut_(dut), mode_(mode), op_index_(op_index) {
-        ref::RefSorter::Config cfg;
-        cfg.capacity = dut.bank(0).capacity();
-        cfg.window_span = dut.window_span();
-        cfg.strict_min_discipline = dut.bank(0).config().strict_min_discipline;
-        for (unsigned b = 0; b < dut.num_banks(); ++b) banks_.emplace_back(cfg);
+        cfg_.capacity = dut.bank(0).capacity();
+        cfg_.window_span = dut.window_span();
+        cfg_.strict_min_discipline = dut.bank(0).config().strict_min_discipline;
+        for (unsigned b = 0; b < dut.num_banks(); ++b) banks_.emplace_back(cfg_);
     }
 
     std::uint64_t flow_key(std::uint64_t tag) const {
@@ -318,13 +350,15 @@ public:
     }
 
     bool would_accept(std::uint64_t tag) const {
-        return bank_of(tag).would_accept(tag);
+        placed_ = dut_.bank_for(tag, flow_key(tag));
+        return banks_[*placed_].would_accept(tag);
     }
 
     bool would_accept_combined(std::uint64_t tag) const {
         const int b = min_bank();
         if (b < 0) return false;
         const unsigned a = dut_.bank_for(tag, flow_key(tag));
+        placed_ = a;
         // Fused same-bank op: no capacity precondition (slot reuse).
         // Cross-bank: a plain insert into bank `a`, capacity included.
         return a == static_cast<unsigned>(b) ? banks_[a].would_accept_combined(tag)
@@ -332,7 +366,7 @@ public:
     }
 
     void insert(std::uint64_t tag, std::uint32_t payload) {
-        bank_of(tag).insert(tag, payload);
+        banks_[take_placement(tag)].insert(tag, payload);
     }
 
     std::optional<core::SortedTag> pop_min() {
@@ -343,7 +377,7 @@ public:
 
     core::SortedTag insert_and_pop(std::uint64_t tag, std::uint32_t payload) {
         const int b = min_bank();  // caller guarantees non-empty
-        const unsigned a = dut_.bank_for(tag, flow_key(tag));
+        const unsigned a = take_placement(tag);
         if (a == static_cast<unsigned>(b))
             return banks_[a].insert_and_pop(tag, payload);
         banks_[a].insert(tag, payload);
@@ -369,12 +403,53 @@ public:
     }
     bool empty() const { return size() == 0; }
 
-private:
-    ref::RefSorter& bank_of(std::uint64_t tag) {
-        return banks_[dut_.bank_for(tag, flow_key(tag))];
+    /// Mirror live bank growth: one fresh reference bank per DUT bank
+    /// added by a reshard op (same per-bank contract as the originals).
+    void ensure_banks() {
+        while (banks_.size() < dut_.num_banks()) banks_.emplace_back(cfg_);
     }
-    const ref::RefSorter& bank_of(std::uint64_t tag) const {
-        return banks_[dut_.bank_for(tag, flow_key(tag))];
+
+    /// Replay one DUT migration move: the source bank's minimum leaves,
+    /// re-entering the destination bank. Verifies the departing entry
+    /// matches the DUT's record and that the destination accepts it —
+    /// the reference keeps its *own* payload so duplicate FIFO order is
+    /// preserved under kBySeq (where payload parity is off).
+    std::optional<std::string> apply_move(const core::MoveRecord& mv,
+                                          bool compare_payloads) {
+        if (mv.from >= banks_.size() || mv.to >= banks_.size())
+            return "migration move names unknown bank (from " +
+                   std::to_string(mv.from) + ", to " + std::to_string(mv.to) +
+                   ", reference holds " + std::to_string(banks_.size()) + ")";
+        const auto got = banks_[mv.from].pop_min();
+        if (!got)
+            return "migration move out of bank " + std::to_string(mv.from) +
+                   " which the reference holds empty";
+        if (got->tag != mv.tag ||
+            (compare_payloads && got->payload != mv.payload))
+            return "migration move diverged: DUT moved {tag " +
+                   std::to_string(mv.tag) + ", payload " +
+                   std::to_string(mv.payload) + "}, reference head was {tag " +
+                   std::to_string(got->tag) + ", payload " +
+                   std::to_string(got->payload) + "}";
+        try {
+            banks_[mv.to].insert(mv.tag, got->payload);
+        } catch (const std::exception& e) {
+            return std::string("migration move violates the destination "
+                               "bank's discipline: ") +
+                   e.what();
+        }
+        return std::nullopt;
+    }
+
+private:
+    /// Placement for the op being executed: the bank cached by the
+    /// preceding would_accept/would_accept_combined (the DUT had the same
+    /// state then), falling back to a live query.
+    unsigned take_placement(std::uint64_t tag) {
+        const unsigned b =
+            placed_ ? *placed_ : dut_.bank_for(tag, flow_key(tag));
+        placed_.reset();
+        return b;
     }
     /// The comparator sweep: lowest tag wins, ties to the lowest index.
     int min_bank() const {
@@ -394,21 +469,43 @@ private:
     const core::ShardedSorter& dut_;
     FlowKeyMode mode_;
     const std::size_t* op_index_;
+    ref::RefSorter::Config cfg_;
     std::vector<ref::RefSorter> banks_;
+    mutable std::optional<unsigned> placed_;
 };
+
+/// Controller settings for the differential drivers: migration happens
+/// only when an explicit reshard op asks for it (no autonomous
+/// rebalancing), so configs without reshard ops replay bit-identically
+/// to the pre-reshard harness. Reshard-enabled rows override this.
+inline core::ReshardConfig differ_reshard_defaults() {
+    core::ReshardConfig cfg;
+    cfg.auto_rebalance = false;
+    return cfg;
+}
 
 /// Differential-test one ShardedSorter configuration against the
 /// per-bank golden model (exact window, capacity, and tie-break parity
-/// for both bank-select policies).
+/// for both bank-select policies). A ReshardController is always
+/// attached: kAddBank/kRemoveBank/kPumpMigration ops drive it (they are
+/// contract-legal no-ops under interleave, which refuses resharding),
+/// and every resulting MoveRecord is replayed into the reference in DUT
+/// order before the post-op parity check.
 inline std::optional<std::string> diff_sharded_sorter(
     const OpSeq& ops, const core::ShardedSorter::Config& config,
-    FlowKeyMode flow_mode = FlowKeyMode::kByTag, const DiffOptions& opt = {}) {
+    FlowKeyMode flow_mode = FlowKeyMode::kByTag, const DiffOptions& opt = {},
+    const core::ReshardConfig& reshard_cfg = differ_reshard_defaults()) {
     hw::Simulation sim;
     core::ShardedSorter sorter(config, sim);
+    core::ReshardController controller(sorter, reshard_cfg);
     const std::uint64_t t0 = sim.clock().now();
     std::size_t cur_op = 0;
     ShardedRef ref(sorter, flow_mode, &cur_op);
     const auto key = [&](std::uint64_t tag) { return ref.flow_key(tag); };
+
+    std::vector<core::MoveRecord> pending;
+    sorter.set_move_listener(
+        [&pending](const core::MoveRecord& mv) { pending.push_back(mv); });
 
     DutHooks dut;
     dut.before_op = [&](std::size_t i) { cur_op = i; };
@@ -419,6 +516,39 @@ inline std::optional<std::string> diff_sharded_sorter(
     };
     dut.peek = [&] { return sorter.peek_min(); };
     dut.size = [&] { return sorter.size(); };
+    dut.reshard = [&](const Op& op) -> std::optional<std::string> {
+        switch (op.kind) {
+            case OpKind::kAddBank:
+                controller.add_bank();  // refused under interleave: no-op
+                break;
+            case OpKind::kRemoveBank: {
+                const auto mag = static_cast<std::uint64_t>(
+                    op.delta < 0 ? -op.delta : op.delta);
+                controller.remove_bank(
+                    static_cast<unsigned>(mag % sorter.num_banks()));
+                break;
+            }
+            case OpKind::kPumpMigration: {
+                const auto mag = static_cast<std::uint64_t>(
+                    op.delta < 0 ? -op.delta : op.delta);
+                controller.pump(
+                    std::max<std::size_t>(1, static_cast<std::size_t>(mag)));
+                break;
+            }
+            default:
+                break;
+        }
+        ref.ensure_banks();
+        return std::nullopt;
+    };
+    dut.post_op = [&](std::size_t) -> std::optional<std::string> {
+        ref.ensure_banks();
+        for (const auto& mv : pending) {
+            if (auto err = ref.apply_move(mv, opt.compare_payloads)) return err;
+        }
+        pending.clear();
+        return std::nullopt;
+    };
     dut.burst_check = [&](std::size_t) -> std::optional<std::string> {
         for (unsigned b = 0; b < sorter.num_banks(); ++b) {
             const auto report = sorter.bank(b).audit();
@@ -428,9 +558,13 @@ inline std::optional<std::string> diff_sharded_sorter(
                        " issue(s): " + report.issues.front().detail;
         }
         const std::uint64_t elapsed = sim.clock().now() - t0;
-        if (sorter.stats().sequential_cycles != elapsed)
+        const std::uint64_t accounted =
+            sorter.stats().sequential_cycles + sorter.stats().migration_cycles;
+        if (accounted != elapsed)
             return "sharded cycle accounting leak: sequential_cycles " +
-                   std::to_string(sorter.stats().sequential_cycles) + " vs clock " +
+                   std::to_string(sorter.stats().sequential_cycles) +
+                   " + migration_cycles " +
+                   std::to_string(sorter.stats().migration_cycles) + " vs clock " +
                    std::to_string(elapsed);
         return std::nullopt;
     };
@@ -683,6 +817,9 @@ struct NamedShardedConfig {
     std::string name;
     core::ShardedSorter::Config config;
     FlowKeyMode flow_mode = FlowKeyMode::kByTag;
+    /// Controller settings for this row. The default keeps migration
+    /// purely op-driven; reshard rows turn autonomous rebalancing on.
+    core::ReshardConfig reshard = differ_reshard_defaults();
 };
 
 inline std::vector<NamedShardedConfig> standard_sharded_configs() {
@@ -702,6 +839,22 @@ inline std::vector<NamedShardedConfig> standard_sharded_configs() {
     byseq.num_banks = 4;
     byseq.select = Select::kFlowHash;
     v.push_back({"flowhash-n4-byseq", byseq, FlowKeyMode::kBySeq});
+
+    // Live-reshard row: autonomous rebalancing with hair-trigger
+    // thresholds, so migration races datapath ops even before a profile
+    // adds explicit a/r/m churn. Corpus artifacts with reshard ops get
+    // their full workout here; on the rows above those ops are
+    // contract-legal no-ops or interleave refusals.
+    core::ShardedSorter::Config live;
+    live.num_banks = 4;
+    live.select = Select::kFlowHash;
+    NamedShardedConfig reshard_row{"flowhash-n4-reshard", live,
+                                   FlowKeyMode::kByTag};
+    reshard_row.reshard.auto_rebalance = true;
+    reshard_row.reshard.occupancy_skew = 2.0;
+    reshard_row.reshard.min_occupancy = 16;
+    reshard_row.reshard.check_interval = 32;
+    v.push_back(std::move(reshard_row));
     return v;
 }
 

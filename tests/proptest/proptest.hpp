@@ -44,7 +44,19 @@ enum class OpKind : char {
     kInsert = 'i',    ///< insert(min + delta)
     kPop = 'p',       ///< pop_min (no-op parity check when empty)
     kCombined = 'c',  ///< insert_and_pop(min + delta) (skipped when empty)
+    // Resharding ops — executed only by targets that install a reshard
+    // hook (the sharded differential with a ReshardController attached);
+    // everything else skips them, so old artifacts and non-sharded
+    // targets are unaffected.
+    kAddBank = 'a',        ///< bring a fresh bank online
+    kRemoveBank = 'r',     ///< fence bank (delta mod num_banks) for drain
+    kPumpMigration = 'm',  ///< run up to max(1, |delta|) migration steps
 };
+
+inline bool is_reshard_op(OpKind k) {
+    return k == OpKind::kAddBank || k == OpKind::kRemoveBank ||
+           k == OpKind::kPumpMigration;
+}
 
 struct Op {
     OpKind kind = OpKind::kInsert;
@@ -72,6 +84,10 @@ struct GenProfile {
     std::uint64_t window_span = 0;    ///< needed when boundary_prob > 0
     std::size_t min_backlog = 4;      ///< force inserts below this many live tags
     std::size_t max_backlog = 512;    ///< force pops above this many live tags
+    /// P(op is a reshard op: add/fence/pump). Must stay 0.0 for profiles
+    /// that predate resharding — the generator consumes no extra RNG
+    /// draws at 0.0, so historical streams replay byte-identically.
+    double reshard_prob = 0.0;
 };
 
 /// Balanced mix, tags well inside the window.
@@ -131,6 +147,17 @@ inline GenProfile boundary_profile(std::uint64_t span) {
     return p;
 }
 
+/// Migration churn riding a wrap-heavy mix: bank add/fence/pump ops race
+/// the moving-window seam. Only meaningful for targets that install a
+/// reshard hook, so it is *not* part of all_profiles() — the sharded
+/// fuzz target appends it explicitly.
+inline GenProfile reshard_churn_profile(std::uint64_t span) {
+    GenProfile p = wrap_heavy_profile(span);
+    p.name = "reshard-churn";
+    p.reshard_prob = 0.04;
+    return p;
+}
+
 inline std::vector<GenProfile> all_profiles(std::uint64_t span) {
     return {uniform_profile(span), wrap_heavy_profile(span),
             duplicate_heavy_profile(span), drain_cycle_profile(span),
@@ -155,6 +182,23 @@ inline OpSeq generate(Rng& rng, std::size_t n, const GenProfile& profile) {
         return static_cast<std::int64_t>(rng.next_below(profile.max_delta + 1));
     };
     for (std::size_t i = 0; i < n; ++i) {
+        // Short-circuit keeps zero-prob profiles draw-for-draw identical
+        // to the pre-reshard generator.
+        if (profile.reshard_prob > 0.0 && rng.next_bool(profile.reshard_prob)) {
+            Op op;
+            const std::uint64_t roll = rng.next_below(4);
+            if (roll == 0) {
+                op.kind = OpKind::kAddBank;
+            } else if (roll == 1) {
+                op.kind = OpKind::kRemoveBank;
+                op.delta = static_cast<std::int64_t>(rng.next_below(16));
+            } else {
+                op.kind = OpKind::kPumpMigration;
+                op.delta = 1 + static_cast<std::int64_t>(rng.next_below(4));
+            }
+            ops.push_back(op);
+            continue;
+        }
         OpKind kind;
         if (backlog <= profile.min_backlog) {
             kind = OpKind::kInsert;
@@ -190,7 +234,8 @@ inline std::string to_text(const OpSeq& ops, const std::string& comment = "") {
     }
     for (const Op& op : ops) {
         out << static_cast<char>(op.kind);
-        if (op.kind != OpKind::kPop) out << ' ' << op.delta;
+        if (op.kind != OpKind::kPop && op.kind != OpKind::kAddBank)
+            out << ' ' << op.delta;
         out << '\n';
     }
     return out.str();
@@ -213,11 +258,14 @@ inline OpSeq parse_ops(const std::string& text) {
             case 'i': op.kind = OpKind::kInsert; break;
             case 'p': op.kind = OpKind::kPop; break;
             case 'c': op.kind = OpKind::kCombined; break;
+            case 'a': op.kind = OpKind::kAddBank; break;
+            case 'r': op.kind = OpKind::kRemoveBank; break;
+            case 'm': op.kind = OpKind::kPumpMigration; break;
             default:
                 throw std::invalid_argument("ops line " + std::to_string(lineno) +
                                             ": unknown op '" + c + "'");
         }
-        if (op.kind != OpKind::kPop) {
+        if (op.kind != OpKind::kPop && op.kind != OpKind::kAddBank) {
             std::istringstream rest(line.substr(start + 1));
             if (!(rest >> op.delta))
                 throw std::invalid_argument("ops line " + std::to_string(lineno) +

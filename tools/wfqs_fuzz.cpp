@@ -134,6 +134,15 @@ void flight_dump_failure(const std::string& name, const OpSeq& ops,
             case OpKind::kCombined:
                 obs::flight_record(obs::FlightEventKind::kCombined, t, op.delta);
                 break;
+            case OpKind::kAddBank:
+                obs::flight_record(obs::FlightEventKind::kReshard, t, 0);
+                break;
+            case OpKind::kRemoveBank:
+                obs::flight_record(obs::FlightEventKind::kReshard, t, 1, op.delta);
+                break;
+            case OpKind::kPumpMigration:
+                obs::flight_record(obs::FlightEventKind::kReshard, t, 3, op.delta);
+                break;
         }
         t += 1.0;
     }
@@ -145,14 +154,18 @@ void flight_dump_failure(const std::string& name, const OpSeq& ops,
 }
 
 /// One fuzz pass of a sorter family config; returns false on divergence.
+/// `extra` appends target-specific profiles beyond the standard five
+/// (the sharded target adds reshard churn, which only its hook executes).
 bool fuzz_sorter_config(const std::string& name, const CheckFn& check,
                         std::uint64_t span, const Options& opt,
-                        std::uint64_t round) {
+                        std::uint64_t round,
+                        const std::vector<GenProfile>& extra = {}) {
     RunConfig cfg;
     cfg.seed = case_seed(opt.seed, round * 1000003);
-    cfg.cases = 5;  // one case per profile per round
     cfg.ops_per_case = opt.ops;
     cfg.profiles = all_profiles(span);
+    for (const GenProfile& p : extra) cfg.profiles.push_back(p);
+    cfg.cases = cfg.profiles.size();  // one case per profile per round
     cfg.artifact_dir = opt.artifact_dir;
     cfg.artifact_stem = name;
     const auto failure = run_property(cfg, check);
@@ -203,12 +216,17 @@ bool fuzz_sharded(const Options& opt, std::uint64_t round) {
         const std::uint64_t bank_span =
             core::TagSorter(entry.config.bank, probe_sim).window_span();
         const CheckFn check = [&](const OpSeq& ops) {
-            return diff_sharded_sorter(ops, entry.config, entry.flow_mode);
+            return diff_sharded_sorter(ops, entry.config, entry.flow_mode, {},
+                                       entry.reshard);
         };
         // Profiles scale to the *bank* span: safe under both policies (the
-        // aggregate window is never narrower than one bank's).
+        // aggregate window is never narrower than one bank's). Every
+        // sharded row also runs the reshard-churn profile: live bank
+        // add/remove and migration pumps race wrap-heavy traffic (and, on
+        // the reshard row, autonomous rebalancing); interleave rows take
+        // the same ops through the refusal paths.
         if (!fuzz_sorter_config("sharded-" + entry.name, check, bank_span, opt,
-                                round))
+                                round, {reshard_churn_profile(bank_span)}))
             return false;
     }
     return true;
@@ -337,7 +355,8 @@ int replay(const Options& opt) {
         }
     }
     for (const auto& entry : standard_sharded_configs()) {
-        if (auto err = diff_sharded_sorter(ops, entry.config, entry.flow_mode)) {
+        if (auto err = diff_sharded_sorter(ops, entry.config, entry.flow_mode, {},
+                                           entry.reshard)) {
             std::printf("FAIL sharded-%s: %s\n", entry.name.c_str(), err->c_str());
             ok = false;
         }

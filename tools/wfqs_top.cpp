@@ -51,10 +51,21 @@ struct StageRow {
     double busy = 0.0;
 };
 
+/// Per-bank row of a sharded/reshard bench (`bank <i> state <s> occ <n>
+/// wait <cycles> ops <n>` live lines).
+struct BankRow {
+    unsigned index = 0;
+    std::string state;
+    std::uint64_t occ = 0;
+    std::uint64_t wait = 0;
+    std::uint64_t ops = 0;
+};
+
 struct LiveStatus {
     double elapsed_s = 0.0;
     double window_t = 0.0;
     std::vector<StageRow> stages;
+    std::vector<BankRow> banks;
     std::vector<std::pair<std::string, std::vector<double>>> series;
 };
 
@@ -85,6 +96,17 @@ std::optional<LiveStatus> parse_live(const std::string& path) {
                 else if (k == "busy") ls >> row.busy;
             }
             st.stages.push_back(std::move(row));
+        } else if (key == "bank") {
+            BankRow row;
+            std::string k;
+            ls >> row.index;
+            while (ls >> k) {
+                if (k == "state") ls >> row.state;
+                else if (k == "occ") ls >> row.occ;
+                else if (k == "wait") ls >> row.wait;
+                else if (k == "ops") ls >> row.ops;
+            }
+            st.banks.push_back(std::move(row));
         } else if (key == "series") {
             std::string name;
             ls >> name;
@@ -140,6 +162,20 @@ void render_live(const LiveStatus& st, const std::string& path, bool stale) {
     if (hot != nullptr)
         std::printf("bottleneck: %s (stages wait on the busiest one)\n",
                     hot->name.c_str());
+    if (!st.banks.empty()) {
+        std::uint64_t max_occ = 1;
+        for (const BankRow& b : st.banks)
+            max_occ = b.occ > max_occ ? b.occ : max_occ;
+        std::printf("\nbanks:\n");
+        TextTable bt({"bank", "state", "occ", "wait_cyc", "ops", ""});
+        for (const BankRow& b : st.banks)
+            bt.add_row({TextTable::num(static_cast<std::uint64_t>(b.index)),
+                        b.state, TextTable::num(b.occ), TextTable::num(b.wait),
+                        TextTable::num(b.ops),
+                        busy_bar(static_cast<double>(b.occ) /
+                                 static_cast<double>(max_occ))});
+        std::printf("%s", bt.render().c_str());
+    }
     if (!st.series.empty()) {
         std::printf("\nlast windows (through t=%.2fs):\n", st.window_t);
         std::size_t width = 0;
@@ -205,6 +241,16 @@ const char* stall_stage_name(std::int64_t a) {
         case 1: return "merge";
         case 2: return "sched";
         case 3: return "egress";
+    }
+    return "?";
+}
+
+const char* reshard_event_name(std::int64_t a) {
+    switch (a) {
+        case 0: return "add";
+        case 1: return "fence";
+        case 2: return "detach";
+        case 3: return "rebalance";
     }
     return "?";
 }
@@ -295,6 +341,9 @@ int run_replay(const std::string& path) {
                         scrub_action_name(ev.a), static_cast<long long>(ev.b));
         } else if (ev.kind == "stall") {
             std::printf("  t=%g STALL stage=%s\n", ev.t, stall_stage_name(ev.b));
+        } else if (ev.kind == "reshard") {
+            std::printf("  t=%g RESHARD %s bank=%lld\n", ev.t,
+                        reshard_event_name(ev.a), static_cast<long long>(ev.b));
         } else {
             std::printf("  t=%g %s a=%lld b=%lld\n", ev.t, ev.kind.c_str(),
                         static_cast<long long>(ev.a),
