@@ -46,25 +46,94 @@ struct PipelinePhaseResult {
     std::uint64_t host_ops = 0;
 };
 
-scheduler::FairQueueingScheduler make_wfq(std::uint64_t rate) {
+baselines::QueueParams pipeline_queue_params(baselines::SorterBackend backend) {
+    baselines::QueueParams qp;
+    qp.range_bits = 20;
+    qp.capacity = 1 << 16;
+    qp.backend = backend;
+    return qp;
+}
+
+scheduler::FairQueueingScheduler make_wfq(std::uint64_t rate,
+                                          baselines::SorterBackend backend) {
     scheduler::FairQueueingScheduler::Config cfg;
     cfg.link_rate_bps = rate;
     cfg.tag_granularity_bits = -6;
     return scheduler::FairQueueingScheduler(
-        cfg,
-        baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}));
+        cfg, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
+                                       pipeline_queue_params(backend)));
+}
+
+// --- host-throughput phase (both backends, every run) -------------------
+//
+// The same steady-state stream — batched inserts chasing the head, batched
+// pops holding occupancy — through the TagQueue contract on each backend.
+// The ratio is the machine-independent number (both halves run on the same
+// box in the same process); perf_smoke gates host.ffs.speedup_vs_model so
+// the committed artifact certifies the ffs backend's 10x claim without
+// trusting anyone's absolute ops/s.
+std::uint64_t run_host_throughput_phase(obs::BenchReporter& reporter) {
+    constexpr std::size_t kBatch = 256;
+    constexpr std::size_t kWarm = 8192;     // steady-state occupancy
+    constexpr std::uint64_t kOps = 1 << 21; // insert+pop pairs count as 2
+    const std::uint64_t seed = reporter.seed(7);
+    auto& reg = reporter.registry();
+
+    const auto run_backend = [&](baselines::SorterBackend backend) {
+        auto queue = baselines::make_tag_queue(
+            baselines::QueueKind::MultibitTree, pipeline_queue_params(backend));
+        Rng rng(seed);
+        baselines::QueueEntry buf[kBatch];
+        std::uint64_t cursor = 0;
+        const auto fill = [&](std::size_t n) {
+            for (std::size_t i = 0; i < n; ++i) {
+                cursor += rng.next_below(60);
+                buf[i] = {cursor, static_cast<std::uint32_t>(i)};
+            }
+        };
+        for (std::size_t warmed = 0; warmed < kWarm; warmed += kBatch) {
+            fill(kBatch);
+            queue->insert_batch(buf, kBatch);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t done = 0;
+        while (done < kOps) {
+            fill(kBatch);
+            queue->insert_batch(buf, kBatch);
+            const std::size_t got = queue->pop_batch(buf, kBatch);
+            done += kBatch + got;
+        }
+        const double sec =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        return sec > 0 ? static_cast<double>(done) / sec : 0.0;
+    };
+
+    const double model_ops = run_backend(baselines::SorterBackend::kModel);
+    const double ffs_ops = run_backend(baselines::SorterBackend::kFfs);
+    const double speedup = model_ops > 0 ? ffs_ops / model_ops : 0.0;
+    std::printf("host sorter throughput (steady state, %zu-entry batches):\n",
+                kBatch);
+    std::printf("  model backend        : %.0f ops/s\n", model_ops);
+    std::printf("  ffs backend          : %.0f ops/s (%.1fx)\n\n", ffs_ops,
+                speedup);
+    reg.gauge("host.model.ops_per_sec").set(model_ops);
+    reg.gauge("host.ffs.ops_per_sec").set(ffs_ops);
+    reg.gauge("host.ffs.speedup_vs_model").set(speedup);
+    return 2 * kOps;  // both backends' op streams are host work
 }
 
 PipelinePhaseResult run_pipeline_phase(obs::BenchReporter& reporter,
                                        obs::HostProfiler& prof,
-                                       unsigned threads) {
+                                       unsigned threads,
+                                       baselines::SorterBackend backend) {
     constexpr std::uint64_t kRate = 50'000'000;
     constexpr net::TimeNs kHorizon = 5'000'000'000;  // 5 s of traffic
     const std::uint64_t seed = reporter.seed(3);
     auto& reg = reporter.registry();
 
     const auto timed_run = [&](auto&& driver) {
-        auto sched = make_wfq(kRate);
+        auto sched = make_wfq(kRate, backend);
         auto flows = net::make_mixed_profile(kHorizon, seed);
         const auto t0 = std::chrono::steady_clock::now();
         net::SimResult r = driver.run(sched, flows);
@@ -127,6 +196,10 @@ PipelinePhaseResult run_pipeline_phase(obs::BenchReporter& reporter,
 int main(int argc, char** argv) {
     obs::BenchReporter reporter("line_rate", argc, argv);
     const unsigned threads = obs::bench_threads(argc, argv);  // validate up front
+    const std::string backend_name = obs::bench_backend(argc, argv);
+    const baselines::SorterBackend backend =
+        *baselines::backend_from_name(backend_name);
+    reporter.record_backend(backend_name);
     std::printf("== P1: line-rate claim (35.8 Mpps -> 40 Gb/s at 140 B) ==\n\n");
 
     // --- cycle-accurate half -------------------------------------------
@@ -186,14 +259,18 @@ int main(int argc, char** argv) {
     reg.gauge("line_rate.mpps_pipelined").set(mpps);
     reg.gauge("line_rate.gbps_at_140B").set(analysis::line_rate_gbps(mpps, 140.0));
 
-    // --- host pipeline phase -------------------------------------------
+    // --- host throughput phase (both backends) -------------------------
     std::printf("\n");
+    const std::uint64_t throughput_ops = run_host_throughput_phase(reporter);
+
+    // --- host pipeline phase -------------------------------------------
     // Outlives reporter.finish(): the reporter exports its per-stage
     // timeline under "host_profile" when --timeseries is on.
     obs::HostProfiler prof;
-    const PipelinePhaseResult pipeline = run_pipeline_phase(reporter, prof, threads);
+    const PipelinePhaseResult pipeline =
+        run_pipeline_phase(reporter, prof, threads, backend);
 
-    reporter.record_host_ops(kOps + pipeline.host_ops);
+    reporter.record_host_ops(kOps + throughput_ops + pipeline.host_ops);
     reporter.finish();
     if (!pipeline.identical) {
         std::fprintf(stderr,

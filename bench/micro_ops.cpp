@@ -27,6 +27,11 @@ static std::uint64_t site_seed(std::uint64_t site_default) {
     return g_seed_shift + site_default;
 }
 
+// Backend plumbing: --backend/WFQS_BACKEND selects the sorter behind the
+// queue benchmarks (the bench labels carry the resolved queue name, so
+// JSON output self-identifies which backend produced each row).
+static baselines::SorterBackend g_backend = baselines::SorterBackend::kModel;
+
 static void BM_SorterCombinedOp(benchmark::State& state) {
     hw::Simulation sim;
     core::TagSorter sorter({tree::TreeGeometry::paper(), 4096, 24}, sim);
@@ -42,7 +47,11 @@ BENCHMARK(BM_SorterCombinedOp);
 
 static void BM_QueueInsertPop(benchmark::State& state) {
     const auto kind = static_cast<baselines::QueueKind>(state.range(0));
-    auto q = baselines::make_tag_queue(kind, {12, 8192});
+    baselines::QueueParams params;
+    params.range_bits = 12;
+    params.capacity = 8192;
+    params.backend = g_backend;
+    auto q = baselines::make_tag_queue(kind, params);
     Rng rng(site_seed(2));
     std::uint64_t min_live = 0;
     state.SetLabel(q->name());
@@ -120,9 +129,17 @@ int main(int argc, char** argv) {
             continue;
         }
         if (a.rfind("--seed=", 0) == 0) continue;
+        if (a == "--backend") {
+            ++i;  // skip the value; obs::bench_backend already read it
+            continue;
+        }
+        if (a.rfind("--backend=", 0) == 0) continue;
         args.push_back(a);
     }
     if (const auto seed = obs::bench_seed_override(argc, argv)) g_seed_shift = *seed;
+    const std::string backend_name = obs::bench_backend(argc, argv);
+    g_backend = *baselines::backend_from_name(backend_name);
+    benchmark::AddCustomContext("backend", backend_name);
     if (const auto path = obs::bench_json_path("micro_ops", argc, argv)) {
         args.push_back("--benchmark_out=" + *path);
         args.push_back("--benchmark_out_format=json");

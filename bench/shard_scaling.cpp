@@ -134,10 +134,12 @@ struct SchedulerDemoResult {
 };
 
 SchedulerDemoResult run_scheduler_demo(unsigned threads,
+                                       baselines::SorterBackend backend,
                                        obs::MetricsRegistry& reg) {
-    const auto make_sched = [] {
+    const auto make_sched = [backend] {
         baselines::QueueParams params;
         params.num_banks = 4;
+        params.backend = backend;
         return scheduler::FairQueueingScheduler(
             {20'000'000},
             baselines::make_tag_queue(baselines::QueueKind::MultibitTree, params));
@@ -180,6 +182,9 @@ SchedulerDemoResult run_scheduler_demo(unsigned threads,
 int main(int argc, char** argv) {
     obs::BenchReporter reporter("shard_scaling", argc, argv);
     const unsigned threads = obs::bench_threads(argc, argv);  // validate up front
+    const std::string backend_name = obs::bench_backend(argc, argv);
+    const auto backend = *baselines::backend_from_name(backend_name);
+    reporter.record_backend(backend_name);
     auto& reg = reporter.registry();
     std::printf("== S1: sharded multi-bank scaling (overlapped pipelines) ==\n\n");
 
@@ -245,15 +250,16 @@ int main(int argc, char** argv) {
                 identical ? "IDENTICAL" : "DIVERGED");
 
     // --- full-stack wiring demo -----------------------------------------
-    const SchedulerDemoResult demo = run_scheduler_demo(threads, reg);
+    const SchedulerDemoResult demo = run_scheduler_demo(threads, backend, reg);
     reg.gauge("shard_scaling.scheduler_demo_packets")
         .set(static_cast<double>(demo.delivered));
     reg.gauge("host.pipeline.ops_per_sec").set(demo.pipeline_ops_per_sec);
     reg.gauge("host.pipeline.identical_to_sequential")
         .set(demo.identical ? 1.0 : 0.0);
-    std::printf("WFQ scheduler + SimDriver over a 4-bank sorter: %llu packets "
-                "delivered;\nhost pipeline at --threads %u: %.0f ops/s, %s the "
-                "sequential driver\n",
+    std::printf("WFQ scheduler + SimDriver over a 4-bank sorter [%s]: %llu "
+                "packets delivered;\nhost pipeline at --threads %u: %.0f ops/s, "
+                "%s the sequential driver\n",
+                backend_name.c_str(),
                 static_cast<unsigned long long>(demo.delivered), threads,
                 demo.pipeline_ops_per_sec,
                 demo.identical ? "IDENTICAL to" : "DIVERGED from");

@@ -12,6 +12,12 @@
 #include "common/bits.hpp"
 #include <bit>
 #include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include "core/ffs_sorter.hpp"
 #include "core/sharded_sorter.hpp"
 
 namespace wfqs::baselines {
@@ -135,15 +141,363 @@ tree::TreeGeometry multibit_geometry(unsigned range_bits) {
     return tree::TreeGeometry{levels, 4};
 }
 
+/// Persistent worker pool for per-bank parallel batch inserts. Workers
+/// sleep on a condition variable between batches; run() hands out one
+/// task per bank (worker w takes banks w, w+N, ...) and blocks until all
+/// complete. Task exceptions are captured and rethrown in the caller.
+class BankPool {
+public:
+    explicit BankPool(unsigned workers) {
+        threads_.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            threads_.emplace_back([this, w] { loop(w); });
+    }
+    ~BankPool() {
+        {
+            const std::lock_guard<std::mutex> g(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto& t : threads_) t.join();
+    }
+
+    unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+    void run(const std::vector<std::function<void()>>& tasks) {
+        std::unique_lock<std::mutex> g(m_);
+        tasks_ = &tasks;
+        pending_ = workers();
+        first_error_ = nullptr;
+        ++epoch_;
+        cv_.notify_all();
+        done_cv_.wait(g, [this] { return pending_ == 0; });
+        tasks_ = nullptr;
+        if (first_error_) std::rethrow_exception(first_error_);
+    }
+
+private:
+    void loop(unsigned wid) {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::vector<std::function<void()>>* tasks = nullptr;
+            {
+                std::unique_lock<std::mutex> g(m_);
+                cv_.wait(g, [&] { return stop_ || epoch_ != seen; });
+                if (stop_) return;
+                seen = epoch_;
+                tasks = tasks_;
+            }
+            std::exception_ptr err;
+            for (std::size_t i = wid; i < tasks->size(); i += threads_.size()) {
+                try {
+                    (*tasks)[i]();
+                } catch (...) {
+                    if (!err) err = std::current_exception();
+                }
+            }
+            {
+                const std::lock_guard<std::mutex> g(m_);
+                if (err && !first_error_) first_error_ = err;
+                --pending_;
+            }
+            done_cv_.notify_one();
+        }
+    }
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> threads_;
+    const std::vector<std::function<void()>>* tasks_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    unsigned pending_ = 0;
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+/// The host-native backend behind the TagQueue interface: N FfsSorter
+/// banks under the ShardedSorter's tag-interleave encoding (bank =
+/// tag mod N, bank-local tag = tag div N, so the aggregate window is N
+/// bank spans and cross-bank global tags never tie). There is no cycle
+/// model behind it — simulation() is null and every op counts one
+/// access — the point is wall-clock ops/s behind the same contract.
+class FfsTagQueue final : public TagQueue {
+public:
+    FfsTagQueue(tree::TreeGeometry geometry, std::size_t capacity,
+                unsigned num_banks, std::string name, std::string complexity)
+        : name_(num_banks > 1 ? name + " x" + std::to_string(num_banks)
+                              : std::move(name)),
+          complexity_(std::move(complexity)) {
+        const unsigned n = std::max(num_banks, 1u);
+        WFQS_REQUIRE(std::has_single_bit(n),
+                     "bank count must be a power of two");
+        shift_ = log2_exact(n);
+        bank_mask_ = n - 1;
+        core::FfsSorter::Config cfg;
+        cfg.geometry = geometry;
+        cfg.capacity = SorterTagQueue::per_bank_capacity(capacity, n);
+        cfg.payload_bits = 32;  // TagQueue payloads are raw 32-bit words
+        banks_.reserve(n);
+        for (unsigned b = 0; b < n; ++b) banks_.emplace_back(cfg);
+    }
+
+    void insert(std::uint64_t tag, std::uint32_t payload) override {
+        OpScope op(*this, OpScope::Kind::Insert);
+        banks_[bank_of(tag)].insert(local_of(tag), payload);
+        touch(1);
+    }
+
+    std::optional<QueueEntry> pop_min() override {
+        const int b = min_bank();
+        if (b < 0) return std::nullopt;
+        OpScope op(*this, OpScope::Kind::Pop);
+        const auto popped = banks_[static_cast<unsigned>(b)].pop_min();
+        touch(1);
+        return QueueEntry{global_of(popped->tag, static_cast<unsigned>(b)),
+                          popped->payload};
+    }
+
+    std::optional<QueueEntry> peek_min() override {
+        const int b = min_bank();
+        if (b < 0) return std::nullopt;
+        const auto head = banks_[static_cast<unsigned>(b)].peek_min();
+        return QueueEntry{global_of(head->tag, static_cast<unsigned>(b)),
+                          head->payload};
+    }
+
+    void insert_batch(const QueueEntry* entries, std::size_t n) override {
+        if (banks_.size() == 1) {
+            // Single bank: global and local tag spaces coincide, so the
+            // whole batch goes to the sorter's batch entry point in chunks
+            // (one dispatch per chunk instead of one per entry). A throw
+            // leaves the sorter's applied prefix in place; the exact
+            // applied count is recovered from the occupancy delta.
+            const std::size_t before = banks_[0].size();
+            core::SortedTag buf[kBatchChunk];
+            std::size_t done = 0;
+            try {
+                while (done < n) {
+                    const std::size_t chunk = std::min(n - done, kBatchChunk);
+                    for (std::size_t i = 0; i < chunk; ++i)
+                        buf[i] = core::SortedTag{entries[done + i].tag,
+                                                 entries[done + i].payload};
+                    banks_[0].insert_batch(buf, chunk);
+                    done += chunk;
+                }
+            } catch (...) {
+                const std::size_t applied = banks_[0].size() - before;
+                record_batch(OpScope::Kind::Insert, applied, applied);
+                throw;
+            }
+            record_batch(OpScope::Kind::Insert, n, n);
+            return;
+        }
+        if (pool_ && n >= kParallelBatchMin && batch_fully_accepted(entries, n)) {
+            parallel_insert(entries, n);
+            record_batch(OpScope::Kind::Insert, n, n);
+            return;
+        }
+        // Scalar-loop semantics (a throw leaves entries [0, i) applied).
+        std::size_t done = 0;
+        try {
+            for (; done < n; ++done)
+                banks_[bank_of(entries[done].tag)].insert(
+                    local_of(entries[done].tag), entries[done].payload);
+        } catch (...) {
+            record_batch(OpScope::Kind::Insert, done, done);
+            throw;
+        }
+        record_batch(OpScope::Kind::Insert, n, n);
+    }
+
+    std::size_t pop_batch(QueueEntry* out, std::size_t max_n) override {
+        if (banks_.size() == 1) {
+            // Single bank: pops come straight off the sorter in chunks —
+            // no per-pop min-bank sweep, no per-entry dispatch.
+            core::SortedTag buf[kBatchChunk];
+            std::size_t total = 0;
+            while (total < max_n) {
+                const std::size_t got = banks_[0].pop_batch(
+                    buf, std::min(max_n - total, kBatchChunk));
+                if (got == 0) break;
+                for (std::size_t i = 0; i < got; ++i)
+                    out[total + i] = QueueEntry{buf[i].tag, buf[i].payload};
+                total += got;
+            }
+            record_batch(OpScope::Kind::Pop, total, total);
+            return total;
+        }
+        std::size_t total = 0;
+        while (total < max_n) {
+            const auto e = pop_min_unscoped();
+            if (!e) break;
+            out[total++] = *e;
+        }
+        record_batch(OpScope::Kind::Pop, total, total);
+        return total;
+    }
+
+    std::size_t size() const override {
+        std::size_t n = 0;
+        for (const auto& b : banks_) n += b.size();
+        return n;
+    }
+    std::string name() const override { return name_; }
+    std::string model() const override { return "sort"; }
+    std::string complexity() const override { return complexity_; }
+
+    bool recover() override {
+        for (auto& bank : banks_) {
+            const auto report = bank.audit();
+            if (report.clean()) continue;
+            if (!bank.repair(report)) bank.rebuild();
+        }
+        return true;
+    }
+
+    bool set_worker_threads(unsigned n) override {
+        if (n == 0) {
+            pool_.reset();
+            return true;
+        }
+        if (banks_.size() < 2) return false;  // nothing to parallelize over
+        if (!pool_ || pool_->workers() != n) pool_ = std::make_unique<BankPool>(n);
+        return true;
+    }
+
+    const core::FfsSorter& bank(unsigned b) const { return banks_[b]; }
+    unsigned num_banks() const { return static_cast<unsigned>(banks_.size()); }
+
+private:
+    static constexpr std::size_t kParallelBatchMin = 64;
+    static constexpr std::size_t kBatchChunk = 64;
+
+    unsigned bank_of(std::uint64_t tag) const {
+        return static_cast<unsigned>(tag & bank_mask_);
+    }
+    std::uint64_t local_of(std::uint64_t tag) const { return tag >> shift_; }
+    std::uint64_t global_of(std::uint64_t local, unsigned bank) const {
+        return (local << shift_) | bank;
+    }
+
+    /// Comparator sweep over per-bank heads in *global* tag units. Under
+    /// interleave, globals from different banks never tie (they differ in
+    /// the low bank bits), so strict less-than suffices.
+    int min_bank() const {
+        int best = -1;
+        std::uint64_t best_tag = 0;
+        for (unsigned b = 0; b < banks_.size(); ++b) {
+            if (banks_[b].empty()) continue;
+            const std::uint64_t t = global_of(banks_[b].head_logical(), b);
+            if (best < 0 || t < best_tag) {
+                best_tag = t;
+                best = static_cast<int>(b);
+            }
+        }
+        return best;
+    }
+
+    std::optional<QueueEntry> pop_min_unscoped() {
+        const int b = min_bank();
+        if (b < 0) return std::nullopt;
+        const auto popped = banks_[static_cast<unsigned>(b)].pop_min();
+        return QueueEntry{global_of(popped->tag, static_cast<unsigned>(b)),
+                          popped->payload};
+    }
+
+    /// Dry-run every accept decision against shadow bank registers. The
+    /// accept predicate depends only on (size, head, max), and an insert's
+    /// effect on those is pure arithmetic, so this predicts the scalar
+    /// loop's outcome exactly. Only a fully-accepted batch is dispatched
+    /// to the workers — exceptions never have to cross threads and the
+    /// "[0, i) applied" contract stays trivially true.
+    bool batch_fully_accepted(const QueueEntry* entries, std::size_t n) const {
+        struct Shadow {
+            std::size_t size;
+            std::uint64_t head, max;
+        };
+        std::vector<Shadow> shadow(banks_.size());
+        for (unsigned b = 0; b < banks_.size(); ++b)
+            shadow[b] = {banks_[b].size(), banks_[b].head_logical(),
+                         banks_[b].max_logical()};
+        const std::size_t cap = banks_[0].capacity();
+        const std::uint64_t span = banks_[0].window_span();
+        const bool strict = banks_[0].config().strict_min_discipline;
+        for (std::size_t i = 0; i < n; ++i) {
+            const unsigned b = bank_of(entries[i].tag);
+            const std::uint64_t local = local_of(entries[i].tag);
+            Shadow& s = shadow[b];
+            if (s.size >= cap) return false;
+            if (s.size != 0) {
+                if (strict && local < s.head) return false;
+                const std::uint64_t lo = std::min(local, s.head);
+                const std::uint64_t hi = std::max(local, s.max);
+                if (hi - lo >= span) return false;
+                s.head = std::min(s.head, local);
+                s.max = std::max(s.max, local);
+            } else {
+                s.head = s.max = local;
+            }
+            ++s.size;
+        }
+        return true;
+    }
+
+    void parallel_insert(const QueueEntry* entries, std::size_t n) {
+        // Partition in stream order: per-bank order is what determines the
+        // final state (banks are independent), so the result is
+        // bit-identical to the sequential loop.
+        std::vector<std::vector<core::SortedTag>> split(banks_.size());
+        for (auto& v : split) v.reserve(n / banks_.size() + 1);
+        for (std::size_t i = 0; i < n; ++i)
+            split[bank_of(entries[i].tag)].push_back(
+                {local_of(entries[i].tag), entries[i].payload});
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(banks_.size());
+        for (unsigned b = 0; b < banks_.size(); ++b) {
+            if (split[b].empty()) continue;
+            tasks.push_back([this, b, &split] {
+                banks_[b].insert_batch(split[b].data(), split[b].size());
+            });
+        }
+        pool_->run(tasks);
+    }
+
+    std::vector<core::FfsSorter> banks_;
+    unsigned shift_ = 0;
+    std::uint64_t bank_mask_ = 0;
+    std::unique_ptr<BankPool> pool_;
+    std::string name_;
+    std::string complexity_;
+};
+
 }  // namespace
+
+std::string backend_name(SorterBackend backend) {
+    return backend == SorterBackend::kFfs ? "ffs" : "model";
+}
+
+std::optional<SorterBackend> backend_from_name(std::string_view name) {
+    if (name == "model") return SorterBackend::kModel;
+    if (name == "ffs") return SorterBackend::kFfs;
+    return std::nullopt;
+}
 
 std::unique_ptr<TagQueue> make_tag_queue(QueueKind kind, const QueueParams& params) {
     switch (kind) {
         case QueueKind::MultibitTree:
+            if (params.backend == SorterBackend::kFfs)
+                return std::make_unique<FfsTagQueue>(
+                    multibit_geometry(params.range_bits), params.capacity,
+                    params.num_banks, "multi-bit tree [ffs]", "O(W/k)");
             return std::make_unique<SorterTagQueue>(multibit_geometry(params.range_bits),
                                                     params.capacity, params.num_banks,
                                                     "multi-bit tree", "O(W/k)");
         case QueueKind::BinaryTree:
+            if (params.backend == SorterBackend::kFfs)
+                return std::make_unique<FfsTagQueue>(
+                    tree::TreeGeometry::binary(params.range_bits), params.capacity,
+                    params.num_banks, "binary tree [ffs]", "O(W)");
             return std::make_unique<SorterTagQueue>(
                 tree::TreeGeometry::binary(params.range_bits), params.capacity,
                 params.num_banks, "binary tree", "O(W)");

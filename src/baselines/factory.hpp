@@ -5,6 +5,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "baselines/tag_queue.hpp"
@@ -25,6 +27,16 @@ enum class QueueKind {
     Veb,
 };
 
+/// Which implementation backs the sorter-based kinds (MultibitTree /
+/// BinaryTree). The software baselines ignore this.
+enum class SorterBackend {
+    kModel,  ///< cycle-accurate SRAM-modeled circuit (core::TagSorter)
+    kFfs,    ///< host-native hierarchical-bitmap sorter (core::FfsSorter)
+};
+
+std::string backend_name(SorterBackend backend);
+std::optional<SorterBackend> backend_from_name(std::string_view name);
+
 struct QueueParams {
     unsigned range_bits = 12;     ///< tag universe for bounded structures
     std::size_t capacity = 8192;  ///< slot budget for the sorter variants
@@ -34,6 +46,10 @@ struct QueueParams {
     /// is bit- and cycle-identical to the unsharded circuit. Ignored by
     /// the software baselines.
     unsigned num_banks = 1;
+    /// Sorter implementation behind the contract. kFfs drops the cycle
+    /// model (simulation() is null, accesses count 1 per op) in exchange
+    /// for host-native wall-clock speed.
+    SorterBackend backend = SorterBackend::kModel;
 };
 
 std::unique_ptr<TagQueue> make_tag_queue(QueueKind kind, const QueueParams& params = {});

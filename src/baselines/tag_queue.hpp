@@ -101,6 +101,16 @@ public:
     /// concrete type.
     virtual hw::Simulation* simulation() { return nullptr; }
 
+    /// Ask for `n` host worker threads behind the bulk entry points
+    /// (per-bank parallel insert_batch on the multi-bank ffs backend;
+    /// results stay bit-identical to the sequential path). Returns false
+    /// when this queue has no parallel story (everything else). 0 turns
+    /// workers off again.
+    virtual bool set_worker_threads(unsigned n) {
+        (void)n;
+        return false;
+    }
+
     const QueueStats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }
 

@@ -1,0 +1,217 @@
+// Host-native FFS sorter — the paper's trie re-expressed as find-first-set
+// words over CPU intrinsics (the Eiffel approach to software packet
+// scheduling, PAPERS.md).
+//
+// `FfsSorter` implements the full `TagSorter` contract — moving tag-wrap
+// window, sector invalidation, immediate last-duplicate retirement,
+// audit/repair/rebuild, batched ops, identical exception behaviour — but
+// with no `hw::Simulation` behind it. Where `TagSorter` walks SRAM-modeled
+// tree nodes one matcher cycle at a time, this backend keeps one hierarchical
+// bitmap: level 0 has one bit per representable tag value, packed 64 values
+// per word, and each summary level ORs 64 lower words into one bit. A
+// successor scan is then at most one masked word test per level in each
+// direction (≤ 5 levels at the 28-bit cap), resolved with
+// `std::countr_zero` / `std::countl_zero` (BMI `tzcnt`/`lzcnt` on x86).
+//
+// Two structural simplifications fall out of sort-at-insert on a host:
+//
+//  * Insert needs no tree search at all. The bitmap *is* the sorted set, so
+//    storing a tag is: set one leaf bit (propagating into a summary word
+//    only when a word transitions 0 → 1), and append to the value's FIFO
+//    duplicate chain. The paper's insert-time lookup exists to maintain the
+//    linked list's order under O(1) SRAM access; a flat bitmap gets order
+//    for free.
+//  * Only a pop that empties a value's chain pays a search (one successor
+//    scan to find the new head). Everything else is O(1).
+//
+// Duplicate tags keep FIFO order through per-value chains: a fixed node
+// pool (one node per capacity slot, 12 bytes each) plus an open-addressing
+// hash table mapping physical value → {chain head, chain tail}. Memory is
+// O(capacity + range/8), not O(range × capacity).
+//
+// Cycle accounting: this is a wall-clock backend. The `SorterStats` cycle
+// totals and histograms stay zero — there is no modeled clock to bill — so
+// the differ's cycle-closure check does not apply here (it gets a
+// structural burst check instead; see tests/proptest/differ.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tag_sorter.hpp"  // SortedTag, SorterStats, TagSorter::Config
+#include "fault/audit.hpp"
+#include "obs/metrics.hpp"
+
+namespace wfqs::core {
+
+class FfsSorter {
+public:
+    /// Same knobs, same defaults, same meaning as the cycle model — the
+    /// conformance matrix in tests/proptest runs both from one Config.
+    using Config = TagSorter::Config;
+
+    static constexpr std::uint32_t kNull = 0xFFFF'FFFFu;
+
+    explicit FfsSorter(const Config& config);
+
+    // -- datapath (contract-identical to TagSorter) ------------------------
+
+    /// Throws std::overflow_error when full (checked first), then
+    /// std::invalid_argument on a window violation — before any mutation.
+    void insert(std::uint64_t tag, std::uint32_t payload);
+
+    std::optional<SortedTag> peek_min() const;
+    std::optional<SortedTag> pop_min();
+
+    /// §III-C combined store + serve; precondition: non-empty (throws
+    /// std::invalid_argument otherwise, like the model).
+    SortedTag insert_and_pop(std::uint64_t tag, std::uint32_t payload);
+
+    /// Semantically `n` scalar inserts in order (a throw leaves entries
+    /// [0, i) applied, like a scalar loop would).
+    void insert_batch(const SortedTag* entries, std::size_t n);
+
+    /// Up to `max_n` pops into `out`, stopping when empty. Returns count.
+    std::size_t pop_batch(SortedTag* out, std::size_t max_n);
+
+    // -- integrity ---------------------------------------------------------
+
+    /// Cross-check bitmap levels, duplicate chains, the free list, and the
+    /// per-sector occupancy counters against each other. Pure inspection;
+    /// never throws; only findings bump the `audits` counter.
+    fault::AuditReport audit() const;
+
+    /// Recompute every derived structure (summary levels, chain tails,
+    /// free list, occupancy, size) from the chain table + leaf bitmap
+    /// ground truth. Returns false (doing nothing) when `report` contains
+    /// an unrepairable issue — call rebuild() instead.
+    bool repair(const fault::AuditReport& report);
+
+    /// Drain-and-resort salvage: walk every reachable chain node, wipe all
+    /// structures, re-insert in wrap order from the current head (logical
+    /// tag continuity preserved). Returns the number of entries lost.
+    std::size_t rebuild();
+
+    // -- observers ---------------------------------------------------------
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+    std::size_t capacity() const { return capacity_; }
+    const Config& config() const { return config_; }
+
+    bool can_accept(std::uint64_t logical) const;
+    std::uint64_t window_span() const;
+
+    /// Head/max registers (meaningful while non-empty). The sharded ffs
+    /// queue's batch validator simulates accept decisions from these.
+    std::uint64_t head_logical() const { return head_logical_; }
+    std::uint64_t max_logical() const { return max_logical_; }
+
+    const SorterStats& stats() const { return stats_; }
+
+    /// Same counter names as TagSorter::register_metrics so dashboards and
+    /// benches are backend-agnostic; the cycle histograms export empty.
+    void register_metrics(obs::MetricsRegistry& registry,
+                          const std::string& prefix = "sorter") const;
+
+    // -- host-native search primitives (fuzzed directly by tests) ----------
+
+    /// Smallest set value ≥ `physical`, not wrapping past the top.
+    std::optional<std::uint64_t> next_geq(std::uint64_t physical) const;
+    /// Largest set value ≤ `physical` (the paper's "primary match").
+    std::optional<std::uint64_t> closest_leq(std::uint64_t physical) const;
+
+    // -- corruption hooks (integrity tests only; never the datapath) -------
+
+    unsigned debug_level_count() const {
+        return static_cast<unsigned>(levels_.size());
+    }
+    std::vector<std::uint64_t>& debug_level(unsigned level) {
+        return levels_[level];
+    }
+    std::uint32_t& debug_node_next(std::uint32_t node) {
+        return nodes_[node].next;
+    }
+    std::uint32_t& debug_node_value(std::uint32_t node) {
+        return nodes_[node].value;
+    }
+    std::uint32_t& debug_free_head() { return free_head_; }
+    std::vector<std::uint32_t>& debug_sector_occupancy() {
+        return sector_occupancy_;
+    }
+    /// Chain head/tail node index for `physical`, kNull when absent.
+    std::uint32_t debug_chain_head(std::uint64_t physical) const;
+    std::uint32_t debug_chain_tail(std::uint64_t physical) const;
+    void debug_set_chain_tail(std::uint64_t physical, std::uint32_t node);
+
+private:
+    struct Node {
+        std::uint32_t payload = 0;
+        std::uint32_t next = kNull;
+        std::uint32_t value = kNull;  ///< physical tag; kNull while free
+    };
+    struct Chain {
+        std::uint32_t key = kNull;  ///< physical tag; kNull = empty slot
+        std::uint32_t head = kNull;
+        std::uint32_t tail = kNull;
+    };
+
+    void insert_impl(std::uint64_t tag, std::uint32_t payload);
+    SortedTag pop_impl();  ///< precondition: non-empty
+
+    void validate_incoming(std::uint64_t logical) const;
+    void advance_window(std::uint64_t new_head_physical);
+    void clear_sector(unsigned sector);
+
+    unsigned sector_of(std::uint64_t physical) const {
+        return static_cast<unsigned>(physical / sector_size_);
+    }
+
+    // bitmap
+    void bit_set(std::uint64_t p);
+    void bit_clear(std::uint64_t p);
+    bool bit_test(std::uint64_t p) const;
+
+    // duplicate chains
+    std::uint32_t chain_slot(std::uint64_t p) const;  ///< kNull when absent
+    Chain* chain_find(std::uint64_t p);
+    const Chain* chain_find(std::uint64_t p) const;
+    Chain& chain_insert(std::uint64_t p);  ///< precondition: absent, has room
+    void chain_erase(std::uint64_t p);
+
+    std::uint32_t alloc_node(std::uint64_t value, std::uint32_t payload);
+    void free_node(std::uint32_t n);
+
+    void reset_structures();  ///< wipe bitmap/chains/pool to the empty state
+
+    Config config_;
+    std::uint64_t range_;        ///< 2^tag_bits
+    unsigned branching_;         ///< root sectors (Fig. 6)
+    std::uint64_t sector_size_;  ///< range / branching
+    std::size_t capacity_;
+    std::uint32_t payload_mask_;
+    std::uint32_t slot_mask_;  ///< chain-table size − 1 (power of two)
+
+    /// levels_[0] is the leaf bitmap (one bit per value); each higher level
+    /// summarises 64 words of the one below; the top level is one word.
+    std::vector<std::vector<std::uint64_t>> levels_;
+    std::vector<Node> nodes_;
+    std::vector<Chain> chains_;
+    std::uint32_t free_head_ = kNull;
+    std::vector<std::uint32_t> sector_occupancy_;  ///< live entries per sector
+
+    std::size_t size_ = 0;
+    std::uint64_t head_logical_ = 0;
+    std::uint64_t max_logical_ = 0;
+    unsigned lead_sector_ = 0;
+    mutable SorterStats stats_;  ///< mutable: audit() is const but counts findings
+    // Exported for name parity with the model backend; never sampled into.
+    obs::CycleHistogram insert_cycles_hist_{0.0, 32.0, 32};
+    obs::CycleHistogram pop_cycles_hist_{0.0, 32.0, 32};
+    obs::CycleHistogram combined_cycles_hist_{0.0, 32.0, 32};
+};
+
+}  // namespace wfqs::core

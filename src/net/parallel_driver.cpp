@@ -24,7 +24,9 @@ constexpr double ns_to_trace_us(TimeNs t) { return static_cast<double>(t) / 1000
 // store and the consumer's cache-miss burst, rings a few batches deep so
 // stages ride out each other's jitter.
 constexpr std::size_t kGenBatch = 128;
+constexpr std::size_t kMergeBatch = 256;
 constexpr std::size_t kSchedBatch = 256;
+constexpr std::size_t kSchedBatchMin = 32;
 constexpr std::size_t kEgressBatch = 256;
 constexpr std::size_t kFlowRingCap = 1024;
 constexpr std::size_t kMergedRingCap = 4096;
@@ -167,14 +169,14 @@ void run_merge(std::size_t flow_count, NextFn&& next, SpscRing<Packet>& out,
             pq.push(PendingArrival{a->time_ns, i, a->size_bytes, seq++});
 
     std::uint64_t next_packet_id = 0;
-    Packet buf[kGenBatch];
+    Packet buf[kMergeBatch];
     std::size_t n = 0;
     while (!pq.empty()) {
         const PendingArrival a = pq.top();
         pq.pop();
         buf[n++] = Packet{next_packet_id++, static_cast<FlowId>(a.source),
                           a.size_bytes, a.time};
-        if (n == kGenBatch) {
+        if (n == kMergeBatch) {
             if (prof) prof->add_items(n);
             if (!out.push_all(buf, n, abort)) return;
             n = 0;
@@ -332,20 +334,34 @@ private:
                                static_cast<std::int64_t>(
                                    obs::HostProfiler::Stage::kSched));
         }
-        const std::size_t got = ring_.pop_wait(buf_, kSchedBatch, abort_);
+        const std::size_t got = ring_.pop_wait(buf_, limit_, abort_);
         if (got == 0) {
             end_ = true;
+            stats_.sched_batch_limit = limit_;
             return;
         }
         n_ = got;
         off_ = 0;
+        // Top up: pop_wait returns on the first item it sees, but the
+        // producer keeps landing packets while we copy — drain them now,
+        // up to the wakeup cap, instead of paying another refill each.
+        if (n_ < limit_) n_ += ring_.try_pop(buf_ + n_, limit_ - n_);
+        // Occupancy autotune: full drains mean the ring runs deeper than
+        // the cap (raise it toward the buffer size — fewer, fatter
+        // wakeups); starved drains mean the producer is the tight side
+        // (lower it so each wakeup's bookkeeping matches what arrives).
+        if (n_ == limit_ && limit_ < kSchedBatch)
+            limit_ *= 2;
+        else if (n_ <= limit_ / 4 && limit_ > kSchedBatchMin)
+            limit_ /= 2;
         ++stats_.sched_batches;
-        stats_.sched_items += got;
+        stats_.sched_items += n_;
+        stats_.sched_batch_limit = limit_;
         if (prof_) {
-            prof_->add_items(got);
+            prof_->add_items(n_);
             prof_->inc_batches();
         }
-        if (batch_hist_) batch_hist_->record_cycles(got);
+        if (batch_hist_) batch_hist_->record_cycles(n_);
     }
 
     SpscRing<Packet>& ring_;
@@ -356,6 +372,7 @@ private:
     obs::HostProfiler::StageCounters* prof_;
     Packet buf_[kSchedBatch];
     std::size_t n_ = 0, off_ = 0;
+    std::size_t limit_ = kSchedBatchMin * 2;  ///< per-wakeup drain cap
     bool end_ = false;
 };
 
@@ -474,6 +491,7 @@ void ParallelSimDriver::attach_metrics(obs::MetricsRegistry& registry) {
     registry.gauge("host.pipeline.merged_ring_occupancy");
     registry.gauge("host.pipeline.egress_ring_occupancy");
     registry.gauge("host.pipeline.avg_sched_batch");
+    registry.gauge("host.pipeline.batch_limit");
 }
 
 void ParallelSimDriver::publish_metrics() {
@@ -501,6 +519,8 @@ void ParallelSimDriver::publish_metrics() {
     metrics_->gauge("host.pipeline.egress_ring_occupancy")
         .set(stats_.egress_ring_occupancy);
     metrics_->gauge("host.pipeline.avg_sched_batch").set(stats_.avg_sched_batch());
+    metrics_->gauge("host.pipeline.batch_limit")
+        .set(static_cast<double>(stats_.sched_batch_limit));
 }
 
 SimResult ParallelSimDriver::run(scheduler::Scheduler& sched,
@@ -528,6 +548,7 @@ SimResult ParallelSimDriver::run(scheduler::Scheduler& sched,
         // on the delegate path instead of silently empty.
         stats_.sched_batches = result.offered_packets;
         stats_.sched_items = result.offered_packets;
+        stats_.sched_batch_limit = 1;  // the loop has no ring to drain
         if (metrics_)
             metrics_->histogram("host.pipeline.batch_size")
                 .record_cycles(1, result.offered_packets);

@@ -61,6 +61,11 @@ struct PipelineStats {
     double egress_ring_occupancy = 0.0;
     std::uint64_t sched_batches = 0;  ///< merged-ring refills in the schedule stage
     std::uint64_t sched_items = 0;
+    /// Final per-wakeup drain cap of the schedule stage's autotuner: it
+    /// grows toward the buffer size while refills come back full (a deep
+    /// ring) and shrinks while they come back starved, so the cap tracks
+    /// the occupancy the consumer actually sees.
+    std::uint64_t sched_batch_limit = 0;
 
     double avg_sched_batch() const {
         return sched_batches == 0 ? 0.0

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "obs/json.hpp"
@@ -108,6 +109,32 @@ unsigned bench_threads(int argc, char** argv) {
     return 1;
 }
 
+std::string bench_backend(int argc, char** argv) {
+    const auto check = [&](const char* text) -> std::string {
+        if (std::strcmp(text, "model") != 0 && std::strcmp(text, "ffs") != 0) {
+            std::fprintf(stderr, "%s: --backend must be 'model' or 'ffs', got '%s'\n",
+                         argv[0], text);
+            std::exit(2);
+        }
+        return text;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--backend") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --backend needs a value argument\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            return check(argv[i + 1]);
+        }
+        if (std::strncmp(a, "--backend=", 10) == 0) return check(a + 10);
+    }
+    if (const char* env = std::getenv("WFQS_BACKEND"); env && *env)
+        return check(env);
+    return "model";
+}
+
 bool bench_timeseries(int argc, char** argv) {
     for (int i = 1; i < argc; ++i)
         if (std::strcmp(argv[i], "--timeseries") == 0) return true;
@@ -155,6 +182,10 @@ void BenchReporter::finish() {
                                                   host_start_)
             .count();
     registry_.gauge("host.elapsed_ms").set(elapsed_ms);
+    // Machine context for the host.* gauges: speedup gates in perf_smoke
+    // only apply when the recording machine had the cores to show one.
+    registry_.gauge("host.hardware_concurrency")
+        .set(static_cast<double>(std::thread::hardware_concurrency()));
     if (host_ops_ > 0) {
         const double ops_per_sec =
             elapsed_ms > 0.0 ? static_cast<double>(host_ops_) * 1000.0 / elapsed_ms
@@ -186,6 +217,7 @@ void BenchReporter::finish() {
         w.field("bench", name_);
         w.field("schema", std::uint64_t{1});
         if (seed_) w.field("seed", *seed_);
+        if (!backend_.empty()) w.field("backend", backend_);
         w.key("metrics");
         registry_.write_json(w);
         if (timeseries_) {

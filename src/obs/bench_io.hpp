@@ -63,6 +63,13 @@ std::optional<std::uint64_t> bench_seed_override(int argc, char** argv);
 /// sequential SimDriver path — when nothing is requested; 0 is rejected.
 unsigned bench_threads(int argc, char** argv);
 
+/// Resolve the sorter backend from `--backend model|ffs` / `--backend=` /
+/// WFQS_BACKEND (flag wins). Returns the backend *name*; "model" when
+/// nothing is requested; anything else is rejected. bench_io stays
+/// layering-clean (obs does not include baselines) — benches map the
+/// name through baselines::backend_from_name.
+std::string bench_backend(int argc, char** argv);
+
 /// `--timeseries` / WFQS_TIMESERIES=1: include windowed telemetry
 /// sections in the JSON export.
 bool bench_timeseries(int argc, char** argv);
@@ -120,6 +127,11 @@ public:
     /// Call once (or accumulate over phases) before finish().
     void record_host_ops(std::uint64_t ops) { host_ops_ += ops; }
 
+    /// Record which sorter backend the run used; exported as a top-level
+    /// "backend" string in the JSON document so every committed artifact
+    /// says what produced its host-side numbers.
+    void record_backend(std::string backend) { backend_ = std::move(backend); }
+
     /// Export (if requested) and print a one-line note to stdout. Also
     /// stamps host wall-clock gauges into the registry first —
     /// `host.elapsed_ms` since construction and, when record_host_ops()
@@ -135,6 +147,7 @@ private:
     std::optional<std::uint64_t> seed_;
     bool timeseries_ = false;
     std::optional<std::string> live_path_;
+    std::string backend_;
     const HostProfiler* profiler_ = nullptr;
     std::chrono::steady_clock::time_point host_start_ =
         std::chrono::steady_clock::now();

@@ -1,0 +1,421 @@
+// FfsSorter unit and conformance tests: edge geometries the bitmap has
+// to get right (single-level trees, branching that is not a multiple of
+// the 64-bit word, wrap-window boundaries, full-capacity spill), the
+// search primitives against a std::set reference, audit/repair/rebuild
+// under hand-planted corruption, the committed regression corpus through
+// the three-way differ, and the ffs-backed TagQueue in lockstep with the
+// cycle-modeled one (including the multi-bank parallel batch path).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "baselines/factory.hpp"
+#include "common/rng.hpp"
+#include "core/ffs_sorter.hpp"
+#include "proptest/differ.hpp"
+#include "proptest/proptest.hpp"
+
+#ifndef WFQS_CORPUS_DIR
+#error "WFQS_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace wfqs {
+namespace {
+
+using core::FfsSorter;
+
+FfsSorter::Config make_config(unsigned levels, unsigned bits,
+                              std::size_t capacity) {
+    FfsSorter::Config cfg;
+    cfg.geometry = tree::TreeGeometry{levels, bits};
+    cfg.capacity = capacity;
+    return cfg;
+}
+
+// The geometries whose leaf bitmaps stress the word math: range 16 fits
+// in a quarter word, range 64 is exactly one word, range 512 is a
+// multi-word single summary, and the wide/deep entries exercise several
+// summary levels.
+const std::vector<FfsSorter::Config>& edge_configs() {
+    static const std::vector<FfsSorter::Config> configs = {
+        make_config(1, 4, 8),    // single-level: range 16, sector size 1
+        make_config(1, 6, 16),   // single level, exactly one leaf word
+        make_config(2, 3, 32),   // range 64: one leaf word, branching 8
+        make_config(3, 3, 64),   // range 512: 8 leaf words, one summary
+        make_config(5, 2, 64),   // deep binary-ish: range 1024
+        make_config(3, 5, 128),  // wide: range 32768, three levels
+    };
+    return configs;
+}
+
+TEST(FfsSorter, SortsAcrossEdgeGeometries) {
+    for (const auto& cfg : edge_configs()) {
+        FfsSorter s(cfg);
+        Rng rng(0xFF5 + cfg.geometry.levels * 31 + cfg.geometry.bits_per_level);
+        const std::uint64_t span = s.window_span();
+        std::vector<std::uint64_t> tags;
+        for (std::size_t i = 0; i < s.capacity(); ++i)
+            tags.push_back(rng.next_below(span));
+        for (std::size_t i = 0; i < tags.size(); ++i)
+            s.insert(tags[i], static_cast<std::uint32_t>(i) & 0xFFFF);
+        std::sort(tags.begin(), tags.end());
+        for (const std::uint64_t expected : tags) {
+            const auto popped = s.pop_min();
+            ASSERT_TRUE(popped.has_value());
+            EXPECT_EQ(popped->tag, expected)
+                << "geometry " << cfg.geometry.levels << "x"
+                << cfg.geometry.bits_per_level;
+        }
+        EXPECT_TRUE(s.empty());
+    }
+}
+
+TEST(FfsSorter, DuplicatesPopInFifoOrder) {
+    for (const auto& cfg : edge_configs()) {
+        FfsSorter s(cfg);
+        // Three duplicates of one value interleaved with neighbours.
+        s.insert(3, 100);
+        s.insert(3, 101);
+        s.insert(2, 50);
+        s.insert(3, 102);
+        EXPECT_EQ(s.pop_min()->payload, 50u);
+        EXPECT_EQ(s.pop_min()->payload, 100u);
+        EXPECT_EQ(s.pop_min()->payload, 101u);
+        EXPECT_EQ(s.pop_min()->payload, 102u);
+        EXPECT_EQ(s.stats().duplicate_inserts, 2u);
+    }
+}
+
+TEST(FfsSorter, WindowBoundaryInserts) {
+    for (const auto& cfg : edge_configs()) {
+        FfsSorter s(cfg);
+        const std::uint64_t span = s.window_span();
+        s.insert(10, 1);
+        // The widest legal stretch: head 10, incoming 10 + span - 1.
+        EXPECT_NO_THROW(s.insert(10 + span - 1, 2));
+        // One further stretches the live window to span — rejected.
+        EXPECT_THROW(s.insert(10 + span, 3), std::invalid_argument);
+        EXPECT_EQ(s.size(), 2u);
+        // Popping the head slides the window; the same tag now fits.
+        EXPECT_EQ(s.pop_min()->tag, 10u);
+        EXPECT_NO_THROW(s.insert(10 + span, 3));
+    }
+}
+
+TEST(FfsSorter, WrapWindowBoundaryAcrossSeam) {
+    // Logical tags run far past the physical range: the window slides
+    // over the wrap seam and physical values alias modulo the range.
+    const auto cfg = make_config(3, 3, 64);  // range 512
+    FfsSorter s(cfg);
+    const std::uint64_t range = std::uint64_t{1} << cfg.geometry.tag_bits();
+    const std::uint64_t span = s.window_span();
+    std::uint64_t head = range - span / 2;  // stream starting near the seam
+    const std::uint64_t last = head + span - 1;
+    s.insert(head, 0);
+    for (std::uint64_t t = head + 1; t <= last; ++t) {
+        SCOPED_TRACE(t);
+        ASSERT_NO_THROW(s.insert(t, 9));
+        ASSERT_EQ(s.pop_min()->tag, head);
+        head = t;
+    }
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_GT(s.stats().sector_invalidations, 0u);
+}
+
+TEST(FfsSorter, FullCapacitySpill) {
+    const auto cfg = make_config(2, 3, 8);
+    FfsSorter s(cfg);
+    for (std::uint64_t i = 0; i < 8; ++i) s.insert(i, static_cast<std::uint32_t>(i));
+    EXPECT_TRUE(s.full());
+    // Overflow outranks the window check and leaves the state untouched.
+    EXPECT_THROW(s.insert(3, 99), std::overflow_error);
+    EXPECT_THROW(s.insert(1'000'000, 99), std::overflow_error);
+    EXPECT_EQ(s.size(), 8u);
+    EXPECT_TRUE(s.audit().clean());
+    // The combined op ignores capacity: it reuses the served slot.
+    EXPECT_NO_THROW(s.insert_and_pop(4, 7));
+    EXPECT_EQ(s.size(), 8u);
+    for (std::uint64_t i = 1; i <= 8; ++i) EXPECT_TRUE(s.pop_min().has_value());
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(FfsSorter, BatchInsertKeepsPrefixOnThrow) {
+    const auto cfg = make_config(2, 3, 8);
+    FfsSorter s(cfg);
+    core::SortedTag batch[8];
+    for (std::uint64_t i = 0; i < 8; ++i)
+        batch[i] = {i < 5 ? i : 1'000'000 + i, static_cast<std::uint32_t>(i)};
+    // Entry 5 violates the window: entries [0, 5) must stay applied.
+    EXPECT_THROW(s.insert_batch(batch, 8), std::invalid_argument);
+    EXPECT_EQ(s.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(s.pop_min()->tag, i);
+}
+
+TEST(FfsSorter, SearchPrimitivesMatchSetReference) {
+    for (const auto& cfg : edge_configs()) {
+        FfsSorter s(cfg);
+        const std::uint64_t range = std::uint64_t{1} << cfg.geometry.tag_bits();
+        Rng rng(0x5EED + range);
+        std::set<std::uint64_t> ref;
+        // Grow via inserts (physical == logical while nothing wraps).
+        while (ref.size() < std::min<std::size_t>(s.capacity(), 48)) {
+            const std::uint64_t v = rng.next_below(std::min<std::uint64_t>(
+                range, s.window_span()));
+            if (ref.insert(v).second) s.insert(v, 0);
+        }
+        for (std::uint64_t probe = 0; probe < range; ++probe) {
+            const auto geq = s.next_geq(probe);
+            const auto it = ref.lower_bound(probe);
+            if (it == ref.end()) {
+                EXPECT_FALSE(geq.has_value()) << "probe " << probe;
+            } else {
+                ASSERT_TRUE(geq.has_value()) << "probe " << probe;
+                EXPECT_EQ(*geq, *it) << "probe " << probe;
+            }
+            const auto leq = s.closest_leq(probe);
+            auto rit = ref.upper_bound(probe);
+            if (rit == ref.begin()) {
+                EXPECT_FALSE(leq.has_value()) << "probe " << probe;
+            } else {
+                --rit;
+                ASSERT_TRUE(leq.has_value()) << "probe " << probe;
+                EXPECT_EQ(*leq, *rit) << "probe " << probe;
+            }
+        }
+    }
+}
+
+// --- integrity: hand-planted corruption via the debug hooks -------------
+
+FfsSorter seeded_sorter() {
+    FfsSorter s(make_config(3, 3, 32));  // range 512
+    for (std::uint64_t i = 0; i < 24; ++i) s.insert(i * 7 % 200, static_cast<std::uint32_t>(i));
+    return s;
+}
+
+TEST(FfsSorterIntegrity, CleanAfterChurn) {
+    FfsSorter s = seeded_sorter();
+    for (int i = 0; i < 10; ++i) s.pop_min();
+    const auto report = s.audit();
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(s.stats().audits, 0u) << "clean audits must not count findings";
+}
+
+TEST(FfsSorterIntegrity, RepairsSummaryBitFlip) {
+    FfsSorter s = seeded_sorter();
+    ASSERT_GE(s.debug_level_count(), 2u);
+    s.debug_level(1)[0] ^= 1;  // flip a summary bit out from under the leaves
+    const auto report = s.audit();
+    ASSERT_FALSE(report.clean());
+    EXPECT_TRUE(report.fully_repairable());
+    EXPECT_GE(report.count(fault::IntegrityKind::kTreeInvariant), 1u);
+    EXPECT_TRUE(s.repair(report));
+    EXPECT_TRUE(s.audit().clean());
+    EXPECT_EQ(s.pop_min()->tag, 0u);
+}
+
+TEST(FfsSorterIntegrity, RepairsLeafWithoutChain) {
+    FfsSorter s = seeded_sorter();
+    s.debug_level(0)[7] |= 1;  // marker for value 448, which has no chain
+    const auto report = s.audit();
+    ASSERT_FALSE(report.clean());
+    EXPECT_TRUE(report.fully_repairable());
+    EXPECT_GE(report.count(fault::IntegrityKind::kTranslationMissing), 1u);
+    EXPECT_TRUE(s.repair(report));
+    EXPECT_TRUE(s.audit().clean());
+}
+
+TEST(FfsSorterIntegrity, RepairsStaleTailAndNodeValue) {
+    FfsSorter s(make_config(3, 3, 32));
+    s.insert(5, 1);
+    s.insert(5, 2);  // two-node chain at value 5
+    const std::uint32_t head = s.debug_chain_head(5);
+    const std::uint32_t tail = s.debug_chain_tail(5);
+    ASSERT_NE(head, tail);
+    s.debug_set_chain_tail(5, head);  // stale tail: upsets FIFO appends
+    s.debug_node_value(tail) = 9;     // and a wrong stored value
+    const auto report = s.audit();
+    ASSERT_FALSE(report.clean());
+    EXPECT_TRUE(report.fully_repairable());
+    EXPECT_TRUE(s.repair(report));
+    EXPECT_TRUE(s.audit().clean());
+    EXPECT_EQ(s.pop_min()->payload, 1u);
+    EXPECT_EQ(s.pop_min()->payload, 2u);
+}
+
+TEST(FfsSorterIntegrity, RepairsSectorOccupancyDrift) {
+    FfsSorter s = seeded_sorter();
+    auto& occupancy = s.debug_sector_occupancy();
+    occupancy[0] += 3;
+    const auto report = s.audit();
+    ASSERT_FALSE(report.clean());
+    EXPECT_TRUE(report.fully_repairable());
+    EXPECT_TRUE(s.repair(report));
+    EXPECT_TRUE(s.audit().clean());
+}
+
+TEST(FfsSorterIntegrity, RepairsFreeListDamage) {
+    FfsSorter s = seeded_sorter();
+    s.debug_free_head() = FfsSorter::kNull;  // leak the whole free pool
+    const auto report = s.audit();
+    ASSERT_FALSE(report.clean());
+    EXPECT_TRUE(report.fully_repairable());
+    EXPECT_TRUE(s.repair(report));
+    EXPECT_TRUE(s.audit().clean());
+    // The pool must be whole again: fill to capacity.
+    while (!s.full()) s.insert(100, 0);
+    EXPECT_TRUE(s.audit().clean());
+}
+
+TEST(FfsSorterIntegrity, RebuildSalvagesCyclicChain) {
+    FfsSorter s(make_config(3, 3, 32));
+    s.insert(5, 1);
+    s.insert(5, 2);
+    s.insert(9, 3);
+    const std::uint32_t head = s.debug_chain_head(5);
+    s.debug_node_next(head) = head;  // self-loop: the list itself is broken
+    const auto report = s.audit();
+    ASSERT_FALSE(report.clean());
+    EXPECT_FALSE(report.fully_repairable());
+    EXPECT_FALSE(s.repair(report)) << "repair must refuse unrepairable damage";
+    const std::size_t lost = s.rebuild();
+    EXPECT_TRUE(s.audit().clean());
+    // The self-looped chain keeps its head node; the trailing duplicate
+    // is unreachable and counts as lost.
+    EXPECT_EQ(lost, 1u);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.pop_min()->payload, 1u);
+    EXPECT_EQ(s.pop_min()->payload, 3u);
+    EXPECT_EQ(s.stats().rebuilds, 1u);
+}
+
+// --- the committed regression corpus through the three-way differ -------
+
+std::vector<std::filesystem::path> corpus_files() {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(WFQS_CORPUS_DIR))
+        if (entry.path().extension() == ".ops") files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(FfsCorpusReplay, EveryArtifactEveryGeometry) {
+    const auto files = corpus_files();
+    ASSERT_GE(files.size(), 5u);
+    for (const auto& file : files) {
+        const proptest::OpSeq ops = proptest::read_ops_file(file.string());
+        ASSERT_FALSE(ops.empty()) << file;
+        for (const auto& entry : proptest::standard_tag_configs()) {
+            const auto err = proptest::diff_ffs_sorter(ops, entry.config);
+            EXPECT_EQ(err, std::nullopt)
+                << file.filename() << " on " << entry.name << ": " << *err;
+        }
+    }
+}
+
+// --- the ffs TagQueue backend in lockstep with the cycle model ----------
+
+void run_queue_lockstep(unsigned num_banks, unsigned worker_threads,
+                        std::uint64_t seed) {
+    baselines::QueueParams params;
+    params.range_bits = 16;
+    params.capacity = 2048;
+    params.num_banks = num_banks;
+    auto model = baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
+                                           params);
+    params.backend = baselines::SorterBackend::kFfs;
+    auto ffs = baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
+                                         params);
+    if (worker_threads != 0) {
+        ASSERT_EQ(ffs->set_worker_threads(worker_threads), num_banks > 1);
+    }
+
+    Rng rng(seed);
+    std::uint64_t cursor = 0;
+    std::vector<baselines::QueueEntry> batch;
+    for (int round = 0; round < 200; ++round) {
+        // A burst of inserts (batched on both sides), then a partial drain.
+        batch.clear();
+        const std::size_t burst = 1 + rng.next_below(96);
+        for (std::size_t i = 0; i < burst; ++i) {
+            cursor += rng.next_below(40);
+            batch.push_back({cursor, static_cast<std::uint32_t>(rng.next_below(1 << 16))});
+        }
+        model->insert_batch(batch.data(), batch.size());
+        ffs->insert_batch(batch.data(), batch.size());
+        ASSERT_EQ(model->size(), ffs->size());
+
+        const auto mpeek = model->peek_min();
+        const auto fpeek = ffs->peek_min();
+        ASSERT_EQ(mpeek.has_value(), fpeek.has_value());
+        if (mpeek) {
+            EXPECT_EQ(mpeek->tag, fpeek->tag);
+            EXPECT_EQ(mpeek->payload, fpeek->payload);
+        }
+
+        const std::size_t drain = rng.next_below(static_cast<std::uint64_t>(
+            model->size() + 1));
+        for (std::size_t i = 0; i < drain; ++i) {
+            const auto m = model->pop_min();
+            const auto f = ffs->pop_min();
+            ASSERT_EQ(m.has_value(), f.has_value());
+            if (!m) break;
+            ASSERT_EQ(m->tag, f->tag) << "round " << round << " pop " << i;
+            ASSERT_EQ(m->payload, f->payload) << "round " << round << " pop " << i;
+        }
+    }
+    // Full drain must agree to the last entry.
+    for (;;) {
+        const auto m = model->pop_min();
+        const auto f = ffs->pop_min();
+        ASSERT_EQ(m.has_value(), f.has_value());
+        if (!m) break;
+        ASSERT_EQ(m->tag, f->tag);
+        ASSERT_EQ(m->payload, f->payload);
+    }
+}
+
+TEST(FfsTagQueue, LockstepSingleBank) { run_queue_lockstep(1, 0, 11); }
+TEST(FfsTagQueue, LockstepFourBanks) { run_queue_lockstep(4, 0, 22); }
+TEST(FfsTagQueue, LockstepFourBanksParallelBatches) {
+    // Worker pool armed: batches >= the parallel threshold dispatch to
+    // per-bank threads; results must stay bit-identical (TSan covers the
+    // pool in CI).
+    run_queue_lockstep(4, 2, 33);
+}
+
+TEST(FfsTagQueue, WorkerThreadsRefusedOnSingleBank) {
+    baselines::QueueParams params;
+    params.backend = baselines::SorterBackend::kFfs;
+    auto q = baselines::make_tag_queue(baselines::QueueKind::MultibitTree, params);
+    EXPECT_FALSE(q->set_worker_threads(2));
+    EXPECT_TRUE(q->set_worker_threads(0));
+}
+
+TEST(FfsTagQueue, ReportsBackendNameAndRecovers) {
+    baselines::QueueParams params;
+    params.backend = baselines::SorterBackend::kFfs;
+    auto q = baselines::make_tag_queue(baselines::QueueKind::MultibitTree, params);
+    EXPECT_NE(q->name().find("[ffs]"), std::string::npos);
+    EXPECT_EQ(q->model(), "sort");
+    EXPECT_EQ(q->simulation(), nullptr);
+    q->insert(7, 1);
+    EXPECT_TRUE(q->recover());  // clean recover is a no-op success
+    EXPECT_EQ(q->pop_min()->tag, 7u);
+}
+
+TEST(FfsBackendNames, RoundTrip) {
+    EXPECT_EQ(baselines::backend_name(baselines::SorterBackend::kModel), "model");
+    EXPECT_EQ(baselines::backend_name(baselines::SorterBackend::kFfs), "ffs");
+    EXPECT_EQ(baselines::backend_from_name("model"),
+              baselines::SorterBackend::kModel);
+    EXPECT_EQ(baselines::backend_from_name("ffs"), baselines::SorterBackend::kFfs);
+    EXPECT_EQ(baselines::backend_from_name("sram"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace wfqs

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "baselines/factory.hpp"
+#include "core/ffs_sorter.hpp"
 #include "core/reshard.hpp"
 #include "core/sharded_sorter.hpp"
 #include "core/tag_sorter.hpp"
@@ -299,6 +300,147 @@ inline std::optional<std::string> diff_tag_sorter(
     dut.size = [&] { return sorter->size(); };
     dut.burst_check = [&](std::size_t) {
         return check_tag_sorter_integrity(*sorter, sim, t0);
+    };
+    return run_ops(ops, ref, dut, opt);
+}
+
+// --------------------------------------------- FfsSorter differential
+
+/// Structural burst check for the host-native backend. FfsSorter has no
+/// modeled clock, so the cycle-closure check does not apply; instead the
+/// audit cross-checks bitmap levels / duplicate chains / free list /
+/// sector occupancy, and the boundary counters must balance the live
+/// size (combined ops are occupancy-neutral).
+inline std::optional<std::string> check_ffs_sorter_integrity(
+    const core::FfsSorter& sorter) {
+    const auto report = sorter.audit();
+    if (!report.clean()) {
+        std::ostringstream out;
+        out << "ffs audit found " << report.issues.size()
+            << " issue(s): " << report.issues.front().detail;
+        return out.str();
+    }
+    const auto& s = sorter.stats();
+    if (s.inserts < s.pops || s.inserts - s.pops != sorter.size()) {
+        std::ostringstream out;
+        out << "ffs op accounting drift: " << s.inserts << " inserts, " << s.pops
+            << " pops, but size " << sorter.size();
+        return out.str();
+    }
+    return std::nullopt;
+}
+
+/// Three-way differential for the host-native backend: RefSorter stays
+/// the accept/reject arbiter while *both* TagSorter (the cycle model)
+/// and FfsSorter execute every op — every result, exception decision,
+/// head register, and occupancy must agree across all three, and the
+/// burst check additionally demands the mirrored bookkeeping counters
+/// (duplicate inserts, marker retirements, sector invalidations, head
+/// undercuts) match the model exactly.
+inline std::optional<std::string> diff_ffs_sorter(
+    const OpSeq& ops, const core::TagSorter::Config& config,
+    const DiffOptions& opt = {}) {
+    hw::Simulation sim;
+    core::TagSorter model(config, sim);
+    core::FfsSorter ffs(config);
+    const std::uint64_t t0 = sim.clock().now();
+    ref::RefSorter ref = ref::RefSorter::mirror(model);
+
+    // First model-vs-ffs divergence, reported through the post_op hook
+    // (the lockstep hooks below cannot return errors directly).
+    std::optional<std::string> cross;
+    const auto note = [&](const std::string& what) {
+        if (!cross) cross = "model/ffs lockstep diverged: " + what;
+    };
+
+    DutHooks dut;
+    dut.insert = [&](std::uint64_t t, std::uint32_t p) {
+        std::exception_ptr model_err;
+        try {
+            model.insert(t, p);
+        } catch (...) {
+            model_err = std::current_exception();
+        }
+        bool ffs_threw = false;
+        try {
+            ffs.insert(t, p);
+        } catch (...) {
+            ffs_threw = true;
+            if (!model_err) throw;  // ffs rejected what the model accepted
+        }
+        if ((model_err != nullptr) != ffs_threw)
+            note("insert(tag " + std::to_string(t) + ") exception parity");
+        if (model_err) std::rethrow_exception(model_err);
+    };
+    dut.pop = [&]() -> std::optional<core::SortedTag> {
+        const auto want = model.pop_min();
+        const auto got = ffs.pop_min();
+        if (want.has_value() != got.has_value() ||
+            (want && (want->tag != got->tag ||
+                      (opt.compare_payloads && want->payload != got->payload))))
+            note("pop_min result");
+        return got;
+    };
+    dut.combined = [&](std::uint64_t t, std::uint32_t p) {
+        core::SortedTag want{};
+        std::exception_ptr model_err;
+        try {
+            want = model.insert_and_pop(t, p);
+        } catch (...) {
+            model_err = std::current_exception();
+        }
+        core::SortedTag got{};
+        bool ffs_threw = false;
+        try {
+            got = ffs.insert_and_pop(t, p);
+        } catch (...) {
+            ffs_threw = true;
+            if (!model_err) throw;
+        }
+        if ((model_err != nullptr) != ffs_threw)
+            note("insert_and_pop(tag " + std::to_string(t) +
+                 ") exception parity");
+        if (model_err) std::rethrow_exception(model_err);
+        if (want.tag != got.tag ||
+            (opt.compare_payloads && want.payload != got.payload))
+            note("insert_and_pop result");
+        return got;
+    };
+    dut.peek = [&]() -> std::optional<core::SortedTag> {
+        const auto want = model.peek_min();
+        const auto got = ffs.peek_min();
+        if (want.has_value() != got.has_value() ||
+            (want && (want->tag != got->tag ||
+                      (opt.compare_payloads && want->payload != got->payload))))
+            note("peek_min result");
+        return got;
+    };
+    dut.size = [&] {
+        if (model.size() != ffs.size()) note("occupancy");
+        return ffs.size();
+    };
+    dut.post_op = [&](std::size_t) { return cross; };
+    dut.burst_check = [&](std::size_t) -> std::optional<std::string> {
+        if (auto err = check_tag_sorter_integrity(model, sim, t0)) return err;
+        if (auto err = check_ffs_sorter_integrity(ffs)) return err;
+        const auto& a = model.stats();
+        const auto& b = ffs.stats();
+        if (a.inserts != b.inserts || a.pops != b.pops ||
+            a.combined_ops != b.combined_ops ||
+            a.duplicate_inserts != b.duplicate_inserts ||
+            a.marker_retirements != b.marker_retirements ||
+            a.sector_invalidations != b.sector_invalidations ||
+            a.head_undercuts != b.head_undercuts) {
+            std::ostringstream out;
+            out << "model/ffs bookkeeping diverged: duplicates " << a.duplicate_inserts
+                << "/" << b.duplicate_inserts << ", retirements "
+                << a.marker_retirements << "/" << b.marker_retirements
+                << ", sector invalidations " << a.sector_invalidations << "/"
+                << b.sector_invalidations << ", undercuts " << a.head_undercuts
+                << "/" << b.head_undercuts;
+            return out.str();
+        }
+        return std::nullopt;
     };
     return run_ops(ops, ref, dut, opt);
 }

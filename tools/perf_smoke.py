@@ -20,7 +20,22 @@ Default mode checks (all on *modeled*, machine-independent metrics):
      sequential SimDriver bit for bit. Together with check 2 this gates
      that running a bench with --threads (including --threads 1, the
      delegating path) keeps "hw.cycles" exactly unchanged: the pipeline
-     never touches the bench-registered simulation.
+     never touches the bench-registered simulation;
+  5. the "host.ffs.speedup_vs_model" gauge, when present, must be at
+     least --ffs-speedup-floor (default 3.0). Both backends are measured
+     in the same process on the same stream, so the ratio is robust to
+     machine speed even though each side is wall-clock;
+  6. the "host.pipeline.speedup_vs_sequential" gauge must be at least
+     --pipeline-speedup-floor (default 2.5) — but only when the fresh run
+     used >= 8 pipeline threads AND the recording machine had >= 8
+     hardware threads ("host.pipeline.threads" / "host.hardware_concurrency").
+     A laptop or a 1-core CI runner cannot show a parallel speedup; the
+     bit-identity gate (check 4) still applies there.
+
+Optional per-backend absolute floors (machine-specific, off by default):
+--model-floor / --ffs-floor gate host.model.ops_per_sec and
+host.ffs.ops_per_sec in the fresh run. Use these only where the runner
+hardware is known (e.g. a dedicated perf box).
 
 It also prints an *informational* per-stage stall breakdown from the
 fresh run's host.pipeline.*_stall_ns gauges (and the host_profile
@@ -133,6 +148,19 @@ def main():
                              "host.ops_per_sec runs, plain vs --timeseries")
     parser.add_argument("--overhead-tolerance", type=float, default=0.03,
                         help="allowed telemetry slowdown (default 3%%)")
+    parser.add_argument("--ffs-speedup-floor", type=float, default=3.0,
+                        help="minimum host.ffs.speedup_vs_model (same-process "
+                             "ratio; default 3.0)")
+    parser.add_argument("--pipeline-speedup-floor", type=float, default=2.5,
+                        help="minimum host.pipeline.speedup_vs_sequential when "
+                             "threads >= 8 and the machine has >= 8 hardware "
+                             "threads (default 2.5)")
+    parser.add_argument("--model-floor", type=float, default=None,
+                        help="absolute host.model.ops_per_sec floor "
+                             "(machine-specific; off by default)")
+    parser.add_argument("--ffs-floor", type=float, default=None,
+                        help="absolute host.ffs.ops_per_sec floor "
+                             "(machine-specific; off by default)")
     args = parser.parse_args()
 
     if args.host_overhead:
@@ -186,6 +214,49 @@ def main():
                 f"{gate}: pipelined SimResult diverged from the sequential driver")
         else:
             print(f"  {gate}: 1 (host pipeline bit-identical to sequential)")
+
+    gate = "host.ffs.speedup_vs_model"
+    if gate in fresh:
+        checked += 1
+        ratio = fresh[gate]
+        if ratio < args.ffs_speedup_floor:
+            failures.append(f"{gate}: {ratio:.2f} < floor "
+                            f"{args.ffs_speedup_floor:.2f} (ffs backend lost "
+                            "its edge over the cycle model)")
+        else:
+            print(f"  {gate}: {ratio:.2f} (floor {args.ffs_speedup_floor:.2f})")
+
+    threads = fresh.get("host.pipeline.threads", 0)
+    cores = fresh.get("host.hardware_concurrency", 0)
+    gate = "host.pipeline.speedup_vs_sequential"
+    if gate in fresh and threads >= 8 and cores >= 8:
+        checked += 1
+        ratio = fresh[gate]
+        if ratio < args.pipeline_speedup_floor:
+            failures.append(
+                f"{gate}: {ratio:.2f} < floor {args.pipeline_speedup_floor:.2f} "
+                f"at {threads:.0f} threads on {cores:.0f} hardware threads")
+        else:
+            print(f"  {gate}: {ratio:.2f} "
+                  f"(floor {args.pipeline_speedup_floor:.2f}, "
+                  f"{threads:.0f} threads, {cores:.0f} hw threads)")
+    elif gate in fresh:
+        print(f"  {gate}: {fresh[gate]:.2f} (informational: "
+              f"{threads:.0f} threads on {cores:.0f} hw threads — speedup "
+              "gate needs >= 8 of both)")
+
+    for floor, name in ((args.model_floor, "host.model.ops_per_sec"),
+                        (args.ffs_floor, "host.ffs.ops_per_sec")):
+        if floor is None:
+            continue
+        now = fresh.get(name)
+        checked += 1
+        if now is None:
+            failures.append(f"{name}: missing from fresh run (floor requested)")
+        elif now < floor:
+            failures.append(f"{name}: {now:.0f} < floor {floor:.0f}")
+        else:
+            print(f"  {name}: {now:.0f} (floor {floor:.0f})")
 
     stall_breakdown(committed, fresh, fresh_doc)
 

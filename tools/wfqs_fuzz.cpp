@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/factory.hpp"
 #include "matcher/matcher.hpp"
 #include "net/parallel_driver.hpp"
 #include "obs/flight_recorder.hpp"
@@ -55,18 +56,23 @@ struct Options {
     std::size_t cases = 0;         ///< 0 = unbounded (budget-limited)
     double minutes = 1.0;          ///< wall-clock budget; 0 = unbounded
     unsigned threads = 1;          ///< soak workers
-    std::string target = "all";    ///< tag|sharded|baseline|matcher|scheduler|pipeline|all
+    std::string target = "all";    ///< tag|ffs|sharded|baseline|matcher|scheduler|pipeline|all
     std::string artifact_dir = ".";
     std::string replay;            ///< replay one .ops file instead of fuzzing
     std::string flight;            ///< flight-recorder dump path ("" = off)
+    /// Sorter backend behind the pipeline target's tag queue (--backend,
+    /// falling back to the WFQS_BACKEND env var). The differential
+    /// families always run the backends they exist to compare.
+    baselines::SorterBackend backend = baselines::SorterBackend::kModel;
 };
 
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--ops N] [--cases N] [--minutes F]\n"
                  "          [--threads N]\n"
-                 "          [--target tag|sharded|baseline|matcher|scheduler|"
+                 "          [--target tag|ffs|sharded|baseline|matcher|scheduler|"
                  "pipeline|all]\n"
+                 "          [--backend model|ffs]  (pipeline queue; env WFQS_BACKEND)\n"
                  "          [--artifact-dir DIR] [--replay FILE.ops]\n"
                  "          [--flight DUMP.ops]\n",
                  argv0);
@@ -75,6 +81,8 @@ struct Options {
 
 Options parse_args(int argc, char** argv) {
     Options opt;
+    std::string backend;
+    if (const char* env = std::getenv("WFQS_BACKEND")) backend = env;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto value = [&]() -> std::string {
@@ -88,15 +96,22 @@ Options parse_args(int argc, char** argv) {
         else if (arg == "--threads")
             opt.threads = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 0));
         else if (arg == "--target") opt.target = value();
+        else if (arg == "--backend") backend = value();
         else if (arg == "--artifact-dir") opt.artifact_dir = value();
         else if (arg == "--replay") opt.replay = value();
         else if (arg == "--flight") opt.flight = value();
         else usage(argv[0]);
     }
-    if (opt.target != "all" && opt.target != "tag" && opt.target != "sharded" &&
-        opt.target != "baseline" && opt.target != "matcher" &&
-        opt.target != "scheduler" && opt.target != "pipeline")
+    if (opt.target != "all" && opt.target != "tag" && opt.target != "ffs" &&
+        opt.target != "sharded" && opt.target != "baseline" &&
+        opt.target != "matcher" && opt.target != "scheduler" &&
+        opt.target != "pipeline")
         usage(argv[0]);
+    if (!backend.empty()) {
+        const auto parsed = baselines::backend_from_name(backend);
+        if (!parsed) usage(argv[0]);
+        opt.backend = *parsed;
+    }
     if (opt.threads == 0) opt.threads = 1;
     return opt;
 }
@@ -210,6 +225,24 @@ bool fuzz_tag(const Options& opt, std::uint64_t round) {
     return true;
 }
 
+/// The host-native backend in three-way lockstep: RefSorter arbitrates
+/// while TagSorter and FfsSorter both execute every op, with cross-checks
+/// (state + full stats parity) at every step. Spans come from the ffs
+/// instance itself — identical to the model's by construction, but this
+/// way a window-math divergence shows up as a differ failure, not a
+/// generator mismatch.
+bool fuzz_ffs(const Options& opt, std::uint64_t round) {
+    for (const auto& entry : standard_tag_configs()) {
+        const std::uint64_t span = core::FfsSorter(entry.config).window_span();
+        const CheckFn check = [&](const OpSeq& ops) {
+            return diff_ffs_sorter(ops, entry.config);
+        };
+        if (!fuzz_sorter_config("ffs-" + entry.name, check, span, opt, round))
+            return false;
+    }
+    return true;
+}
+
 bool fuzz_sharded(const Options& opt, std::uint64_t round) {
     for (const auto& entry : standard_sharded_configs()) {
         hw::Simulation probe_sim;
@@ -255,9 +288,12 @@ bool fuzz_pipeline(const Options& opt, std::uint64_t round) {
         scheduler::FairQueueingScheduler::Config sc;
         sc.link_rate_bps = rate;
         sc.tag_granularity_bits = -6;
+        baselines::QueueParams qp;
+        qp.range_bits = 20;
+        qp.capacity = 1 << 16;
+        qp.backend = opt.backend;
         scheduler::FairQueueingScheduler sched(
-            sc, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
-                                          {20, 1 << 16}));
+            sc, baselines::make_tag_queue(baselines::QueueKind::MultibitTree, qp));
         auto flows = net::make_mixed_profile(horizon, seed);
         if (threads == 0) {
             net::SimDriver driver(rate);
@@ -354,6 +390,12 @@ int replay(const Options& opt) {
             ok = false;
         }
     }
+    for (const auto& entry : standard_tag_configs()) {
+        if (auto err = diff_ffs_sorter(ops, entry.config)) {
+            std::printf("FAIL ffs-%s: %s\n", entry.name.c_str(), err->c_str());
+            ok = false;
+        }
+    }
     for (const auto& entry : standard_sharded_configs()) {
         if (auto err = diff_sharded_sorter(ops, entry.config, entry.flow_mode, {},
                                            entry.reshard)) {
@@ -388,6 +430,7 @@ int main(int argc, char** argv) {
 
     const Budget budget{std::chrono::steady_clock::now(), opt.minutes};
     const bool do_tag = opt.target == "all" || opt.target == "tag";
+    const bool do_ffs = opt.target == "all" || opt.target == "ffs";
     const bool do_sharded = opt.target == "all" || opt.target == "sharded";
     const bool do_baseline = opt.target == "all" || opt.target == "baseline";
     const bool do_matcher = opt.target == "all" || opt.target == "matcher";
@@ -398,6 +441,7 @@ int main(int argc, char** argv) {
     const auto run_round = [&](std::uint64_t round) {
         bool ok = true;
         if (do_tag) ok = ok && fuzz_tag(opt, round);
+        if (ok && do_ffs) ok = ok && fuzz_ffs(opt, round);
         if (ok && do_sharded) ok = ok && fuzz_sharded(opt, round);
         if (ok && do_baseline) ok = ok && fuzz_baseline(opt, round);
         if (ok && do_matcher) ok = ok && fuzz_matcher(opt, round);
