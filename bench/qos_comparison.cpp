@@ -106,6 +106,18 @@ int main(int argc, char** argv) {
     // traffic-source seeds together (default shift 0 keeps the
     // historical workload).
     const std::uint64_t kSeedShift = reporter.seed(0);
+    // --backend model|ffs selects the sorter implementation behind the
+    // fair-queueing rows (the software baselines ignore it); the choice
+    // is stamped into the JSON export.
+    const std::string backend_arg = obs::bench_backend(argc, argv);
+    const auto backend = baselines::backend_from_name(backend_arg);
+    if (!backend) {
+        std::fprintf(stderr, "unknown backend '%s' (model|ffs)\n",
+                     backend_arg.c_str());
+        return 1;
+    }
+    reporter.record_backend(backend_arg);
+    const baselines::QueueParams kSorterParams{20, 1 << 16, 1, *backend};
     std::printf("== P2: QoS comparison — WFQ vs round robin vs FIFO ==\n");
     std::printf("4 VoIP flows (weight 8) vs 6 saturating Pareto flows (weight 1),\n");
     std::printf("20 Mb/s link, 2 s. GPS bound = L_max/r = %.2f ms.\n\n",
@@ -134,7 +146,7 @@ int main(int argc, char** argv) {
         cfg.tag_granularity_bits = -6;
         scheduler::FairQueueingScheduler wfq(
             cfg, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
-                                           {20, 1 << 16}));
+                                           kSorterParams));
         add(evaluate(wfq, reporter.registry(), kSeedShift));
     }
     {
@@ -144,7 +156,7 @@ int main(int argc, char** argv) {
         cfg.algorithm = wfq::FairQueueingKind::Scfq;
         scheduler::FairQueueingScheduler scfq(
             cfg, baselines::make_tag_queue(baselines::QueueKind::MultibitTree,
-                                           {20, 1 << 16}));
+                                           kSorterParams));
         add(evaluate(scfq, reporter.registry(), kSeedShift));
     }
     {
@@ -153,8 +165,8 @@ int main(int argc, char** argv) {
         cfg.tag_granularity_bits = -6;
         scheduler::Wf2qScheduler wf2q(
             cfg,
-            baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}),
-            baselines::make_tag_queue(baselines::QueueKind::MultibitTree, {20, 1 << 16}));
+            baselines::make_tag_queue(baselines::QueueKind::MultibitTree, kSorterParams),
+            baselines::make_tag_queue(baselines::QueueKind::MultibitTree, kSorterParams));
         add(evaluate(wf2q, reporter.registry(), kSeedShift));
     }
     {

@@ -483,6 +483,12 @@ std::optional<SorterBackend> backend_from_name(std::string_view name) {
     return std::nullopt;
 }
 
+const std::vector<SorterBackend>& all_sorter_backends() {
+    static const std::vector<SorterBackend> kBackends = {SorterBackend::kModel,
+                                                         SorterBackend::kFfs};
+    return kBackends;
+}
+
 std::unique_ptr<TagQueue> make_tag_queue(QueueKind kind, const QueueParams& params) {
     switch (kind) {
         case QueueKind::MultibitTree:

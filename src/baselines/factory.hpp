@@ -36,6 +36,7 @@ enum class SorterBackend {
 
 std::string backend_name(SorterBackend backend);
 std::optional<SorterBackend> backend_from_name(std::string_view name);
+const std::vector<SorterBackend>& all_sorter_backends();
 
 struct QueueParams {
     unsigned range_bits = 12;     ///< tag universe for bounded structures

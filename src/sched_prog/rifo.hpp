@@ -1,0 +1,85 @@
+// RIFO — approximating rank order with a *single* FIFO queue plus
+// rank-aware admission (after Mostafaei, Pacut & Schmid, "RIFO", see
+// PAPERS.md; constants and the admission inequality are by inspection of
+// the idea, not a line-for-line port).
+//
+// Service order is plain FIFO, so ordering quality comes entirely from
+// what is let in: while the queue is lightly loaded everything is
+// admitted, and as it fills only packets whose rank falls in the lower
+// `free/capacity` fraction of the currently-queued rank range are
+// accepted. High-rank (low-urgency) packets are shed under pressure
+// instead of being reordered — trading the PIFO's inversion-freedom for
+// one queue and O(1) state, with both the inversions *and* the
+// rank-based drops showing up in bench/policy_comparison.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+
+#include "sched_prog/rank.hpp"
+#include "scheduler/packet_buffer.hpp"
+#include "scheduler/scheduler.hpp"
+
+namespace wfqs::sched_prog {
+
+class RifoScheduler final : public scheduler::Scheduler {
+public:
+    struct Config {
+        RankPolicy policy = RankPolicy::kWfq;
+        RankConfig rank = {};
+        std::size_t fifo_capacity = 256;  ///< packets
+        scheduler::SharedPacketBuffer::Config buffer = {};
+    };
+
+    explicit RifoScheduler(const Config& config);
+
+    net::FlowId add_flow(std::uint32_t weight) override;
+    bool do_enqueue(const net::Packet& packet, net::TimeNs now) override;
+    std::optional<net::Packet> do_dequeue(net::TimeNs now) override;
+
+    bool has_packets() const override;
+    std::size_t queued_packets() const override;
+    std::string name() const override;
+    std::optional<std::uint32_t> peek_size(net::TimeNs now) override;
+
+    /// Packets refused by the rank-range admission test (a strict subset
+    /// of the boundary counter rejected_packets, which also counts
+    /// buffer-full drops).
+    std::uint64_t rank_drops() const { return rank_drops_; }
+
+    /// The admission predicate, exposed so the conformance mirror in
+    /// src/ref applies literally the same inequality. `size` and the
+    /// rank extremes describe the queue the packet would join.
+    static bool admits(std::uint64_t rank, std::size_t size, std::size_t capacity,
+                       std::uint64_t min_rank, std::uint64_t max_rank) {
+        if (size == 0) return true;
+        if (size >= capacity) return false;
+        if (rank <= min_rank) return true;
+        // Admit while the rank sits inside the lower free-fraction of the
+        // observed range: (rank - min) * capacity <= (max - min) * free.
+        const unsigned __int128 lhs =
+            static_cast<unsigned __int128>(rank - min_rank) * capacity;
+        const unsigned __int128 rhs =
+            static_cast<unsigned __int128>(max_rank - min_rank) *
+            (capacity - size);
+        return lhs <= rhs;
+    }
+
+private:
+    struct Entry {
+        std::uint64_t rank;
+        scheduler::BufferRef ref;
+        std::uint32_t size_bytes;
+    };
+
+    Config config_;
+    std::unique_ptr<RankFunction> rank_;
+    scheduler::SharedPacketBuffer buffer_;
+    std::deque<Entry> fifo_;
+    std::multiset<std::uint64_t> ranks_;  ///< in-queue rank range
+    std::uint64_t rank_drops_ = 0;
+};
+
+}  // namespace wfqs::sched_prog

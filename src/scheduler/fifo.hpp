@@ -20,6 +20,10 @@ public:
     bool has_packets() const override { return !q_.empty(); }
     std::size_t queued_packets() const override { return q_.size(); }
     std::string name() const override { return "FIFO"; }
+    std::optional<std::uint32_t> peek_size(net::TimeNs) override {
+        if (q_.empty()) return std::nullopt;
+        return buffer_.peek(q_.front()).size_bytes;
+    }
     std::uint64_t drops() const { return buffer_.drops(); }
 
 private:

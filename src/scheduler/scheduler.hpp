@@ -59,6 +59,18 @@ public:
     virtual std::size_t queued_packets() const = 0;
     virtual std::string name() const = 0;
 
+    /// Size in bytes of the packet dequeue(now) would serve, when the
+    /// implementation can tell without serving it. Hierarchical parents
+    /// (DRR deficits, class-level WFQ finish tags) need the head-of-line
+    /// size before committing to a dequeue; schedulers that cannot peek
+    /// return nullopt and such parents fall back to one-packet-per-visit
+    /// round robin. May reorder internal staging structures, but must
+    /// not change which packet a dequeue at the same `now` serves.
+    virtual std::optional<std::uint32_t> peek_size(net::TimeNs now) {
+        (void)now;
+        return std::nullopt;
+    }
+
     /// After enqueue/dequeue threw fault::FaultError: restore internal
     /// consistency so the caller may retry the operation. Returns false
     /// when this scheduler cannot recover (default — only hardware-model

@@ -70,6 +70,22 @@ TEST(CorpusReplay, EveryBaselineQueueConfig) {
     }
 }
 
+TEST(CorpusReplay, EveryPolicyConfig) {
+    // The policy differ reads the same `.ops` stream as a packet
+    // arrival/service schedule, so every corpus artifact — including the
+    // policy-* pins authored for SP-PIFO/SRPT behaviour — replays
+    // against every rank policy, both sorter backends, and the
+    // approximation mirrors.
+    for (const auto& file : corpus_files()) {
+        const OpSeq ops = read_ops_file(file.string());
+        for (const auto& entry : standard_policy_configs()) {
+            const auto err = diff_policy_scheduler(ops, entry);
+            EXPECT_EQ(err, std::nullopt)
+                << file.filename() << " on " << entry.name << ": " << *err;
+        }
+    }
+}
+
 TEST(CorpusReplay, NetlistMatcherOnCorpus) {
     // One gate-level engine over the corpus keeps the netlist path pinned
     // without blowing the tier-1 budget.

@@ -46,7 +46,11 @@
 #include "proptest/proptest.hpp"
 #include "ref/ref_gps.hpp"
 #include "ref/ref_matcher.hpp"
+#include "ref/ref_rank_oracle.hpp"
 #include "ref/ref_sorter.hpp"
+#include "sched_prog/pifo_scheduler.hpp"
+#include "sched_prog/rifo.hpp"
+#include "sched_prog/sp_pifo.hpp"
 #include "scheduler/wf2q_scheduler.hpp"
 #include "scheduler/wfq_scheduler.hpp"
 
@@ -1050,6 +1054,288 @@ inline std::vector<BaselineDiffConfig> standard_baseline_configs() {
     return v;
 }
 
+// ------------------------------------------- rank-policy differential
+//
+// The programmable-scheduling layer (src/sched_prog) is diffed at the
+// *scheduler* surface: an op sequence becomes a packet arrival/service
+// stream (kInsert = enqueue, kPop = dequeue, kCombined = both; reshard
+// ops are skipped), and the DUT — PifoScheduler over any TagQueue
+// backend, SpPifoScheduler, or RifoScheduler — must serve the exact
+// packet sequence its src/ref mirror serves. Rank functions are
+// deterministic over the (packet, now) stream, so DUT and mirror hold
+// *independent* instances of the same policy and never share state.
+//
+// The op's delta picks the flow and size deterministically, so the
+// existing generator profiles, the shrinker, and the `.ops` corpus
+// format all drive policy schedulers unchanged. Simulated time advances
+// a fixed step per op: backlogs build while virtual clocks move, the
+// regime where eligibility gating and admission actually bite.
+
+struct PolicyDiffConfig {
+    std::string name;
+    enum class Dut { kPifo, kSpPifo, kRifo } dut = Dut::kPifo;
+    sched_prog::RankPolicy policy = sched_prog::RankPolicy::kWfq;
+    // PIFO backend (ignored by the approximations).
+    baselines::QueueKind queue = baselines::QueueKind::MultibitTree;
+    unsigned range_bits = 20;
+    std::size_t capacity = std::size_t{1} << 16;
+    baselines::SorterBackend backend = baselines::SorterBackend::kModel;
+    unsigned sp_queues = 8;          ///< SP-PIFO queue count
+    std::size_t rifo_capacity = 48;  ///< small: admission must actually refuse
+};
+
+/// Rank settings every policy differ row shares. Granularity -6 keeps
+/// WFQ/WF2Q+ ranks ~187 tag units per 1500B weight-1 packet, so with the
+/// profile backlog cap below the live rank span stays well inside even
+/// the 16-bit sorter windows (span 15/16 * 2^16 = 61440 multibit,
+/// 2^15 binary).
+inline sched_prog::RankConfig policy_diff_rank_config() {
+    sched_prog::RankConfig rc;
+    rc.link_rate_bps = 1'000'000'000;
+    rc.tag_granularity_bits = -6;
+    return rc;
+}
+
+/// Fixed flow population for the op interpreter: op.delta selects one of
+/// four flows with weights 1/2/4/8 and a size in [64, 1467] bytes, both
+/// stable under shrinking (|delta| only shrinks toward zero).
+inline constexpr std::uint32_t kPolicyDiffWeights[4] = {1, 2, 4, 8};
+inline net::Packet policy_diff_packet(const Op& op, std::uint64_t id,
+                                      net::TimeNs now) {
+    const std::uint64_t mag =
+        static_cast<std::uint64_t>(op.delta < 0 ? -op.delta : op.delta);
+    net::Packet p;
+    p.id = id;
+    p.flow = static_cast<net::FlowId>(mag % 4);
+    p.size_bytes = 64 + static_cast<std::uint32_t>(mag % 24) * 61;
+    p.arrival_ns = now;
+    return p;
+}
+
+/// Run one op sequence against a policy scheduler and its rank oracle in
+/// lockstep. Checks enqueue accept/reject parity (RIFO admission), the
+/// *identity* of every served packet, and occupancy after every op.
+inline std::optional<std::string> diff_policy_scheduler(
+    const OpSeq& ops, const PolicyDiffConfig& cfg) {
+    const sched_prog::RankConfig rc = policy_diff_rank_config();
+    const auto fail = [](std::size_t i, const std::string& what) {
+        return "op " + std::to_string(i) + ": " + what;
+    };
+    const auto show = [](const net::Packet& p) {
+        return "{id " + std::to_string(p.id) + ", flow " + std::to_string(p.flow) +
+               ", " + std::to_string(p.size_bytes) + "B}";
+    };
+
+    // Build the DUT and its mirror; expose both behind uniform lambdas.
+    std::unique_ptr<scheduler::Scheduler> dut;
+    std::function<net::FlowId(std::uint32_t)> ref_add_flow;
+    std::function<bool(const net::Packet&, net::TimeNs)> ref_enqueue;
+    std::function<std::optional<net::Packet>(net::TimeNs)> ref_dequeue;
+    std::function<std::size_t()> ref_size;
+
+    std::optional<ref::RefRankOracle> pifo_ref;
+    std::optional<ref::RefSpPifo> sp_ref;
+    std::optional<ref::RefRifo> rifo_ref;
+    switch (cfg.dut) {
+        case PolicyDiffConfig::Dut::kPifo: {
+            sched_prog::PifoScheduler::Config pc;
+            pc.policy = cfg.policy;
+            pc.rank = rc;
+            dut = std::make_unique<sched_prog::PifoScheduler>(pc, [&cfg] {
+                baselines::QueueParams qp;
+                qp.range_bits = cfg.range_bits;
+                qp.capacity = cfg.capacity;
+                qp.backend = cfg.backend;
+                return baselines::make_tag_queue(cfg.queue, qp);
+            });
+            pifo_ref.emplace(cfg.policy, rc);
+            ref_add_flow = [&](std::uint32_t w) { return pifo_ref->add_flow(w); };
+            ref_enqueue = [&](const net::Packet& p, net::TimeNs t) {
+                pifo_ref->enqueue(p, t);
+                return true;
+            };
+            ref_dequeue = [&](net::TimeNs t) { return pifo_ref->dequeue(t); };
+            ref_size = [&] { return pifo_ref->size(); };
+            break;
+        }
+        case PolicyDiffConfig::Dut::kSpPifo: {
+            sched_prog::SpPifoScheduler::Config sc;
+            sc.policy = cfg.policy;
+            sc.rank = rc;
+            sc.num_queues = cfg.sp_queues;
+            dut = std::make_unique<sched_prog::SpPifoScheduler>(sc);
+            sp_ref.emplace(cfg.policy, cfg.sp_queues, rc);
+            ref_add_flow = [&](std::uint32_t w) { return sp_ref->add_flow(w); };
+            ref_enqueue = [&](const net::Packet& p, net::TimeNs t) {
+                sp_ref->enqueue(p, t);
+                return true;
+            };
+            ref_dequeue = [&](net::TimeNs t) { return sp_ref->dequeue(t); };
+            ref_size = [&] { return sp_ref->size(); };
+            break;
+        }
+        case PolicyDiffConfig::Dut::kRifo: {
+            sched_prog::RifoScheduler::Config fc;
+            fc.policy = cfg.policy;
+            fc.rank = rc;
+            fc.fifo_capacity = cfg.rifo_capacity;
+            dut = std::make_unique<sched_prog::RifoScheduler>(fc);
+            rifo_ref.emplace(cfg.policy, cfg.rifo_capacity, rc);
+            ref_add_flow = [&](std::uint32_t w) { return rifo_ref->add_flow(w); };
+            ref_enqueue = [&](const net::Packet& p, net::TimeNs t) {
+                return rifo_ref->enqueue(p, t);
+            };
+            ref_dequeue = [&](net::TimeNs t) { return rifo_ref->dequeue(t); };
+            ref_size = [&] { return rifo_ref->size(); };
+            break;
+        }
+    }
+
+    for (const std::uint32_t w : kPolicyDiffWeights) {
+        const net::FlowId a = dut->add_flow(w);
+        const net::FlowId b = ref_add_flow(w);
+        if (a != b)
+            return std::string("flow registration diverged: DUT id ") +
+                   std::to_string(a) + ", reference id " + std::to_string(b);
+    }
+
+    constexpr net::TimeNs kStepNs = 800;  // ~65% of a 1Gb/s link at ~810B mean
+    net::TimeNs now = 0;
+    std::uint64_t next_id = 1;
+
+    const auto do_enqueue = [&](const Op& op,
+                                std::size_t i) -> std::optional<std::string> {
+        const net::Packet pkt = policy_diff_packet(op, next_id++, now);
+        const bool dut_ok = dut->enqueue(pkt, now);
+        const bool ref_ok = ref_enqueue(pkt, now);
+        if (dut_ok != ref_ok)
+            return fail(i, "admission diverged on " + show(pkt) + ": DUT " +
+                               (dut_ok ? "accepted" : "dropped") +
+                               ", reference " + (ref_ok ? "accepted" : "dropped"));
+        return std::nullopt;
+    };
+    const auto do_dequeue = [&](std::size_t i) -> std::optional<std::string> {
+        const auto got = dut->dequeue(now);
+        const auto want = ref_dequeue(now);
+        if (got.has_value() != want.has_value())
+            return fail(i, std::string("dequeue emptiness diverged: reference ") +
+                               (want ? "served a packet" : "was empty") +
+                               ", DUT " + (got ? "served a packet" : "was empty"));
+        if (want && got->id != want->id)
+            return fail(i, "service order diverged: reference served " +
+                               show(*want) + ", DUT served " + show(*got));
+        return std::nullopt;
+    };
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op& op = ops[i];
+        now += kStepNs;
+        switch (op.kind) {
+            case OpKind::kInsert:
+                if (auto err = do_enqueue(op, i)) return err;
+                break;
+            case OpKind::kPop:
+                if (auto err = do_dequeue(i)) return err;
+                break;
+            case OpKind::kCombined:
+                if (auto err = do_enqueue(op, i)) return err;
+                if (auto err = do_dequeue(i)) return err;
+                break;
+            case OpKind::kAddBank:
+            case OpKind::kRemoveBank:
+            case OpKind::kPumpMigration:
+                break;  // no reshard surface on schedulers: skip
+        }
+        if (dut->queued_packets() != ref_size())
+            return fail(i, "occupancy diverged: reference " +
+                               std::to_string(ref_size()) + ", DUT " +
+                               std::to_string(dut->queued_packets()));
+    }
+    // Drain: every queued packet must still come out in oracle order.
+    std::size_t drains = ref_size();
+    for (std::size_t i = 0; i < drains; ++i) {
+        now += kStepNs;
+        if (auto err = do_dequeue(ops.size() + i)) return err;
+    }
+    return std::nullopt;
+}
+
+/// Generator profiles for the policy differ: the standard mixes with the
+/// backlog capped so the live WFQ rank span stays inside every sorter
+/// window in standard_policy_configs (96 packets x ~187 tags < 2^15).
+inline std::vector<GenProfile> policy_profiles() {
+    std::vector<GenProfile> v = all_profiles(/*span=*/4096);
+    for (GenProfile& p : v) {
+        p.max_backlog = 96;
+        p.min_backlog = 2;
+        p.reshard_prob = 0.0;  // schedulers have no reshard surface
+    }
+    return v;
+}
+
+/// The policy conformance matrix: every exact policy across sorter
+/// geometries and both backends, plus the approximations (which carry a
+/// mirror of their own, not the exact-PIFO oracle).
+inline std::vector<PolicyDiffConfig> standard_policy_configs() {
+    using Dut = PolicyDiffConfig::Dut;
+    using Policy = sched_prog::RankPolicy;
+    using Kind = baselines::QueueKind;
+    using Backend = baselines::SorterBackend;
+    struct Geometry {
+        const char* name;
+        Kind kind;
+        unsigned range_bits;
+    };
+    static const Geometry kGeometries[] = {
+        {"multibit20", Kind::MultibitTree, 20},
+        {"multibit16", Kind::MultibitTree, 16},
+        {"multibit24", Kind::MultibitTree, 24},
+        {"binary16", Kind::BinaryTree, 16},
+    };
+    std::vector<PolicyDiffConfig> v;
+    for (const Policy policy : sched_prog::all_rank_policies()) {
+        for (const Geometry& g : kGeometries) {
+            for (const Backend backend :
+                 {Backend::kModel, Backend::kFfs}) {
+                PolicyDiffConfig c;
+                c.name = "pifo-" + sched_prog::rank_policy_name(policy) + "-" +
+                         g.name + "-" + baselines::backend_name(backend);
+                c.dut = Dut::kPifo;
+                c.policy = policy;
+                c.queue = g.kind;
+                c.range_bits = g.range_bits;
+                c.backend = backend;
+                v.push_back(std::move(c));
+            }
+        }
+    }
+    // Approximations: single-stage policies only (WF2Q+ needs the exact
+    // two-sorter arrangement), across queue counts / capacities.
+    for (const unsigned q : {2u, 8u}) {
+        for (const Policy policy : {Policy::kWfq, Policy::kSrpt}) {
+            PolicyDiffConfig c;
+            c.name = "sp-pifo-" + sched_prog::rank_policy_name(policy) + "-" +
+                     std::to_string(q) + "q";
+            c.dut = Dut::kSpPifo;
+            c.policy = policy;
+            c.sp_queues = q;
+            v.push_back(std::move(c));
+        }
+    }
+    for (const std::size_t cap : {std::size_t{16}, std::size_t{48}}) {
+        for (const Policy policy : {Policy::kWfq, Policy::kLstf}) {
+            PolicyDiffConfig c;
+            c.name = "rifo-" + sched_prog::rank_policy_name(policy) + "-" +
+                     std::to_string(cap);
+            c.dut = Dut::kRifo;
+            c.policy = policy;
+            c.rifo_capacity = cap;
+            v.push_back(std::move(c));
+        }
+    }
+    return v;
+}
+
 // ---------------------------------------------- scheduler vs GPS fluid
 
 struct SchedulerDiffConfig {
@@ -1138,6 +1424,41 @@ inline std::optional<std::string> diff_scheduler_vs_gps(
     const auto violations = gps.check_departure_bound(result, cfg.slack_s);
     if (!violations.empty())
         return sched->name() + " broke the GPS departure bound: " +
+               ref::RefGpsScheduler::describe(violations);
+    return std::nullopt;
+}
+
+/// The same Parekh–Gallager check for the rank-function path: a
+/// PifoScheduler running the WFQ or WF2Q+ rank policy over an exact
+/// PIFO is a fair-queueing scheduler and owes the identical departure
+/// bound D_p <= F_gps + Lmax/r. Nothing in the generic PIFO machinery
+/// may weaken the guarantee the dedicated schedulers earn.
+inline std::optional<std::string> diff_pifo_vs_gps(
+    sched_prog::RankPolicy policy, const SchedulerDiffConfig& cfg) {
+    sched_prog::PifoScheduler::Config pc;
+    pc.policy = policy;
+    pc.rank.link_rate_bps = cfg.link_rate_bps;
+    pc.rank.tag_granularity_bits = cfg.tag_granularity_bits;
+    baselines::QueueParams params;
+    params.range_bits = cfg.range_bits;
+    params.capacity = cfg.queue_capacity;
+    sched_prog::PifoScheduler sched(pc, [&] {
+        return baselines::make_tag_queue(cfg.queue, params);
+    });
+
+    std::vector<double> weights;
+    auto flows = make_diff_flows(cfg, weights);
+    net::SimDriver driver(cfg.link_rate_bps);
+    const net::SimResult result = driver.run(sched, flows);
+    if (result.dropped_packets != 0)
+        return "workload dropped " + std::to_string(result.dropped_packets) +
+               " packet(s); the departure bound only covers served packets";
+    if (result.records.empty()) return "workload produced no packets";
+
+    ref::RefGpsScheduler gps(cfg.link_rate_bps, weights);
+    const auto violations = gps.check_departure_bound(result, cfg.slack_s);
+    if (!violations.empty())
+        return sched.name() + " broke the GPS departure bound: " +
                ref::RefGpsScheduler::describe(violations);
     return std::nullopt;
 }

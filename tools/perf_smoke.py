@@ -3,6 +3,8 @@
 
 Usage:
   perf_smoke.py <committed.json> <fresh.json> [--tolerance FRAC]
+  perf_smoke.py --policy <committed_policy.json> <fresh_policy.json>
+                [--tolerance FRAC]
   perf_smoke.py --host-overhead <off.json[,off2,...]> <on.json[,on2,...]>
                 [--overhead-tolerance FRAC]
 
@@ -42,6 +44,18 @@ fresh run's host.pipeline.*_stall_ns gauges (and the host_profile
 bottleneck when the run was made with --timeseries): wall-clock numbers
 never gate in this mode, but the breakdown is what explains a pipeline
 speedup — or the lack of one — at a glance.
+
+--policy mode gates bench/policy_comparison artifacts (modeled,
+seed-deterministic metrics only):
+  1. every fresh row with policy.<row>.exact == 1 must report exactly
+     zero inversions — an exact PIFO that inverts is a scheduler bug,
+     not a perf regression, and no tolerance applies;
+  2. every approximation row (exact == 0) must stay inside the committed
+     inversion-rate envelope: fresh <= committed * (1 + tolerance);
+  3. an approximation whose committed rate is non-zero must stay
+     non-zero — a sudden 0 means the inversion meter stopped observing,
+     not that SP-PIFO/RIFO became exact;
+  4. every committed policy.* row must still be present in the fresh run.
 
 --host-overhead mode gates the cost of telemetry itself: both file lists
 come from the *same machine and bench*, the first run plain, the second
@@ -133,6 +147,67 @@ def run_host_overhead(args):
     return 0
 
 
+def policy_rows(metrics):
+    """Map row name -> {metric: value} over the policy.* gauges."""
+    rows = {}
+    for name, value in metrics.items():
+        if not name.startswith("policy."):
+            continue
+        row, _, metric = name[len("policy."):].rpartition(".")
+        if row:
+            rows.setdefault(row, {})[metric] = value
+    return rows
+
+
+def run_policy(args):
+    committed = policy_rows(flat_metrics(load_doc(args.committed)))
+    fresh = policy_rows(flat_metrics(load_doc(args.fresh)))
+    failures = []
+    checked = 0
+    if not fresh:
+        failures.append("fresh run has no policy.* gauges — wrong file?")
+    for row in sorted(committed):
+        if row not in fresh:
+            failures.append(f"{row}: missing from fresh run")
+    for row in sorted(fresh):
+        metrics = fresh[row]
+        if metrics.get("exact") == 1.0:
+            checked += 1
+            inv = metrics.get("inversions")
+            status = "ok" if inv == 0 else "INVERTED"
+            print(f"  {row}: exact PIFO, {inv:.0f} inversions {status}")
+            if inv != 0:
+                failures.append(
+                    f"{row}: exact PIFO reported {inv:.0f} inversions "
+                    "(must be exactly 0)")
+            continue
+        base = committed.get(row, {}).get("inversion_rate")
+        rate = metrics.get("inversion_rate", 0.0)
+        if base is None:
+            print(f"  {row}: inversion rate {rate:.4f} (new row, no envelope)")
+            continue
+        checked += 1
+        limit = base * (1.0 + args.tolerance)
+        status = "ok" if rate <= limit else "REGRESSED"
+        print(f"  {row}: inversion rate {base:.4f} -> {rate:.4f} "
+              f"(limit {limit:.4f}) {status}")
+        if rate > limit:
+            failures.append(f"{row}: inversion rate {rate:.4f} > {limit:.4f}")
+        if base > 0.0 and rate == 0.0:
+            failures.append(
+                f"{row}: committed inversion rate {base:.4f} but fresh run saw "
+                "none — is the inversion meter still observing this row?")
+    if checked == 0:
+        failures.append("no policy rows checked — wrong file pair?")
+    if failures:
+        print(f"PERF SMOKE FAIL ({len(failures)} issue(s)):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"PERF SMOKE PASS ({checked} policy checks)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("committed",
@@ -143,6 +218,10 @@ def main():
                              "--host-overhead mode")
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="allowed fractional cycles/op regression (default 5%%)")
+    parser.add_argument("--policy", action="store_true",
+                        help="gate bench/policy_comparison artifacts: exact "
+                             "rows invert zero times, approximation rows stay "
+                             "inside the committed inversion-rate envelope")
     parser.add_argument("--host-overhead", action="store_true",
                         help="gate telemetry cost: both args are same-machine "
                              "host.ops_per_sec runs, plain vs --timeseries")
@@ -165,6 +244,8 @@ def main():
 
     if args.host_overhead:
         return run_host_overhead(args)
+    if args.policy:
+        return run_policy(args)
 
     committed_doc = load_doc(args.committed)
     fresh_doc = load_doc(args.fresh)

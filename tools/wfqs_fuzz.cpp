@@ -56,7 +56,7 @@ struct Options {
     std::size_t cases = 0;         ///< 0 = unbounded (budget-limited)
     double minutes = 1.0;          ///< wall-clock budget; 0 = unbounded
     unsigned threads = 1;          ///< soak workers
-    std::string target = "all";    ///< tag|ffs|sharded|baseline|matcher|scheduler|pipeline|all
+    std::string target = "all";    ///< tag|ffs|sharded|baseline|matcher|scheduler|policy|pipeline|all
     std::string artifact_dir = ".";
     std::string replay;            ///< replay one .ops file instead of fuzzing
     std::string flight;            ///< flight-recorder dump path ("" = off)
@@ -71,7 +71,7 @@ struct Options {
                  "usage: %s [--seed N] [--ops N] [--cases N] [--minutes F]\n"
                  "          [--threads N]\n"
                  "          [--target tag|ffs|sharded|baseline|matcher|scheduler|"
-                 "pipeline|all]\n"
+                 "policy|pipeline|all]\n"
                  "          [--backend model|ffs]  (pipeline queue; env WFQS_BACKEND)\n"
                  "          [--artifact-dir DIR] [--replay FILE.ops]\n"
                  "          [--flight DUMP.ops]\n",
@@ -105,7 +105,7 @@ Options parse_args(int argc, char** argv) {
     if (opt.target != "all" && opt.target != "tag" && opt.target != "ffs" &&
         opt.target != "sharded" && opt.target != "baseline" &&
         opt.target != "matcher" && opt.target != "scheduler" &&
-        opt.target != "pipeline")
+        opt.target != "policy" && opt.target != "pipeline")
         usage(argv[0]);
     if (!backend.empty()) {
         const auto parsed = baselines::backend_from_name(backend);
@@ -168,18 +168,15 @@ void flight_dump_failure(const std::string& name, const OpSeq& ops,
                                          g_flight_path);
 }
 
-/// One fuzz pass of a sorter family config; returns false on divergence.
-/// `extra` appends target-specific profiles beyond the standard five
-/// (the sharded target adds reshard churn, which only its hook executes).
-bool fuzz_sorter_config(const std::string& name, const CheckFn& check,
-                        std::uint64_t span, const Options& opt,
-                        std::uint64_t round,
-                        const std::vector<GenProfile>& extra = {}) {
+/// One fuzz pass of a config over an explicit profile list; returns
+/// false on divergence.
+bool fuzz_profiles_config(const std::string& name, const CheckFn& check,
+                          std::vector<GenProfile> profiles, const Options& opt,
+                          std::uint64_t round) {
     RunConfig cfg;
     cfg.seed = case_seed(opt.seed, round * 1000003);
     cfg.ops_per_case = opt.ops;
-    cfg.profiles = all_profiles(span);
-    for (const GenProfile& p : extra) cfg.profiles.push_back(p);
+    cfg.profiles = std::move(profiles);
     cfg.cases = cfg.profiles.size();  // one case per profile per round
     cfg.artifact_dir = opt.artifact_dir;
     cfg.artifact_stem = name;
@@ -196,6 +193,18 @@ bool fuzz_sorter_config(const std::string& name, const CheckFn& check,
                 failure->artifact_path.c_str(), failure->artifact_path.c_str());
     flight_dump_failure(name, failure->ops, failure->message);
     return false;
+}
+
+/// One fuzz pass of a sorter family config; returns false on divergence.
+/// `extra` appends target-specific profiles beyond the standard five
+/// (the sharded target adds reshard churn, which only its hook executes).
+bool fuzz_sorter_config(const std::string& name, const CheckFn& check,
+                        std::uint64_t span, const Options& opt,
+                        std::uint64_t round,
+                        const std::vector<GenProfile>& extra = {}) {
+    std::vector<GenProfile> profiles = all_profiles(span);
+    for (const GenProfile& p : extra) profiles.push_back(p);
+    return fuzz_profiles_config(name, check, std::move(profiles), opt, round);
 }
 
 bool fuzz_tag(const Options& opt, std::uint64_t round) {
@@ -327,6 +336,22 @@ bool fuzz_pipeline(const Options& opt, std::uint64_t round) {
     return true;
 }
 
+/// Every rank policy × sorter geometry × backend (plus the SP-PIFO and
+/// RIFO approximation mirrors) in lockstep with the src/ref rank
+/// oracles. The profiles cap the backlog so every policy's live rank
+/// span stays inside the narrowest sorter window in the matrix.
+bool fuzz_policy(const Options& opt, std::uint64_t round) {
+    for (const auto& entry : standard_policy_configs()) {
+        const CheckFn check = [&](const OpSeq& ops) {
+            return diff_policy_scheduler(ops, entry);
+        };
+        if (!fuzz_profiles_config("policy-" + entry.name, check,
+                                  policy_profiles(), opt, round))
+            return false;
+    }
+    return true;
+}
+
 bool fuzz_matcher(const Options& opt, std::uint64_t round) {
     const std::vector<unsigned> widths = {2, 3, 4, 8, 16, 24, 32, 48, 64};
     matcher::BehavioralMatcher behavioral;
@@ -409,6 +434,12 @@ int replay(const Options& opt) {
             ok = false;
         }
     }
+    for (const auto& entry : standard_policy_configs()) {
+        if (auto err = diff_policy_scheduler(ops, entry)) {
+            std::printf("FAIL policy-%s: %s\n", entry.name.c_str(), err->c_str());
+            ok = false;
+        }
+    }
     std::printf("%s\n", ok ? "ok: every configuration conforms" : "DIVERGENCE");
     return ok ? 0 : 1;
 }
@@ -435,6 +466,7 @@ int main(int argc, char** argv) {
     const bool do_baseline = opt.target == "all" || opt.target == "baseline";
     const bool do_matcher = opt.target == "all" || opt.target == "matcher";
     const bool do_scheduler = opt.target == "all" || opt.target == "scheduler";
+    const bool do_policy = opt.target == "all" || opt.target == "policy";
     const bool do_pipeline = opt.target == "all" || opt.target == "pipeline";
 
     // One full round of every selected family at round number `round`.
@@ -446,6 +478,7 @@ int main(int argc, char** argv) {
         if (ok && do_baseline) ok = ok && fuzz_baseline(opt, round);
         if (ok && do_matcher) ok = ok && fuzz_matcher(opt, round);
         if (ok && do_scheduler) ok = ok && fuzz_scheduler(opt, round);
+        if (ok && do_policy) ok = ok && fuzz_policy(opt, round);
         if (ok && do_pipeline) ok = ok && fuzz_pipeline(opt, round);
         return ok;
     };
