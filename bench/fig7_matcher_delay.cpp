@@ -13,6 +13,7 @@
 #include "common/table.hpp"
 #include "matcher/circuit.hpp"
 #include "obs/bench_io.hpp"
+#include "tree/geometry.hpp"
 
 using namespace wfqs;
 using namespace wfqs::matcher;
@@ -54,6 +55,36 @@ int main(int argc, char** argv) {
     std::printf(" %.0f MHz at 0.25 ns/gate (paper: 154 MHz on Stratix II FPGA)\n",
                 1000.0 / (delay_units * 0.25));
     reporter.registry().gauge("f7.flagship_16bit_mhz").set(1000.0 / (delay_units * 0.25));
+
+    // Wide-geometry operating points (DESIGN.md §15): a heterogeneous
+    // tree clocks at its *widest* level's matcher, so the numbers that
+    // matter are the per-level worst delays, not one homogeneous width.
+    std::printf("\nper-geometry critical level (select & look-ahead):\n");
+    struct GeoPoint {
+        const char* name;
+        wfqs::tree::TreeGeometry geometry;
+    };
+    const GeoPoint points[] = {
+        {"paper12", wfqs::tree::TreeGeometry::paper()},
+        {"het20", wfqs::tree::TreeGeometry::heterogeneous({5, 4, 5, 6})},
+        {"het24", wfqs::tree::TreeGeometry::heterogeneous({2, 4, 6, 6, 6})},
+        {"wide32", wfqs::tree::TreeGeometry::wide32()},
+    };
+    for (const GeoPoint& p : points) {
+        double worst = 0.0;
+        unsigned widest = 2;
+        for (unsigned l = 0; l < p.geometry.levels; ++l) {
+            const unsigned w = p.geometry.branching(l) < 2 ? 2 : p.geometry.branching(l);
+            const double d =
+                build_matcher(MatcherKind::SelectLookahead, w).netlist().critical_path_delay();
+            if (d > worst) { worst = d; widest = w; }
+        }
+        std::printf("  %-8s widest node %3u-way: %.1f gate delays\n", p.name,
+                    widest, worst);
+        reporter.registry()
+            .gauge("f7.geometry." + std::string(p.name) + ".worst_delay")
+            .set(worst);
+    }
     reporter.finish();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include "common/table.hpp"
 #include "matcher/circuit.hpp"
 #include "obs/bench_io.hpp"
+#include "tree/geometry.hpp"
 
 using namespace wfqs;
 using namespace wfqs::matcher;
@@ -46,6 +47,35 @@ int main(int argc, char** argv) {
             table.add_row(row);
         }
         std::printf("-- %s --\n%s\n", metric, table.render().c_str());
+    }
+
+    // Wide-geometry totals (DESIGN.md §15): a heterogeneous tree carries
+    // one matcher per level, each sized to that level's fan-out, so the
+    // area that matters is the per-geometry sum rather than any single
+    // homogeneous width.
+    std::printf("-- per-geometry matcher total (select & look-ahead, GE) --\n");
+    struct GeoPoint {
+        const char* name;
+        wfqs::tree::TreeGeometry geometry;
+    };
+    const GeoPoint points[] = {
+        {"paper12", wfqs::tree::TreeGeometry::paper()},
+        {"het20", wfqs::tree::TreeGeometry::heterogeneous({5, 4, 5, 6})},
+        {"het24", wfqs::tree::TreeGeometry::heterogeneous({2, 4, 6, 6, 6})},
+        {"wide32", wfqs::tree::TreeGeometry::wide32()},
+    };
+    for (const GeoPoint& p : points) {
+        double total = 0.0;
+        for (unsigned l = 0; l < p.geometry.levels; ++l) {
+            const unsigned w = p.geometry.branching(l) < 2 ? 2 : p.geometry.branching(l);
+            total += build_matcher(MatcherKind::SelectLookahead, w)
+                         .netlist()
+                         .area_gate_equivalents();
+        }
+        std::printf("  %-8s %u levels: %.0f GE\n", p.name, p.geometry.levels, total);
+        reporter.registry()
+            .gauge("f8.geometry." + std::string(p.name) + ".total_ge")
+            .set(total);
     }
     reporter.finish();
     return 0;

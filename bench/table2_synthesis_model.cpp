@@ -35,9 +35,15 @@ int main(int argc, char** argv) {
          {tree::TreeGeometry::paper_15bit(), std::size_t{1} << 20, 24}},
         {"binary tree over 12-bit tags",
          {tree::TreeGeometry::binary(12), std::size_t{1} << 20, 24}},
+        {"24-bit heterogeneous (2+4+6+6+6), tiered table",
+         {tree::TreeGeometry::heterogeneous({2, 4, 6, 6, 6}), std::size_t{1} << 20,
+          24}},
+        {"32-bit wide (2+6x5), tiered table",
+         {tree::TreeGeometry::wide32(), std::size_t{1} << 20, 24}},
     };
 
-    const char* variant_keys[] = {"paper_12bit", "variant_15bit", "binary_12bit"};
+    const char* variant_keys[] = {"paper_12bit", "variant_15bit", "binary_12bit",
+                                  "het_24bit", "wide_32bit"};
     for (std::size_t i = 0; i < std::size(variants); ++i) {
         const auto& v = variants[i];
         const SynthesisReport r =
@@ -47,6 +53,8 @@ int main(int argc, char** argv) {
         auto& reg = reporter.registry();
         reg.counter(base + "tree_memory_bits").inc(r.tree_memory_bits);
         reg.counter(base + "translation_memory_bits").inc(r.translation_memory_bits);
+        if (r.bulk_memory_bits > 0)
+            reg.counter(base + "bulk_memory_bits").inc(r.bulk_memory_bits);
         reg.gauge(base + "logic_area_ge").set(r.logic_area_ge);
         reg.gauge(base + "clock_mhz").set(r.clock_mhz);
         reg.gauge(base + "mpps").set(r.mpps);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
 #include <string>
 #include <utility>
 
@@ -38,7 +39,7 @@ FfsSorter::FfsSorter(const Config& config)
     std::uint64_t bits = range_;
     do {
         const std::uint64_t words = ceil_div(bits, 64);
-        levels_.emplace_back(words, 0);
+        levels_.emplace_back(words);
         bits = words;
     } while (bits > 1);
 
@@ -52,11 +53,11 @@ FfsSorter::FfsSorter(const Config& config)
 }
 
 void FfsSorter::reset_structures() {
-    for (auto& level : levels_) std::fill(level.begin(), level.end(), 0);
+    for (auto& level : levels_) level.clear();
     std::fill(chains_.begin(), chains_.end(), Chain{});
     for (std::size_t i = 0; i < capacity_; ++i) {
         nodes_[i].payload = 0;
-        nodes_[i].value = kNull;
+        nodes_[i].value = kNullValue;
         nodes_[i].next = i + 1 < capacity_ ? static_cast<std::uint32_t>(i + 1) : kNull;
     }
     free_head_ = 0;
@@ -88,25 +89,25 @@ void FfsSorter::bit_clear(std::uint64_t p) {
 }
 
 bool FfsSorter::bit_test(std::uint64_t p) const {
-    return ((levels_[0][p >> 6] >> (p & 63)) & 1U) != 0;
+    return ((levels_[0].get(p >> 6) >> (p & 63)) & 1U) != 0;
 }
 
 std::optional<std::uint64_t> FfsSorter::next_geq(std::uint64_t physical) const {
     if (physical >= range_) return std::nullopt;
     std::uint64_t idx = physical >> 6;
     const std::uint64_t first =
-        levels_[0][idx] & ~low_mask(static_cast<unsigned>(physical & 63));
+        levels_[0].get(idx) & ~low_mask(static_cast<unsigned>(physical & 63));
     if (first != 0)
         return (idx << 6) | static_cast<unsigned>(std::countr_zero(first));
     for (unsigned lvl = 1; lvl < levels_.size(); ++lvl) {
         const std::uint64_t w = idx >> 6;
         const unsigned b = static_cast<unsigned>(idx & 63);
-        const std::uint64_t summary = levels_[lvl][w] & ~low_mask(b + 1);
+        const std::uint64_t summary = levels_[lvl].get(w) & ~low_mask(b + 1);
         if (summary != 0) {
             std::uint64_t pos =
                 (w << 6) | static_cast<unsigned>(std::countr_zero(summary));
             for (unsigned dl = lvl; dl-- > 0;) {
-                const std::uint64_t child = levels_[dl][pos];
+                const std::uint64_t child = levels_[dl].get(pos);
                 WFQS_ASSERT(child != 0);  // summary bit ⇒ non-empty child word
                 pos = (pos << 6) | static_cast<unsigned>(std::countr_zero(child));
             }
@@ -121,17 +122,17 @@ std::optional<std::uint64_t> FfsSorter::closest_leq(std::uint64_t physical) cons
     if (physical >= range_) physical = range_ - 1;
     std::uint64_t idx = physical >> 6;
     const unsigned b0 = static_cast<unsigned>(physical & 63);
-    const std::uint64_t first = levels_[0][idx] & low_mask(b0 + 1);
+    const std::uint64_t first = levels_[0].get(idx) & low_mask(b0 + 1);
     if (first != 0) return (idx << 6) | static_cast<unsigned>(highest_set(first));
     for (unsigned lvl = 1; lvl < levels_.size(); ++lvl) {
         const std::uint64_t w = idx >> 6;
         const unsigned b = static_cast<unsigned>(idx & 63);
-        const std::uint64_t summary = levels_[lvl][w] & low_mask(b);
+        const std::uint64_t summary = levels_[lvl].get(w) & low_mask(b);
         if (summary != 0) {
             std::uint64_t pos =
                 (w << 6) | static_cast<unsigned>(highest_set(summary));
             for (unsigned dl = lvl; dl-- > 0;) {
-                const std::uint64_t child = levels_[dl][pos];
+                const std::uint64_t child = levels_[dl].get(pos);
                 WFQS_ASSERT(child != 0);
                 pos = (pos << 6) | static_cast<unsigned>(highest_set(child));
             }
@@ -145,10 +146,9 @@ std::optional<std::uint64_t> FfsSorter::closest_leq(std::uint64_t physical) cons
 // -- duplicate chains -------------------------------------------------------
 
 std::uint32_t FfsSorter::chain_slot(std::uint64_t p) const {
-    const std::uint32_t key = static_cast<std::uint32_t>(p);
-    std::uint32_t i = mix32(key) & slot_mask_;
-    while (chains_[i].key != kNull) {
-        if (chains_[i].key == key) return i;
+    std::uint32_t i = mix32(static_cast<std::uint32_t>(p)) & slot_mask_;
+    while (chains_[i].key != kNullValue) {
+        if (chains_[i].key == p) return i;
         i = (i + 1) & slot_mask_;
     }
     return kNull;
@@ -165,10 +165,9 @@ const FfsSorter::Chain* FfsSorter::chain_find(std::uint64_t p) const {
 }
 
 FfsSorter::Chain& FfsSorter::chain_insert(std::uint64_t p) {
-    const std::uint32_t key = static_cast<std::uint32_t>(p);
-    std::uint32_t i = mix32(key) & slot_mask_;
-    while (chains_[i].key != kNull) i = (i + 1) & slot_mask_;
-    chains_[i].key = key;
+    std::uint32_t i = mix32(static_cast<std::uint32_t>(p)) & slot_mask_;
+    while (chains_[i].key != kNullValue) i = (i + 1) & slot_mask_;
+    chains_[i].key = p;
     return chains_[i];
 }
 
@@ -180,11 +179,12 @@ void FfsSorter::chain_erase(std::uint64_t p) {
     // value is an erase).
     std::uint32_t j = i;
     for (;;) {
-        chains_[i].key = kNull;
+        chains_[i].key = kNullValue;
         for (;;) {
             j = (j + 1) & slot_mask_;
-            if (chains_[j].key == kNull) return;
-            const std::uint32_t home = mix32(chains_[j].key) & slot_mask_;
+            if (chains_[j].key == kNullValue) return;
+            const std::uint32_t home =
+                mix32(static_cast<std::uint32_t>(chains_[j].key)) & slot_mask_;
             // Move j's entry into the hole at i only if its home slot does
             // not lie cyclically inside (i, j] — otherwise the move would
             // break j's own probe chain.
@@ -203,12 +203,12 @@ std::uint32_t FfsSorter::alloc_node(std::uint64_t value, std::uint32_t payload) 
     free_head_ = nodes_[n].next;
     nodes_[n].payload = payload;
     nodes_[n].next = kNull;
-    nodes_[n].value = static_cast<std::uint32_t>(value);
+    nodes_[n].value = value;
     return n;
 }
 
 void FfsSorter::free_node(std::uint32_t n) {
-    nodes_[n].value = kNull;
+    nodes_[n].value = kNullValue;
     nodes_[n].next = free_head_;
     free_head_ = n;
 }
@@ -442,22 +442,34 @@ fault::AuditReport FfsSorter::audit() const {
         report.issues.push_back({kind, std::move(detail), repairable});
     };
 
-    // Summary levels must mirror the leaf words.
+    // Summary levels must mirror the leaf words. Both directions run over
+    // nonzero words only (a 32-bit leaf level is 2^26 words — almost all
+    // zero): expected summaries are built sparsely from the level below,
+    // compared against the nonzero actual words, and whatever survives in
+    // `expected` is a summary word that should be set but reads zero.
     for (unsigned lvl = 1; lvl < levels_.size(); ++lvl) {
-        const auto& lower = levels_[lvl - 1];
-        for (std::size_t w = 0; w < levels_[lvl].size(); ++w) {
-            std::uint64_t expected = 0;
-            for (unsigned b = 0; b < 64; ++b) {
-                const std::size_t child = (w << 6) | b;
-                if (child < lower.size() && lower[child] != 0)
-                    expected |= std::uint64_t{1} << b;
-            }
-            if (levels_[lvl][w] != expected) {
+        std::map<std::uint64_t, std::uint64_t> expected;
+        levels_[lvl - 1].for_each_nonzero(
+            [&](std::uint64_t child, std::uint64_t) {
+                expected[child >> 6] |= std::uint64_t{1} << (child & 63);
+            });
+        levels_[lvl].for_each_nonzero([&](std::uint64_t w, std::uint64_t word) {
+            const auto it = expected.find(w);
+            const std::uint64_t want = it == expected.end() ? 0 : it->second;
+            if (word != want) {
                 issue(fault::IntegrityKind::kTreeInvariant,
                       "summary word " + std::to_string(w) + " at level " +
                           std::to_string(lvl) + " disagrees with the level below",
                       true);
             }
+            if (it != expected.end()) expected.erase(it);
+        });
+        for (const auto& [w, want] : expected) {
+            (void)want;
+            issue(fault::IntegrityKind::kTreeInvariant,
+                  "summary word " + std::to_string(w) + " at level " +
+                      std::to_string(lvl) + " disagrees with the level below",
+                  true);
         }
     }
 
@@ -468,7 +480,7 @@ fault::AuditReport FfsSorter::audit() const {
     std::uint64_t walked = 0;
     bool chains_ok = true;
     for (const Chain& chain : chains_) {
-        if (chain.key == kNull) continue;
+        if (chain.key == kNullValue) continue;
         const std::uint64_t p = chain.key;
         if (p >= range_) {
             issue(fault::IntegrityKind::kBrokenLink,
@@ -496,7 +508,7 @@ fault::AuditReport FfsSorter::audit() const {
                 broken = true;
                 break;
             }
-            if (nodes_[n].value != static_cast<std::uint32_t>(p)) {
+            if (nodes_[n].value != p) {
                 issue(fault::IntegrityKind::kTagOrder,
                       "node " + std::to_string(n) +
                           " disagrees with its chain key " + std::to_string(p),
@@ -517,13 +529,12 @@ fault::AuditReport FfsSorter::audit() const {
     }
 
     // Leaf markers without a chain (the "marker without translation"
-    // analogue).
-    for (std::size_t w = 0; w < levels_[0].size(); ++w) {
-        std::uint64_t word = levels_[0][w];
+    // analogue). Nonzero leaf words only.
+    levels_[0].for_each_nonzero([&](std::uint64_t w, std::uint64_t word) {
         while (word != 0) {
             const unsigned b = static_cast<unsigned>(std::countr_zero(word));
             word &= word - 1;
-            const std::uint64_t p = (static_cast<std::uint64_t>(w) << 6) | b;
+            const std::uint64_t p = (w << 6) | b;
             if (p >= range_) {
                 issue(fault::IntegrityKind::kTreeInvariant,
                       "leaf marker beyond the value range", true);
@@ -534,7 +545,7 @@ fault::AuditReport FfsSorter::audit() const {
                       true);
             }
         }
-    }
+    });
 
     // Free-list walk: every node must be exactly live or free.
     std::uint64_t free_count = 0;
@@ -548,7 +559,7 @@ fault::AuditReport FfsSorter::audit() const {
             freelist_ok = false;
             break;
         }
-        if (nodes_[n].value != kNull) {
+        if (nodes_[n].value != kNullValue) {
             issue(fault::IntegrityKind::kFreeList,
                   "free node " + std::to_string(n) + " carries a live value",
                   true);
@@ -597,17 +608,17 @@ bool FfsSorter::repair(const fault::AuditReport& report) {
     // ground truth, so recompute all derived structures from it.
     std::vector<char> live(capacity_, 0);
     std::uint64_t walked = 0;
-    for (auto& level : levels_) std::fill(level.begin(), level.end(), 0);
+    for (auto& level : levels_) level.clear();
     std::fill(sector_occupancy_.begin(), sector_occupancy_.end(), 0);
     for (Chain& chain : chains_) {
-        if (chain.key == kNull) continue;
+        if (chain.key == kNullValue) continue;
         const std::uint64_t p = chain.key;
         std::uint32_t n = chain.head;
         std::uint32_t last = kNull;
         std::uint64_t len = 0;
         while (n != kNull) {
             if (n >= capacity_ || live[n] != 0 || len >= capacity_) return false;
-            nodes_[n].value = static_cast<std::uint32_t>(p);
+            nodes_[n].value = p;
             live[n] = 1;
             ++len;
             last = n;
@@ -621,7 +632,7 @@ bool FfsSorter::repair(const fault::AuditReport& report) {
     free_head_ = kNull;
     for (std::size_t i = capacity_; i-- > 0;) {
         if (live[i]) continue;
-        nodes_[i].value = kNull;
+        nodes_[i].value = kNullValue;
         nodes_[i].next = free_head_;
         free_head_ = static_cast<std::uint32_t>(i);
     }
@@ -640,7 +651,7 @@ std::size_t FfsSorter::rebuild() {
     std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
     entries.reserve(std::min(prior, capacity_));
     for (const Chain& chain : chains_) {
-        if (chain.key == kNull || chain.key >= range_) continue;
+        if (chain.key == kNullValue || chain.key >= range_) continue;
         const std::uint64_t p = chain.key;
         std::uint32_t n = chain.head;
         std::uint64_t len = 0;

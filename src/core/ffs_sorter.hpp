@@ -35,9 +35,12 @@
 // structural burst check instead; see tests/proptest/differ.hpp).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/tag_sorter.hpp"  // SortedTag, SorterStats, TagSorter::Config
@@ -46,13 +49,84 @@
 
 namespace wfqs::core {
 
+/// Bitmap level storage for the FFS sorter: dense vector up to
+/// kDenseWords (every paper-scale geometry — keeps the hot successor
+/// scan a plain array access), demand-allocated 4 KiB pages above it so
+/// a 32-bit leaf level (2^26 words = 512 MiB dense) costs memory
+/// proportional to the live value set. An absent page reads as zero.
+class PagedWords {
+public:
+    static constexpr std::uint64_t kDenseWords = std::uint64_t{1} << 16;
+    static constexpr unsigned kPageShift = 9;  ///< 512 words = 4 KiB/page
+    static constexpr std::uint64_t kPageMask = (std::uint64_t{1} << kPageShift) - 1;
+
+    explicit PagedWords(std::uint64_t words = 0)
+        : words_(words), dense_(words <= kDenseWords) {
+        if (dense_) data_.assign(static_cast<std::size_t>(words), 0);
+    }
+
+    std::uint64_t size() const { return words_; }
+    bool dense() const { return dense_; }
+
+    std::uint64_t get(std::uint64_t idx) const {
+        if (dense_) return data_[static_cast<std::size_t>(idx)];
+        const auto it = pages_.find(idx >> kPageShift);
+        return it == pages_.end()
+                   ? 0
+                   : it->second[static_cast<std::size_t>(idx & kPageMask)];
+    }
+
+    /// Writable word (allocates the page in paged mode). Also the debug
+    /// corruption hook: `level[w] ^= bit`.
+    std::uint64_t& operator[](std::uint64_t idx) {
+        if (dense_) return data_[static_cast<std::size_t>(idx)];
+        auto& page = pages_[idx >> kPageShift];
+        if (page.empty()) page.assign(std::size_t{1} << kPageShift, 0);
+        return page[static_cast<std::size_t>(idx & kPageMask)];
+    }
+
+    void clear() {
+        if (dense_)
+            std::fill(data_.begin(), data_.end(), 0);
+        else
+            pages_.clear();
+    }
+
+    /// Visit every nonzero word (sound in paged mode because only writes
+    /// allocate pages). Unordered across pages.
+    void for_each_nonzero(
+        const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+        if (dense_) {
+            for (std::uint64_t w = 0; w < words_; ++w)
+                if (data_[static_cast<std::size_t>(w)] != 0)
+                    fn(w, data_[static_cast<std::size_t>(w)]);
+            return;
+        }
+        for (const auto& [page_idx, page] : pages_) {
+            const std::uint64_t base = page_idx << kPageShift;
+            for (std::size_t i = 0; i < page.size(); ++i)
+                if (page[i] != 0) fn(base + i, page[i]);
+        }
+    }
+
+private:
+    std::uint64_t words_ = 0;
+    bool dense_ = true;
+    std::vector<std::uint64_t> data_;
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> pages_;
+};
+
 class FfsSorter {
 public:
     /// Same knobs, same defaults, same meaning as the cycle model — the
     /// conformance matrix in tests/proptest runs both from one Config.
     using Config = TagSorter::Config;
 
-    static constexpr std::uint32_t kNull = 0xFFFF'FFFFu;
+    static constexpr std::uint32_t kNull = 0xFFFF'FFFFu;  ///< null node index
+    /// Null sentinel for *values*: distinct from every physical tag, even
+    /// 2^32 − 1 in the full 32-bit tag space (a uint32 sentinel would
+    /// collide with it).
+    static constexpr std::uint64_t kNullValue = ~std::uint64_t{0};
 
     explicit FfsSorter(const Config& config);
 
@@ -129,13 +203,11 @@ public:
     unsigned debug_level_count() const {
         return static_cast<unsigned>(levels_.size());
     }
-    std::vector<std::uint64_t>& debug_level(unsigned level) {
-        return levels_[level];
-    }
+    PagedWords& debug_level(unsigned level) { return levels_[level]; }
     std::uint32_t& debug_node_next(std::uint32_t node) {
         return nodes_[node].next;
     }
-    std::uint32_t& debug_node_value(std::uint32_t node) {
+    std::uint64_t& debug_node_value(std::uint32_t node) {
         return nodes_[node].value;
     }
     std::uint32_t& debug_free_head() { return free_head_; }
@@ -151,10 +223,10 @@ private:
     struct Node {
         std::uint32_t payload = 0;
         std::uint32_t next = kNull;
-        std::uint32_t value = kNull;  ///< physical tag; kNull while free
+        std::uint64_t value = kNullValue;  ///< physical tag; kNullValue while free
     };
     struct Chain {
-        std::uint32_t key = kNull;  ///< physical tag; kNull = empty slot
+        std::uint64_t key = kNullValue;  ///< physical tag; kNullValue = empty slot
         std::uint32_t head = kNull;
         std::uint32_t tail = kNull;
     };
@@ -197,7 +269,8 @@ private:
 
     /// levels_[0] is the leaf bitmap (one bit per value); each higher level
     /// summarises 64 words of the one below; the top level is one word.
-    std::vector<std::vector<std::uint64_t>> levels_;
+    /// Wide geometries page the big lower levels (see PagedWords).
+    std::vector<PagedWords> levels_;
     std::vector<Node> nodes_;
     std::vector<Chain> chains_;
     std::uint32_t free_head_ = kNull;
@@ -209,9 +282,17 @@ private:
     unsigned lead_sector_ = 0;
     mutable SorterStats stats_;  ///< mutable: audit() is const but counts findings
     // Exported for name parity with the model backend; never sampled into.
-    obs::CycleHistogram insert_cycles_hist_{0.0, 32.0, 32};
-    obs::CycleHistogram pop_cycles_hist_{0.0, 32.0, 32};
-    obs::CycleHistogram combined_cycles_hist_{0.0, 32.0, 32};
+    // Bin geometry mirrors TagSorter::hist_bins so per-backend exports of
+    // one config stay mergeable/comparable.
+    obs::CycleHistogram insert_cycles_hist_{
+        0.0, static_cast<double>(TagSorter::hist_bins(config_)),
+        TagSorter::hist_bins(config_)};
+    obs::CycleHistogram pop_cycles_hist_{
+        0.0, static_cast<double>(TagSorter::hist_bins(config_)),
+        TagSorter::hist_bins(config_)};
+    obs::CycleHistogram combined_cycles_hist_{
+        0.0, static_cast<double>(TagSorter::hist_bins(config_)),
+        TagSorter::hist_bins(config_)};
 };
 
 }  // namespace wfqs::core

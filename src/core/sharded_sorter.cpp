@@ -38,6 +38,15 @@ ShardedSorter::ShardedSorter(const Config& config, hw::Simulation& sim)
     WFQS_REQUIRE(config.num_banks >= 1 &&
                      std::has_single_bit(std::uint64_t{config.num_banks}),
                  "bank count must be a power of two");
+    // The interleave math is width-agnostic: it shifts *logical* 64-bit
+    // tags, and each bank wraps its local tag to its own geometry. Guard
+    // the headroom anyway so a 32-bit bank geometry plus the bank shift
+    // cannot push the local physical space past what the bank represents.
+    WFQS_REQUIRE(config.bank.geometry.tag_bits() +
+                         static_cast<unsigned>(std::countr_zero(
+                             std::uint64_t{config.num_banks})) <=
+                     63,
+                 "bank tag width plus interleave shift must stay below 64 bits");
     shift_ = static_cast<unsigned>(std::countr_zero(std::uint64_t{config.num_banks}));
     mask_ = config.num_banks - 1;
     ii_ = std::max(config.bank.geometry.levels + 1u, 4u);

@@ -38,16 +38,39 @@ SynthesisReport synthesize(const TagSorter::Config& config,
     r.tree_memory_bits = g.total_memory_bits();
     const unsigned addr_bits = static_cast<unsigned>(
         64 - std::countl_zero(static_cast<std::uint64_t>(config.capacity)));
-    r.translation_memory_bits = g.capacity() * (addr_bits + 1);
+    // Translation storage follows the same flat/tiered resolution as the
+    // sorter itself: narrow spaces keep the paper's per-value SRAM, wide
+    // spaces put only the hot cache on chip and size the bulk tier (off
+    // chip, DRAM) to the live capacity instead of the 2^W value space.
+    const bool tiered = config.tiered_table.value_or(
+        g.tag_bits() > storage::TranslationTable::kFlatTagBitsMax);
+    if (tiered) {
+        const unsigned line_bits =
+            1 + addr_bits + (g.tag_bits() - config.table_hot_bits);
+        r.translation_memory_bits =
+            (std::uint64_t{1} << config.table_hot_bits) * line_bits;
+        r.bulk_memory_bits =
+            static_cast<std::uint64_t>(config.capacity) * (g.tag_bits() + addr_bits);
+    } else {
+        r.translation_memory_bits = g.capacity() * (addr_bits + 1);
+    }
 
     // One matching circuit per tree level (§III-A: "three identical
-    // matching circuits are required").
-    const matcher::MatcherCircuit circuit = matcher::build_matcher(kind, g.branching());
+    // matching circuits are required" — heterogeneous geometries size
+    // each level's matcher to that level's fan-out; the widest level
+    // sets the critical path).
+    double total_matcher_ge = 0.0;
+    for (unsigned l = 0; l < g.levels; ++l) {
+        const matcher::MatcherCircuit circuit =
+            matcher::build_matcher(kind, std::max(2u, g.branching(l)));
+        const double area = circuit.netlist().area_gate_equivalents();
+        total_matcher_ge += area;
+        r.matcher_area_ge = std::max(r.matcher_area_ge, area);
+        r.matcher_delay_units =
+            std::max(r.matcher_delay_units, circuit.netlist().critical_path_delay());
+    }
     r.matcher_count = g.levels;
-    r.matcher_area_ge = circuit.netlist().area_gate_equivalents();
-    r.matcher_delay_units = circuit.netlist().critical_path_delay();
-    r.logic_area_ge =
-        r.matcher_area_ge * static_cast<double>(r.matcher_count) * (1.0 + kControlOverhead);
+    r.logic_area_ge = total_matcher_ge * (1.0 + kControlOverhead);
 
     // The clock must accommodate one node match plus node-memory access in
     // a cycle; the matcher dominates for wide nodes, the SRAM for narrow.
@@ -70,8 +93,10 @@ SynthesisReport synthesize(const TagSorter::Config& config,
 
     // Power at the model clock: per cycle the pipeline touches roughly one
     // node word per level plus one translation entry.
+    std::uint64_t node_bits_touched = 0;
+    for (unsigned l = 0; l < g.levels; ++l) node_bits_touched += g.branching(l);
     const double bits_touched_per_cycle =
-        static_cast<double>(g.levels * g.branching() + addr_bits + 1);
+        static_cast<double>(node_bits_touched + addr_bits + 1);
     r.memory_power_mw =
         bits_touched_per_cycle * kSramPjPerBit * r.clock_mhz * 1e6 / 1e9;
     r.logic_power_mw = r.logic_area_ge * kActivity * kLogicPjPerGeToggle *
@@ -92,6 +117,7 @@ SynthesisReport synthesize_sharded(const ShardedSorter::Config& config,
     r.num_banks = n;
     r.tree_memory_bits *= n;
     r.translation_memory_bits *= n;
+    r.bulk_memory_bits *= n;
     r.matcher_count *= n;
     r.logic_area_ge *= n;
 
@@ -129,6 +155,8 @@ std::string format_synthesis_report(const SynthesisReport& r) {
     TextTable t({"metric", "value"});
     t.add_row({"tree memory (bits)", TextTable::num(r.tree_memory_bits)});
     t.add_row({"translation table (bits)", TextTable::num(r.translation_memory_bits)});
+    if (r.bulk_memory_bits > 0)
+        t.add_row({"bulk tier, off-chip (bits)", TextTable::num(r.bulk_memory_bits)});
     t.add_row({"matching circuits", TextTable::num(r.matcher_count)});
     t.add_row({"matcher area (GE)", TextTable::num(r.matcher_area_ge, 0)});
     t.add_row({"logic area (GE, incl. control)", TextTable::num(r.logic_area_ge, 0)});

@@ -27,9 +27,15 @@ namespace wfqs::core {
 struct SynthesisReport {
     // Structure
     std::uint64_t tree_memory_bits = 0;
+    /// On-chip translation storage: the flat per-value SRAM for narrow
+    /// geometries, or just the hot-cache SRAM when the config resolves to
+    /// the tiered table (the bulk tier is off-chip, reported separately).
     std::uint64_t translation_memory_bits = 0;
+    /// Off-chip (DRAM) bulk-tier footprint for tiered configs, sized to
+    /// the live capacity rather than the 2^W value space; 0 when flat.
+    std::uint64_t bulk_memory_bits = 0;
     std::uint64_t matcher_count = 0;
-    double matcher_area_ge = 0.0;   ///< per matcher, gate equivalents
+    double matcher_area_ge = 0.0;   ///< widest level's matcher, gate equivalents
     double logic_area_ge = 0.0;     ///< total logic incl. control estimate
 
     // Timing

@@ -16,22 +16,52 @@ unsigned addr_bits_for(std::size_t capacity) {
 unsigned sram_level_for(const tree::TreeGeometry& g) {
     return std::min(2u, g.levels);
 }
+// Construction-time width audit: every field that later travels through a
+// uint32 (SortedTag::payload, storage::Addr) or a packed SRAM word is
+// checked here, so a too-wide configuration fails loudly instead of
+// silently truncating mid-datapath.
+const TagSorter::Config& checked(const TagSorter::Config& config) {
+    config.geometry.validate();
+    WFQS_REQUIRE(config.payload_bits >= 1 && config.payload_bits <= 32,
+                 "payload width must be 1..32 bits (SortedTag::payload is uint32)");
+    WFQS_REQUIRE(config.capacity >= 2 &&
+                     config.capacity <= (std::size_t{1} << 30),
+                 "capacity must be 2..2^30 slots (list addresses are uint32 "
+                 "with headroom for the null encoding)");
+    return config;
+}
+storage::TranslationTable::Config table_config(const TagSorter::Config& config) {
+    return {config.geometry.tag_bits(), addr_bits_for(config.capacity),
+            config.tiered_table, config.table_hot_bits,
+            config.table_miss_penalty_cycles};
+}
 }  // namespace
 
+std::size_t TagSorter::hist_bins(const Config& config) {
+    const bool tiered = config.tiered_table.value_or(
+        config.geometry.tag_bits() > storage::TranslationTable::kFlatTagBitsMax);
+    // Worst op ≈ tree descent + list FSM + retirement: bounded by 8
+    // cycles per level plus an 8-cycle floor; a tiered table can add the
+    // bulk-miss stall (twice: lookup + install window slack).
+    std::uint64_t top = 8ull * config.geometry.levels + 8;
+    if (tiered) top += 2ull * config.table_miss_penalty_cycles;
+    return static_cast<std::size_t>((top + 31) / 32 * 32);
+}
+
 TagSorter::TagSorter(const Config& config, hw::Simulation& sim)
-    : config_(config),
+    : config_(checked(config)),
       owned_matcher_(std::make_unique<matcher::BehavioralMatcher>()),
       tree_({config.geometry, sram_level_for(config.geometry)}, sim, *owned_matcher_),
-      table_({config.geometry.tag_bits(), addr_bits_for(config.capacity)}, sim),
+      table_(table_config(config), sim),
       store_({config.capacity, config.geometry.tag_bits(), config.payload_bits}, sim),
       clock_(sim.clock()),
       range_(config.geometry.capacity()) {}
 
 TagSorter::TagSorter(const Config& config, hw::Simulation& sim,
                      matcher::MatcherEngine& matcher)
-    : config_(config),
+    : config_(checked(config)),
       tree_({config.geometry, sram_level_for(config.geometry)}, sim, matcher),
-      table_({config.geometry.tag_bits(), addr_bits_for(config.capacity)}, sim),
+      table_(table_config(config), sim),
       store_({config.capacity, config.geometry.tag_bits(), config.payload_bits}, sim),
       clock_(sim.clock()),
       range_(config.geometry.capacity()) {}

@@ -79,6 +79,12 @@ public:
         /// needed). With `strict_min_discipline` such a tag throws
         /// (paper-exact behaviour); otherwise it becomes the new head.
         bool strict_min_discipline = false;
+        /// Translation-table backing (see storage::TranslationTable):
+        /// unset picks flat up to TranslationTable::kFlatTagBitsMax tag
+        /// bits and the tiered hot-cache + bulk model above that.
+        std::optional<bool> tiered_table{};
+        unsigned table_hot_bits = 14;
+        unsigned table_miss_penalty_cycles = 20;
     };
 
     /// Builds the circuit with the behavioural matcher (the cycle-level
@@ -185,6 +191,16 @@ public:
     void register_metrics(obs::MetricsRegistry& registry,
                           const std::string& prefix = "sorter") const;
 
+    /// One-bin-per-cycle histogram span for this configuration: the paper
+    /// geometry's worst op is ~13 cycles, so 32 bins cover it with slack;
+    /// deeper trees add up to 8 cycles per level and a tiered table adds
+    /// the bulk-miss penalty — derive the top so no legal op ever lands
+    /// in the clamped last bin. Rounded up to a multiple of 32 (the
+    /// paper geometry stays at exactly 32 bins, keeping committed bench
+    /// JSONs byte-identical). Public so the host backend can mirror the
+    /// bin geometry (mergeable/ comparable exports).
+    static std::size_t hist_bins(const Config& config);
+
 private:
     /// Datapath bodies shared by the scalar and batch entry points (the
     /// public wrappers add the per-op or per-batch trace span).
@@ -214,11 +230,16 @@ private:
     std::uint64_t max_logical_ = 0;   ///< largest live logical tag
     unsigned lead_sector_ = 0;        ///< root sector containing the head
     SorterStats stats_;
-    // Worst observed op is ~13 cycles; 32 one-cycle bins leave headroom
-    // for deeper geometries while keeping the distribution exact.
-    obs::CycleHistogram insert_cycles_hist_{0.0, 32.0, 32};
-    obs::CycleHistogram pop_cycles_hist_{0.0, 32.0, 32};
-    obs::CycleHistogram combined_cycles_hist_{0.0, 32.0, 32};
+    // One-cycle bins over [0, hist_bins(config_)): exact distribution,
+    // range derived from the geometry depth + table miss penalty so deep
+    // or tiered configurations never clip into the last bin (the unit-bin
+    // fast lane needs hi == bins, preserved by construction).
+    obs::CycleHistogram insert_cycles_hist_{
+        0.0, static_cast<double>(hist_bins(config_)), hist_bins(config_)};
+    obs::CycleHistogram pop_cycles_hist_{
+        0.0, static_cast<double>(hist_bins(config_)), hist_bins(config_)};
+    obs::CycleHistogram combined_cycles_hist_{
+        0.0, static_cast<double>(hist_bins(config_)), hist_bins(config_)};
 };
 
 }  // namespace wfqs::core

@@ -156,46 +156,65 @@ fault::AuditReport TagSorter::audit_impl() const {
         }
     }
 
-    // 3. Orphaned translation entries (value no longer live).
-    for (std::uint64_t value = 0; value < table_.entries(); ++value) {
-        if (table_.peek(value) && walk.newest.find(value) == walk.newest.end()) {
+    // 3. Orphaned translation entries (value no longer live). Scans only
+    // valid entries — never 2^tag_bits of them — so wide tag spaces audit
+    // in time proportional to what is actually stored.
+    table_.for_each_valid([&](std::uint64_t value, Addr) {
+        if (walk.newest.find(value) == walk.newest.end()) {
             issue(fault::IntegrityKind::kTranslationDangling,
                   "orphaned translation entry for value " + std::to_string(value),
                   /*repairable=*/true);
         }
-    }
+    });
 
     // 4. Orphaned leaf markers, and interior nodes out of sync with their
     // children (a parent bit must be set iff the child node is non-empty).
+    // Both directions run over nonzero nodes only: the expected parent
+    // words are built sparsely from the live children, then compared
+    // against the nonzero actual words; whatever survives in `expected`
+    // is a parent that should be marked but is all-zero.
     const tree::TreeGeometry& g = config_.geometry;
-    const unsigned B = g.branching();
     const unsigned leaf = g.levels - 1;
-    for (std::uint64_t idx = 0; idx < g.nodes_at_level(leaf); ++idx) {
-        std::uint64_t word = tree_.node_word(leaf, idx) & low_mask(B);
+    const unsigned leaf_b = g.branching(leaf);
+    tree_.for_each_nonzero_node(leaf, [&](std::uint64_t idx, std::uint64_t word) {
+        word &= low_mask(leaf_b);
         while (word != 0) {
             const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
             word &= word - 1;
-            const std::uint64_t value = idx * B + bit;
+            const std::uint64_t value = idx * leaf_b + bit;
             if (walk.newest.find(value) == walk.newest.end()) {
                 issue(fault::IntegrityKind::kTreeInvariant,
                       "orphaned tree marker for value " + std::to_string(value),
                       /*repairable=*/true);
             }
         }
-    }
+    });
     for (unsigned l = 0; l < leaf; ++l) {
-        for (std::uint64_t idx = 0; idx < g.nodes_at_level(l); ++idx) {
-            std::uint64_t expected = 0;
-            for (unsigned b = 0; b < B; ++b) {
-                if ((tree_.node_word(l + 1, idx * B + b) & low_mask(B)) != 0)
-                    expected = set_bit(expected, b);
-            }
-            if ((tree_.node_word(l, idx) & low_mask(B)) != expected) {
+        const unsigned b_here = g.branching(l);
+        const unsigned b_child = g.branching(l + 1);
+        std::map<std::uint64_t, std::uint64_t> expected;
+        tree_.for_each_nonzero_node(
+            l + 1, [&](std::uint64_t child, std::uint64_t word) {
+                if ((word & low_mask(b_child)) == 0) return;
+                expected[child / b_here] |= std::uint64_t{1} << (child % b_here);
+            });
+        tree_.for_each_nonzero_node(l, [&](std::uint64_t idx, std::uint64_t word) {
+            const auto it = expected.find(idx);
+            const std::uint64_t want = it == expected.end() ? 0 : it->second;
+            if ((word & low_mask(b_here)) != want) {
                 issue(fault::IntegrityKind::kTreeInvariant,
                       "interior node " + std::to_string(idx) + " at level " +
                           std::to_string(l) + " disagrees with its children",
                       /*repairable=*/true);
             }
+            if (it != expected.end()) expected.erase(it);
+        });
+        for (const auto& [idx, want] : expected) {
+            (void)want;
+            issue(fault::IntegrityKind::kTreeInvariant,
+                  "interior node " + std::to_string(idx) + " at level " +
+                      std::to_string(l) + " disagrees with its children",
+                  /*repairable=*/true);
         }
     }
 
@@ -250,18 +269,44 @@ bool TagSorter::repair(const fault::AuditReport& report) {
         store_.poke_slot(walk.tail, tail);
     }
 
-    // Translation table := value -> newest live slot, nothing else.
-    for (std::uint64_t value = 0; value < table_.entries(); ++value) {
-        const auto it = walk.newest.find(value);
-        const std::optional<Addr> desired =
-            it == walk.newest.end() ? std::nullopt : std::optional<Addr>(it->second);
-        if (table_.peek(value) != desired) table_.poke(value, desired);
+    // Translation table := value -> newest live slot, nothing else. Work
+    // scales with valid + live entries, not 2^tag_bits: clear the stale
+    // valid set first (collected before mutating — poking during the scan
+    // would be iteration UB), then write every live value that disagrees.
+    std::vector<std::uint64_t> stale_values;
+    table_.for_each_valid([&](std::uint64_t value, Addr) {
+        if (walk.newest.find(value) == walk.newest.end())
+            stale_values.push_back(value);
+    });
+    for (const std::uint64_t value : stale_values) table_.poke(value, std::nullopt);
+    for (const auto& [value, newest_addr] : walk.newest) {
+        if (table_.peek(value) != std::optional<Addr>(newest_addr))
+            table_.poke(value, newest_addr);
     }
 
     // Tree leaves := the live value set; interior levels and the marker
-    // count follow from the leaves.
-    for (std::uint64_t value = 0; value < range_; ++value)
-        tree_.set_leaf_marker(value, walk.newest.find(value) != walk.newest.end());
+    // count follow from the leaves. Same sparse discipline: unmark only
+    // the markers that exist and should not, then mark the live set.
+    const tree::TreeGeometry& g = config_.geometry;
+    const unsigned leaf = g.levels - 1;
+    const unsigned leaf_b = g.branching(leaf);
+    std::vector<std::uint64_t> orphan_markers;
+    tree_.for_each_nonzero_node(leaf, [&](std::uint64_t idx, std::uint64_t word) {
+        word &= low_mask(leaf_b);
+        while (word != 0) {
+            const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+            word &= word - 1;
+            const std::uint64_t value = idx * leaf_b + bit;
+            if (walk.newest.find(value) == walk.newest.end())
+                orphan_markers.push_back(value);
+        }
+    });
+    for (const std::uint64_t value : orphan_markers)
+        tree_.set_leaf_marker(value, false);
+    for (const auto& [value, newest_addr] : walk.newest) {
+        (void)newest_addr;
+        tree_.set_leaf_marker(value, true);
+    }
     tree_.repair_from_leaves();
 
     // Empty list := every fresh-allocated slot that is not live, as an

@@ -11,6 +11,7 @@
 //   FaultError                   — base of everything recoverable here
 //   ├── SramAddressError         — access outside a memory block
 //   ├── SramPortConflict         — port budget exceeded in one cycle
+//   ├── SramInventoryError       — block exceeds the simulated inventory
 //   └── IntegrityError           — corrupted circuit state detected
 //       └── UncorrectableEccError — SECDED double-bit / parity word
 #pragma once
@@ -52,6 +53,32 @@ public:
 
 private:
     std::string memory_;
+};
+
+/// A requested memory block is larger than the simulated SRAM inventory
+/// supports — e.g. a degenerate binary tree over a 32-bit tag space
+/// would need a 2^31-word level. Thrown at construction, before any
+/// allocation is attempted, so an impossible geometry fails with a
+/// typed, catchable error instead of an allocation failure.
+class SramInventoryError : public FaultError {
+public:
+    SramInventoryError(std::string memory, std::uint64_t requested_words,
+                       std::uint64_t limit_words)
+        : FaultError("SRAM '" + memory + "' exceeds the simulated inventory: " +
+                     std::to_string(requested_words) + " words requested, " +
+                     std::to_string(limit_words) + " available per block"),
+          memory_(std::move(memory)),
+          requested_words_(requested_words),
+          limit_words_(limit_words) {}
+
+    const std::string& memory() const { return memory_; }
+    std::uint64_t requested_words() const { return requested_words_; }
+    std::uint64_t limit_words() const { return limit_words_; }
+
+private:
+    std::string memory_;
+    std::uint64_t requested_words_;
+    std::uint64_t limit_words_;
 };
 
 /// What kind of corruption an IntegrityError reports. Coarse-grained —

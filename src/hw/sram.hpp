@@ -29,11 +29,23 @@
 // the codec and injector dispatch are skipped, because both are
 // structurally inert when disabled. This is what lets the behavioural
 // benches sweep millions of ops per second on the host.
+//
+// Capacity note: blocks above kPagedThreshold words switch to a paged
+// backing store (4096-word pages allocated on first write) so a
+// 2^26-word tree leaf level or a multi-million-entry bulk tier is
+// simulatable without eagerly committing gigabytes of host memory. An
+// absent page reads as all-zero — exactly the dense block's initial
+// state — and every observable behaviour (port budget, stats, ECC,
+// injection) is identical; only the host-side representation differs.
+// Paged blocks always take the slow lane (`words_` stays empty, so the
+// inline fast-lane bounds check routes every access there).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/ecc.hpp"
@@ -57,6 +69,11 @@ struct SramStats {
 
 class Sram {
 public:
+    /// Words per page of the sparse backing store.
+    static constexpr std::size_t kPageWords = 4096;
+    /// Blocks above this many words use the paged backing store.
+    static constexpr std::size_t kPagedThreshold = std::size_t{1} << 20;
+
     /// `word_bits` is informational (drives the area model); words are held
     /// in uint64 and masked on write.
     Sram(std::string name, std::size_t num_words, unsigned word_bits, Clock& clock,
@@ -132,10 +149,32 @@ public:
     /// them as corrupt. Identical to peek() when unprotected.
     std::uint64_t peek_corrected(std::size_t addr) const;
 
+    /// Maintenance zero of the whole block (no ports, no counters): the
+    /// paged backing drops every page; dense blocks are filled in place.
+    /// Used by bulk invalidation paths that would otherwise sweep every
+    /// word of a block far larger than its live contents.
+    void wipe();
+
+    /// Invoke `fn(addr, word)` for every *nonzero* word, corrected
+    /// through the protection exactly like peek_corrected. Dense blocks
+    /// scan every word; paged blocks visit only allocated pages (absent
+    /// pages are all-zero by construction, so the view is identical).
+    /// This is the audit/repair primitive that keeps maintenance sweeps
+    /// proportional to live state, not address-space size.
+    void for_each_nonzero_word(
+        const std::function<void(std::size_t, std::uint64_t)>& fn) const;
+    /// Same, restricted to addresses in [first, first + count).
+    void for_each_nonzero_word_in_range(
+        std::size_t first, std::size_t count,
+        const std::function<void(std::size_t, std::uint64_t)>& fn) const;
+
     const std::string& name() const { return name_; }
-    std::size_t num_words() const { return words_.size(); }
+    std::size_t num_words() const { return num_words_; }
     unsigned word_bits() const { return word_bits_; }
-    std::uint64_t bit_capacity() const { return words_.size() * word_bits_; }
+    bool paged() const { return paged_; }
+    std::uint64_t bit_capacity() const {
+        return static_cast<std::uint64_t>(num_words_) * word_bits_;
+    }
     const SramStats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }
 
@@ -143,6 +182,13 @@ public:
     unsigned peak_accesses_per_cycle() const { return peak_per_cycle_; }
 
 private:
+    /// One page of the sparse backing store. `check` is empty until the
+    /// block is protected, then holds one check word per data word.
+    struct Page {
+        std::vector<std::uint64_t> data;
+        std::vector<std::uint64_t> check;
+    };
+
     void check_addr(std::size_t addr, const char* op) const;
     /// Port accounting shared by both lanes: the counters update with
     /// straight-line selects; only the budget violation branches (into a
@@ -163,14 +209,34 @@ private:
         fast_path_ = injector_ == nullptr && check_words_.empty();
     }
 
+    // Paged-backing helpers (defined in sram.cpp). Raw accessors return
+    // the stored bits; an absent page reads as zero data with a
+    // consistent zero check word.
+    bool protected_() const { return !check_words_.empty() || paged_protected_; }
+    Page* find_page(std::size_t page_index);
+    const Page* find_page(std::size_t page_index) const;
+    Page& touch_page(std::size_t page_index);
+    std::uint64_t raw_word(std::size_t addr) const;
+    std::uint64_t raw_check(std::size_t addr) const;
+    void store_word(std::size_t addr, std::uint64_t data);
+    void store_check(std::size_t addr, std::uint64_t check);
+
     std::string name_;
     unsigned word_bits_;
     std::uint64_t word_mask_;
     Clock& clock_;
     unsigned ports_;
+    std::size_t num_words_ = 0;
+    bool paged_ = false;
+    /// Dense backing (empty in paged mode, so the inline fast lane's
+    /// bounds check routes paged accesses to the slow lane).
     std::vector<std::uint64_t> words_;
+    /// Sparse backing, keyed by addr / kPageWords. Absent = all-zero.
+    std::unordered_map<std::size_t, Page> pages_;
     fault::EccCodec codec_;
-    std::vector<std::uint64_t> check_words_;  ///< empty until protected
+    std::vector<std::uint64_t> check_words_;  ///< dense mode; empty until protected
+    bool paged_protected_ = false;            ///< paged mode protection flag
+    std::uint64_t zero_check_ = 0;            ///< codec_.encode(0) when protected
     fault::FaultInjector* injector_ = nullptr;
     bool fast_path_ = true;  ///< no codec, no injector: take the inline lane
     SramStats stats_;

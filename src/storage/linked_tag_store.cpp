@@ -22,14 +22,28 @@ LinkedTagStore::LinkedTagStore(const Config& config, hw::Simulation& sim)
     : config_(config),
       sram_([&]() -> hw::Sram& {
           WFQS_REQUIRE(config.capacity >= 2, "tag store needs at least two slots");
+          WFQS_REQUIRE(config.capacity <= (std::size_t{1} << 30),
+                       "tag store capped at 2^30 slots (next-pointer width)");
           WFQS_REQUIRE(config.tag_bits >= 1 && config.tag_bits <= 32,
                        "tag width must be 1..32 bits");
+          WFQS_REQUIRE(config.payload_bits >= 1 && config.payload_bits <= 32,
+                       "payload width must be 1..32 bits");
           const unsigned next_bits = bits_for(config.capacity);  // `capacity` encodes null
           const unsigned word = config.tag_bits + config.payload_bits + next_bits;
-          WFQS_REQUIRE(word <= 64, "tag store entry must pack into one 64-bit word");
-          return sim.make_sram("tag-store", config.capacity, word);
+          if (word <= 64)
+              return sim.make_sram("tag-store", config.capacity, word);
+          // Wide-slot layout: the lo stripe carries the link walk.
+          const unsigned lo_word = config.tag_bits + next_bits;
+          WFQS_REQUIRE(lo_word <= 64,
+                       "tag + next pointer must pack into the lo stripe");
+          return sim.make_sram("tag-store", config.capacity, lo_word);
       }()),
-      clock_(sim.clock()) {}
+      clock_(sim.clock()) {
+    const unsigned next_bits = bits_for(config_.capacity);
+    if (config_.tag_bits + config_.payload_bits + next_bits > 64)
+        hi_sram_ = &sim.make_sram("tag-store-hi", config_.capacity,
+                                  config_.payload_bits);
+}
 
 std::uint64_t LinkedTagStore::pack(const Slot& s) const {
     const unsigned next_bits = bits_for(config_.capacity);
@@ -52,6 +66,54 @@ LinkedTagStore::Slot LinkedTagStore::unpack(std::uint64_t word) const {
         word >> (config_.tag_bits + config_.payload_bits);
     s.next = next_field == config_.capacity ? kNullAddr : static_cast<Addr>(next_field);
     return s;
+}
+
+std::uint64_t LinkedTagStore::pack_lo(const Slot& s) const {
+    WFQS_ASSERT(s.entry.tag < (std::uint64_t{1} << config_.tag_bits));
+    const std::uint64_t next_field =
+        s.next == kNullAddr ? config_.capacity : static_cast<std::uint64_t>(s.next);
+    return s.entry.tag | (next_field << config_.tag_bits);
+}
+
+LinkedTagStore::Slot LinkedTagStore::unpack_lo(std::uint64_t word) const {
+    Slot s;
+    s.entry.tag = word & low_mask(config_.tag_bits);
+    const std::uint64_t next_field = word >> config_.tag_bits;
+    s.next = next_field == config_.capacity ? kNullAddr : static_cast<Addr>(next_field);
+    s.entry.payload = 0;
+    return s;
+}
+
+LinkedTagStore::Slot LinkedTagStore::read_slot(Addr addr) {
+    if (hi_sram_ == nullptr) return unpack(sram_.read(addr));
+    Slot s = unpack_lo(sram_.read(addr));
+    s.entry.payload = static_cast<std::uint32_t>(hi_sram_->read(addr));
+    return s;
+}
+
+void LinkedTagStore::write_slot(Addr addr, const Slot& s) {
+    if (hi_sram_ == nullptr) {
+        sram_.write(addr, pack(s));
+        return;
+    }
+    sram_.write(addr, pack_lo(s));
+    hi_sram_->write(addr, s.entry.payload);
+}
+
+LinkedTagStore::Slot LinkedTagStore::peek_slot_raw(Addr addr) const {
+    if (hi_sram_ == nullptr) return unpack(sram_.peek_corrected(addr));
+    Slot s = unpack_lo(sram_.peek_corrected(addr));
+    s.entry.payload = static_cast<std::uint32_t>(hi_sram_->peek_corrected(addr));
+    return s;
+}
+
+void LinkedTagStore::poke_slot_raw(Addr addr, const Slot& s) {
+    if (hi_sram_ == nullptr) {
+        sram_.poke(addr, pack(s));
+        return;
+    }
+    sram_.poke(addr, pack_lo(s));
+    hi_sram_->poke(addr, s.entry.payload);
 }
 
 bool LinkedTagStore::full() const {
@@ -81,7 +143,10 @@ Addr LinkedTagStore::allocate_slot() {
                 " freed slot(s) outstanding");
     }
     const Addr slot = empty_head_;
-    const Slot s = unpack(sram_.read(slot));
+    // Only the link matters here: the chain walk never touches the
+    // payload stripe.
+    const Slot s = hi_sram_ == nullptr ? unpack(sram_.read(slot))
+                                       : unpack_lo(sram_.read(slot));
     empty_head_ = s.next;
     clock_.advance();
     return slot;
@@ -93,15 +158,15 @@ Addr LinkedTagStore::insert_after(Addr pred, const TagEntry& entry) {
     const std::uint64_t t0 = clock_.now();
     const Addr slot = allocate_slot();  // cycle 1
 
-    Slot pred_slot = unpack(sram_.read(pred));  // cycle 2
+    Slot pred_slot = read_slot(pred);  // cycle 2
     clock_.advance();
     const Addr succ = pred_slot.next;
 
     pred_slot.next = slot;  // cycle 3
-    sram_.write(pred, pack(pred_slot));
+    write_slot(pred, pred_slot);
     clock_.advance();
 
-    sram_.write(slot, pack(Slot{entry, succ}));  // cycle 4
+    write_slot(slot, Slot{entry, succ});  // cycle 4
     clock_.advance();
 
     ++size_;
@@ -116,7 +181,7 @@ Addr LinkedTagStore::insert_at_head(const TagEntry& entry) {
     const Addr slot = allocate_slot();  // cycle 1
     clock_.advance();                   // cycle 2: no predecessor to read
 
-    sram_.write(slot, pack(Slot{entry, head_}));  // cycle 3
+    write_slot(slot, Slot{entry, head_});  // cycle 3
     clock_.advance();
 
     head_ = slot;      // cycle 4: head register update
@@ -133,7 +198,7 @@ std::optional<TagEntry> LinkedTagStore::pop_head() {
     if (size_ == 0) return std::nullopt;
     const std::uint64_t t0 = clock_.now();
     const Addr old_head = head_;
-    const Slot s = unpack(sram_.read(old_head));  // single read cycle
+    const Slot s = read_slot(old_head);  // single read cycle
     clock_.advance();
     head_ = s.next;
     // The freed slot is *not* written: its stale pointer already names the
@@ -145,9 +210,9 @@ std::optional<TagEntry> LinkedTagStore::pop_head() {
     if (empty_list_length() == 0) {
         empty_head_ = old_head;
     } else if (free_tail_stale_next_ != old_head) {
-        Slot tail = unpack(sram_.peek_corrected(free_tail_));
+        Slot tail = peek_slot_raw(free_tail_);
         tail.next = old_head;
-        sram_.write(free_tail_, pack(tail));
+        write_slot(free_tail_, tail);
         clock_.advance();
     }
     free_tail_ = old_head;
@@ -164,8 +229,8 @@ LinkedTagStore::CombinedResult LinkedTagStore::insert_and_pop_head(
     WFQS_REQUIRE(size_ > 0, "insert_and_pop_head needs a non-empty list");
     const std::uint64_t t0 = clock_.now();
 
-    const Addr slot = head_;                     // reuse the departing slot
-    const Slot popped = unpack(sram_.read(slot));  // cycle 1
+    const Addr slot = head_;               // reuse the departing slot
+    const Slot popped = read_slot(slot);   // cycle 1
     clock_.advance();
     const Addr new_head = popped.next;
 
@@ -174,18 +239,18 @@ LinkedTagStore::CombinedResult LinkedTagStore::insert_and_pop_head(
         // occupying the same physical slot.
         clock_.advance();  // cycle 2 (no predecessor read)
         clock_.advance();  // cycle 3 (no predecessor write)
-        sram_.write(slot, pack(Slot{entry, new_head}));  // cycle 4
+        write_slot(slot, Slot{entry, new_head});  // cycle 4
         clock_.advance();
         // head_ already equals slot
     } else {
         WFQS_REQUIRE(pred < config_.capacity, "bad predecessor address");
-        Slot pred_slot = unpack(sram_.read(pred));  // cycle 2
+        Slot pred_slot = read_slot(pred);  // cycle 2
         clock_.advance();
         const Addr succ = pred_slot.next;
         pred_slot.next = slot;  // cycle 3
-        sram_.write(pred, pack(pred_slot));
+        write_slot(pred, pred_slot);
         clock_.advance();
-        sram_.write(slot, pack(Slot{entry, succ}));  // cycle 4
+        write_slot(slot, Slot{entry, succ});  // cycle 4
         clock_.advance();
         head_ = new_head;
     }
@@ -198,19 +263,19 @@ LinkedTagStore::CombinedResult LinkedTagStore::insert_and_pop_head(
 
 std::optional<TagEntry> LinkedTagStore::peek_head() const {
     if (size_ == 0) return std::nullopt;
-    return unpack(sram_.peek_corrected(head_)).entry;
+    return peek_slot_raw(head_).entry;
 }
 
 std::optional<std::uint64_t> LinkedTagStore::peek_second_tag() const {
     if (size_ < 2) return std::nullopt;
-    const Slot head = unpack(sram_.peek_corrected(head_));
+    const Slot head = peek_slot_raw(head_);
     if (head.next == kNullAddr || head.next >= config_.capacity) {
         throw fault::IntegrityError(
             fault::IntegrityKind::kBrokenLink,
             "head slot's next pointer is invalid with " + std::to_string(size_) +
                 " entries stored");
     }
-    return unpack(sram_.peek_corrected(head.next)).entry.tag;
+    return peek_slot_raw(head.next).entry.tag;
 }
 
 std::vector<TagEntry> LinkedTagStore::snapshot() const {
@@ -224,7 +289,7 @@ std::vector<TagEntry> LinkedTagStore::snapshot() const {
                 "list chain breaks after " + std::to_string(i) + " of " +
                     std::to_string(size_) + " entries");
         }
-        const Slot s = unpack(sram_.peek_corrected(a));
+        const Slot s = peek_slot_raw(a);
         out.push_back(s.entry);
         a = s.next;
     }
@@ -232,12 +297,12 @@ std::vector<TagEntry> LinkedTagStore::snapshot() const {
 }
 
 LinkedTagStore::SlotView LinkedTagStore::peek_slot(Addr addr) const {
-    const Slot s = unpack(sram_.peek_corrected(addr));
+    const Slot s = peek_slot_raw(addr);
     return SlotView{s.entry, s.next};
 }
 
 void LinkedTagStore::poke_slot(Addr addr, const SlotView& slot) {
-    sram_.poke(addr, pack(Slot{slot.entry, slot.next}));
+    poke_slot_raw(addr, Slot{slot.entry, slot.next});
 }
 
 void LinkedTagStore::relink_free_list(const std::vector<Addr>& free_slots) {

@@ -15,6 +15,15 @@
 // A simultaneous insert + remove-smallest also completes in the same four
 // cycles by reusing the departing head slot for the incoming tag instead
 // of touching the empty list (§III-C).
+//
+// Wide-slot mode: when tag + payload + next no longer pack into one
+// 64-bit word (32-bit tags with 24-bit payloads need 69+ bits), the
+// entry is striped across two parallel SRAMs — "tag-store" holds
+// tag | next (the link walk's critical path), "tag-store-hi" holds the
+// payload. Both are accessed in the same cycle (parallel banks of one
+// logical memory), so the 4-cycle FSM and every cycle count are
+// unchanged; narrow configurations keep the single-SRAM layout
+// bit-identically.
 #pragma once
 
 #include <cstdint>
@@ -124,6 +133,10 @@ public:
     const StoreStats& stats() const { return stats_; }
     const hw::Sram& memory() const { return sram_; }
     hw::Sram& memory() { return sram_; }  ///< scrubber/corruption-test access
+    /// Wide-slot mode's payload stripe; nullptr in the single-word layout.
+    hw::Sram* hi_memory() { return hi_sram_; }
+    const hw::Sram* hi_memory() const { return hi_sram_; }
+    bool wide() const { return hi_sram_ != nullptr; }
 
 private:
     struct Slot {
@@ -132,10 +145,20 @@ private:
     };
     std::uint64_t pack(const Slot& s) const;
     Slot unpack(std::uint64_t word) const;
+    std::uint64_t pack_lo(const Slot& s) const;  ///< wide mode: tag | next
+    Slot unpack_lo(std::uint64_t word) const;    ///< wide mode: payload = 0
+    /// Datapath slot access: one cycle's worth of (parallel) SRAM
+    /// traffic — a single access in narrow mode, one per stripe in wide.
+    Slot read_slot(Addr addr);
+    void write_slot(Addr addr, const Slot& s);
+    /// Maintenance views (no ports, no counters, ECC-corrected).
+    Slot peek_slot_raw(Addr addr) const;
+    void poke_slot_raw(Addr addr, const Slot& s);
     Addr allocate_slot();  ///< cycle 1 of an insert
 
     Config config_;
     hw::Sram& sram_;
+    hw::Sram* hi_sram_ = nullptr;
     hw::Clock& clock_;
     Addr head_ = kNullAddr;        ///< head of the sorted list (smallest tag)
     Addr empty_head_ = kNullAddr;  ///< head of the empty (free) list

@@ -1,13 +1,24 @@
-// Tree geometry: levels × bits-per-level, and the paper's memory
+// Tree geometry: per-level literal widths, and the paper's memory
 // equations (2) and (3).
 //
 // The paper's silicon instance is 3 levels of 4-bit literals (16-bit
 // nodes, branching factor 16, 12-bit tags); §III-A also discusses a
 // 15-bit variant (32-bit nodes) and the degenerate binary tree
 // (1-bit literals) appears in Table I as the slower alternative.
+//
+// Geometry is fully parametric: the historical uniform form
+// (levels × bits_per_level) is still an aggregate `{levels, bits}`,
+// and a per-level `bits[]` vector overrides it for heterogeneous
+// trees — e.g. {2, 6, 6, 6, 6, 6} is a 32-bit tag space whose root
+// sector count (4) stays small enough for the Fig. 6 window
+// discipline while the lower levels fan out 64-wide. Tag widths up
+// to 32 bits are legal; the translation table stops being a flat
+// one-entry-per-value SRAM above TranslationTable's tiering
+// threshold (see storage/translation_table.hpp).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
@@ -17,27 +28,73 @@ namespace wfqs::tree {
 struct TreeGeometry {
     unsigned levels = 3;
     unsigned bits_per_level = 4;
+    /// Per-level literal widths, most-significant level first. Empty =
+    /// uniform `bits_per_level` at every level; otherwise must hold
+    /// exactly `levels` entries.
+    std::vector<unsigned> bits{};
 
-    /// Branching factor B = node width in bits.
-    unsigned branching() const { return 1u << bits_per_level; }
+    friend bool operator==(const TreeGeometry&, const TreeGeometry&) = default;
+
+    /// Literal width consumed at `level` (level 0 = root).
+    unsigned level_bits(unsigned level) const {
+        WFQS_ASSERT(level < levels);
+        return bits.empty() ? bits_per_level : bits[level];
+    }
+
+    /// Branching factor (node width in bits) of `level`.
+    unsigned branching(unsigned level) const { return 1u << level_bits(level); }
+
+    /// Root branching factor: the sector count of the Fig. 6 window
+    /// discipline (uniform trees have this branching at every level).
+    unsigned branching() const { return branching(0); }
+
+    bool uniform() const {
+        for (unsigned l = 1; l < levels; ++l)
+            if (level_bits(l) != level_bits(0)) return false;
+        return true;
+    }
 
     /// Width of the tag values the tree can index.
-    unsigned tag_bits() const { return levels * bits_per_level; }
+    unsigned tag_bits() const {
+        if (bits.empty()) return levels * bits_per_level;
+        unsigned total = 0;
+        for (unsigned l = 0; l < levels; ++l) total += bits[l];
+        return total;
+    }
+
+    /// Tag bits consumed above `level` (== log2 of the node count there).
+    unsigned prefix_bits(unsigned level) const {
+        WFQS_ASSERT(level < levels);
+        unsigned total = 0;
+        for (unsigned l = 0; l < level; ++l) total += level_bits(l);
+        return total;
+    }
+
+    /// Tag bits consumed at `level` and below.
+    unsigned suffix_bits(unsigned level) const {
+        unsigned total = 0;
+        for (unsigned l = level; l < levels; ++l) total += level_bits(l);
+        return total;
+    }
 
     /// Number of distinct representable tag values.
-    std::uint64_t capacity() const { return std::uint64_t{1} << tag_bits(); }
+    std::uint64_t capacity() const {
+        const unsigned width = tag_bits();
+        WFQS_REQUIRE(width <= 63, "tag space exceeds the 64-bit value model");
+        return std::uint64_t{1} << width;
+    }
 
     /// Nodes at level l (level 0 = root).
     std::uint64_t nodes_at_level(unsigned level) const {
-        WFQS_ASSERT(level < levels);
-        std::uint64_t n = 1;
-        for (unsigned i = 0; i < level; ++i) n *= branching();
-        return n;
+        const unsigned width = prefix_bits(level);
+        WFQS_REQUIRE(width <= 63, "tree level index space exceeds 64 bits");
+        return std::uint64_t{1} << width;
     }
 
-    /// Paper eq. (2): memory of level l is B^(l+1) bits.
+    /// Paper eq. (2): memory of level l is (nodes there) × (node width)
+    /// bits — B^(l+1) for the uniform geometries the paper tabulates.
     std::uint64_t level_memory_bits(unsigned level) const {
-        return nodes_at_level(level) * branching();
+        return nodes_at_level(level) * branching(level);
     }
 
     /// Paper eq. (3): total tree memory = sum of level memories.
@@ -49,22 +106,33 @@ struct TreeGeometry {
 
     /// Literal of `value` addressed by `level` (level 0 = most significant).
     std::uint32_t literal(std::uint64_t value, unsigned level) const {
-        return extract_literal(value, level, bits_per_level, levels);
+        WFQS_ASSERT(level < levels);
+        const unsigned below = suffix_bits(level) - level_bits(level);
+        return static_cast<std::uint32_t>((value >> below) &
+                                          low_mask(level_bits(level)));
     }
 
     /// Index of the node at `level` on the path of `value` (the first
     /// `level` literals).
     std::uint64_t node_index(std::uint64_t value, unsigned level) const {
         WFQS_ASSERT(level < levels);
-        return value >> ((levels - level) * bits_per_level);
+        return value >> suffix_bits(level);
     }
 
     void validate() const {
         WFQS_REQUIRE(levels >= 1, "tree needs at least one level");
-        WFQS_REQUIRE(bits_per_level >= 1 && bits_per_level <= 6,
-                     "node width must be 2..64 bits (1..6 literal bits)");
-        WFQS_REQUIRE(tag_bits() <= 28, "tag width capped at 28 bits: the "
-                     "translation table has one entry per representable value");
+        WFQS_REQUIRE(bits.empty() || bits.size() == levels,
+                     "per-level bits vector must be empty (uniform) or name "
+                     "every level");
+        std::uint64_t total = 0;  // 64-bit sum: no overflow before the cap check
+        for (unsigned l = 0; l < levels; ++l) {
+            WFQS_REQUIRE(level_bits(l) >= 1 && level_bits(l) <= 6,
+                         "node width must be 2..64 bits (1..6 literal bits)");
+            total += level_bits(l);
+        }
+        WFQS_REQUIRE(total <= 32,
+                     "tag width capped at 32 bits: wider values exceed the "
+                     "tiered translation table's key packing");
     }
 
     /// The configuration implemented in the paper's 130-nm silicon.
@@ -76,6 +144,18 @@ struct TreeGeometry {
     /// Degenerate binary tree over the same 12-bit value space (Table I's
     /// "tree" row with branching factor 2).
     static TreeGeometry binary(unsigned tag_bits = 12) { return {tag_bits, 1}; }
+    /// Heterogeneous per-level widths, most-significant first.
+    static TreeGeometry heterogeneous(std::vector<unsigned> level_bits) {
+        TreeGeometry g;
+        g.levels = static_cast<unsigned>(level_bits.size());
+        g.bits_per_level = level_bits.empty() ? 0 : level_bits.front();
+        g.bits = std::move(level_bits);
+        return g;
+    }
+    /// The 32-bit workhorse geometry used by the wide-tag tests and
+    /// benches: a 4-way root (cheap Fig. 6 sectoring) over five 64-wide
+    /// levels.
+    static TreeGeometry wide32() { return heterogeneous({2, 6, 6, 6, 6, 6}); }
 };
 
 }  // namespace wfqs::tree

@@ -16,6 +16,13 @@ namespace {
 // overlaps the pipeline). Four concurrent accesses per cycle models that
 // banking headroom.
 constexpr unsigned kTreeSramPorts = 4;
+
+// Per-block word budget of the simulated SRAM inventory: 2^28 words is
+// the largest level the memory model will stand up (the 32-bit
+// uniform-8x4 leaf). Degenerate geometries that blow past it — e.g.
+// binary(32)'s 2^31-word leaf — are rejected with a typed error at
+// construction, before any allocation is attempted.
+constexpr std::uint64_t kMaxNodeWords = std::uint64_t{1} << 28;
 }  // namespace
 
 MultibitTree::MultibitTree(const Config& config, hw::Simulation& sim,
@@ -26,11 +33,15 @@ MultibitTree::MultibitTree(const Config& config, hw::Simulation& sim,
                  "the root level must be registers (it is read every cycle)");
     const TreeGeometry& g = config_.geometry;
     for (unsigned l = 0; l < g.levels; ++l) {
+        const std::uint64_t nodes = g.nodes_at_level(l);
+        if (nodes > kMaxNodeWords)
+            throw fault::SramInventoryError("tree-level-" + std::to_string(l),
+                                            nodes, kMaxNodeWords);
         if (l < config_.first_sram_level) {
-            register_levels_.emplace_back(g.nodes_at_level(l), 0);
+            register_levels_.emplace_back(nodes, 0);
         } else {
             sram_levels_.push_back(&sim.make_sram("tree-level-" + std::to_string(l),
-                                                  g.nodes_at_level(l), g.branching(),
+                                                  nodes, g.branching(l),
                                                   kTreeSramPorts));
         }
     }
@@ -100,17 +111,22 @@ std::optional<std::uint64_t> MultibitTree::search_and_insert(std::uint64_t value
 std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_insert) {
     const TreeGeometry& g = config_.geometry;
     WFQS_ASSERT(value < g.capacity());
-    const unsigned B = g.branching();
     ++stats_.searches;
 
     Walk w;
     bool used_backup = false;
-    // Per-level info for the insert write-back: the word read on the exact
-    // path (or kNoWord when the level was below the deviation point).
-    constexpr std::uint64_t kNoWord = ~std::uint64_t{0};
-    std::vector<std::uint64_t> exact_words(g.levels, kNoWord);
+    // Per-level info for the insert write-back: the words read on the
+    // exact path. Levels >= exact_depth were never read on that path (the
+    // walk had already deviated). Tracked out of band: a full 64-way node
+    // word is ~0, so no word value can double as a "not visited" sentinel.
+    std::vector<std::uint64_t> exact_words(g.levels, 0);
+    unsigned exact_depth = 0;
 
     for (unsigned l = 0; l < g.levels; ++l) {
+        // Branching and literal width of *this* level — heterogeneous
+        // geometries change both per level.
+        const unsigned B = g.branching(l);
+        const unsigned lbits = g.level_bits(l);
         // Shadow step: read the shadow node and follow its largest literal.
         int shadow_literal = -1;
         if (w.shadow_active) {
@@ -127,6 +143,7 @@ std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_
         if (w.mode == Walk::Mode::Exact) {
             const std::uint64_t word = read_node(l, w.node_idx);
             exact_words[l] = word;
+            exact_depth = l + 1;
             const unsigned target = g.literal(value, l);
             const matcher::MatchResult m = matcher_.match(word, target, B);
             ++stats_.node_lookups;
@@ -139,14 +156,14 @@ std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_
                     w.shadow_active = true;
                     w.shadow_idx = w.node_idx * B + static_cast<unsigned>(m.backup);
                     w.shadow_prefix =
-                        (w.prefix << g.bits_per_level) | static_cast<unsigned>(m.backup);
+                        (w.prefix << lbits) | static_cast<unsigned>(m.backup);
                 } else if (w.shadow_active) {
                     w.shadow_idx = w.shadow_idx * B + static_cast<unsigned>(shadow_literal);
-                    w.shadow_prefix = (w.shadow_prefix << g.bits_per_level) |
+                    w.shadow_prefix = (w.shadow_prefix << lbits) |
                                       static_cast<unsigned>(shadow_literal);
                 }
                 w.node_idx = w.node_idx * B + target;
-                w.prefix = (w.prefix << g.bits_per_level) | target;
+                w.prefix = (w.prefix << lbits) | target;
             } else if (m.primary >= 0) {
                 // Next-smallest literal: every deeper level follows its
                 // maximum literal; the primary can no longer fail, so the
@@ -154,7 +171,7 @@ std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_
                 w.mode = Walk::Mode::MaxDescent;
                 w.shadow_active = false;
                 w.node_idx = w.node_idx * B + static_cast<unsigned>(m.primary);
-                w.prefix = (w.prefix << g.bits_per_level) |
+                w.prefix = (w.prefix << lbits) |
                            static_cast<unsigned>(m.primary);
             } else {
                 // Primary search failed (Fig. 5 point "A"): hand over to
@@ -165,7 +182,7 @@ std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_
                     used_backup = true;
                     w.mode = Walk::Mode::MaxDescent;
                     w.node_idx = w.shadow_idx * B + static_cast<unsigned>(shadow_literal);
-                    w.prefix = (w.shadow_prefix << g.bits_per_level) |
+                    w.prefix = (w.shadow_prefix << lbits) |
                                static_cast<unsigned>(shadow_literal);
                     w.shadow_active = false;
                 }
@@ -180,7 +197,7 @@ std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_
                         std::to_string(l) + ")");
             }
             w.node_idx = w.node_idx * B + static_cast<unsigned>(literal);
-            w.prefix = (w.prefix << g.bits_per_level) | static_cast<unsigned>(literal);
+            w.prefix = (w.prefix << lbits) | static_cast<unsigned>(literal);
         }
         clock_.advance();  // one pipeline cycle per tree level
     }
@@ -200,7 +217,7 @@ std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_
         for (unsigned l = 0; l < g.levels; ++l) {
             const unsigned bit = g.literal(value, l);
             const std::uint64_t idx = g.node_index(value, l);
-            if (exact_words[l] != kNoWord) {
+            if (l < exact_depth) {
                 // Node was read on the exact path: OR the bit in, keeping
                 // any sibling markers.
                 if (!bit_is_set(exact_words[l], bit))
@@ -212,9 +229,9 @@ std::optional<std::uint64_t> MultibitTree::do_walk(std::uint64_t value, bool do_
             }
         }
         // Marker count: a fresh leaf bit means a new marker.
-        const std::uint64_t leaf_word = exact_words[g.levels - 1];
         const bool already_present =
-            leaf_word != kNoWord && bit_is_set(leaf_word, g.literal(value, g.levels - 1));
+            exact_depth == g.levels &&
+            bit_is_set(exact_words[g.levels - 1], g.literal(value, g.levels - 1));
         if (!already_present) ++marker_count_;
         clock_.advance();
     }
@@ -255,17 +272,21 @@ void MultibitTree::clear_sector(unsigned sector) {
     const unsigned B = g.branching();
     WFQS_REQUIRE(sector < B, "sector index exceeds root width");
 
-    // Count the markers that disappear so marker_count_ stays exact.
+    // Count the markers that disappear so marker_count_ stays exact. The
+    // sweep only visits nonzero leaf words (live backing pages on paged
+    // SRAM levels), so invalidating a sector of a 2^26-node leaf costs
+    // time proportional to its markers, not its address space.
     const unsigned leaf = g.levels - 1;
     std::uint64_t removed = 0;
     if (g.levels == 1) {
         removed = bit_is_set(node_word(0, 0), sector) ? 1 : 0;
     } else {
-        const std::uint64_t leaf_lo = std::uint64_t{sector} * g.nodes_at_level(leaf) / B;
-        const std::uint64_t leaf_hi =
-            std::uint64_t{sector + 1} * g.nodes_at_level(leaf) / B;
-        for (std::uint64_t i = leaf_lo; i < leaf_hi; ++i)
-            removed += static_cast<std::uint64_t>(std::popcount(node_word(leaf, i)));
+        const std::uint64_t leaf_lo = std::uint64_t{sector} * (g.nodes_at_level(leaf) / B);
+        for_each_nonzero_node(leaf, leaf_lo, g.nodes_at_level(leaf) / B,
+                              [&](std::uint64_t, std::uint64_t word) {
+                                  removed += static_cast<std::uint64_t>(
+                                      std::popcount(word));
+                              });
     }
 
     // One cycle: clear the root bit and flash-clear every descendant node.
@@ -288,10 +309,30 @@ void MultibitTree::relaunder() {
     for (hw::Sram* level : sram_levels_) level->relaunder();
 }
 
+void MultibitTree::for_each_nonzero_node(
+    unsigned level,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+    for_each_nonzero_node(level, 0, config_.geometry.nodes_at_level(level), fn);
+}
+
+void MultibitTree::for_each_nonzero_node(
+    unsigned level, std::uint64_t first, std::uint64_t count,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+    if (level < config_.first_sram_level) {
+        const auto& regs = register_levels_[level];
+        for (std::uint64_t i = first; i < first + count; ++i)
+            if (regs[i] != 0) fn(i, regs[i]);
+        return;
+    }
+    sram_levels_[level - config_.first_sram_level]->for_each_nonzero_word_in_range(
+        first, count, fn);
+}
+
 void MultibitTree::clear_all() {
     const TreeGeometry& g = config_.geometry;
-    for (unsigned l = 0; l < g.levels; ++l)
-        for (std::uint64_t i = 0; i < g.nodes_at_level(l); ++i) poke_node(l, i, 0);
+    for (unsigned l = 0; l < config_.first_sram_level && l < g.levels; ++l)
+        std::fill(register_levels_[l].begin(), register_levels_[l].end(), 0);
+    for (hw::Sram* level : sram_levels_) level->wipe();
     marker_count_ = 0;
 }
 
@@ -308,23 +349,33 @@ void MultibitTree::set_leaf_marker(std::uint64_t value, bool present) {
 
 void MultibitTree::repair_from_leaves() {
     const TreeGeometry& g = config_.geometry;
-    const unsigned B = g.branching();
     const unsigned leaf = g.levels - 1;
 
+    // Leaves are the ground truth: count them, then rebuild every
+    // interior level from scratch. Both passes visit only nonzero words
+    // (and the interior pokes only touch words a live leaf implies), so
+    // repair cost tracks marker population, not tag-space size.
     marker_count_ = 0;
-    for (std::uint64_t i = 0; i < g.nodes_at_level(leaf); ++i) {
+    for_each_nonzero_node(leaf, [&](std::uint64_t, std::uint64_t word) {
         marker_count_ += static_cast<std::uint64_t>(
-            std::popcount(node_word(leaf, i) & low_mask(B)));
+            std::popcount(word & low_mask(g.branching(leaf))));
+    });
+    for (unsigned l = 0; l < leaf; ++l) {
+        if (l < config_.first_sram_level)
+            std::fill(register_levels_[l].begin(), register_levels_[l].end(), 0);
+        else
+            sram_levels_[l - config_.first_sram_level]->wipe();
     }
     for (unsigned l = leaf; l-- > 0;) {
-        for (std::uint64_t i = 0; i < g.nodes_at_level(l); ++i) {
-            std::uint64_t word = 0;
-            for (unsigned b = 0; b < B; ++b) {
-                if ((node_word(l + 1, i * B + b) & low_mask(B)) != 0)
-                    word = set_bit(word, b);
-            }
-            if (node_word(l, i) != word) poke_node(l, i, word);
-        }
+        const unsigned child_b = g.branching(l);
+        for_each_nonzero_node(l + 1, [&](std::uint64_t child, std::uint64_t word) {
+            if ((word & low_mask(g.branching(l + 1))) == 0) return;
+            const std::uint64_t parent = child / child_b;
+            const unsigned bit = static_cast<unsigned>(child % child_b);
+            const std::uint64_t parent_word = node_word(l, parent);
+            if (!bit_is_set(parent_word, bit))
+                poke_node(l, parent, set_bit(parent_word, bit));
+        });
     }
 }
 

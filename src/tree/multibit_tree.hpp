@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -76,6 +77,19 @@ public:
     bool empty() const { return marker_count_ == 0; }
     std::uint64_t marker_count() const { return marker_count_; }
     std::uint64_t node_word(unsigned level, std::uint64_t index) const;
+
+    /// Invoke `fn(index, word)` for every nonzero node word at `level`
+    /// (ECC-corrected view; no clock, no ports). Register levels scan in
+    /// full; SRAM levels visit only live backing pages, so audits and
+    /// repairs stay proportional to marker population even at 32-bit tag
+    /// widths.
+    void for_each_nonzero_node(
+        unsigned level,
+        const std::function<void(std::uint64_t, std::uint64_t)>& fn) const;
+    /// Same, restricted to node indices in [first, first + count).
+    void for_each_nonzero_node(
+        unsigned level, std::uint64_t first, std::uint64_t count,
+        const std::function<void(std::uint64_t, std::uint64_t)>& fn) const;
 
     // -- integrity surface (scrubber/rebuild; maintenance, no cycles) -----
 

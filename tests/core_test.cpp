@@ -420,6 +420,44 @@ TEST(TagSorterGeometry, BinaryTreeVariantWorks) {
     EXPECT_EQ(sorter.pop_min()->tag, 100u);
 }
 
+TEST(TagSorterGeometry, DeepTreeOpsLandInFiniteHistogramBins) {
+    // Regression: the cycle histograms used to be hard-coded to
+    // {0.0, 32.0, 32}, so an 8-level tree (up to 8 cycles of tree work per
+    // level, plus the tiered-table miss penalty) clipped every slow op into
+    // the clamped last bin. The range is now derived from the geometry.
+    TagSorter::Config deep;
+    deep.geometry = tree::TreeGeometry::heterogeneous({4, 4, 4, 4, 4, 4, 4, 4});
+    deep.capacity = 256;
+    deep.table_hot_bits = 4;  // tiny hot cache: force bulk-tier misses
+    const std::size_t bins = TagSorter::hist_bins(deep);
+    EXPECT_GT(bins, 32u);                             // deeper than the paper's span
+    EXPECT_EQ(TagSorter::hist_bins({}), 32u);         // paper geometry unchanged
+
+    hw::Simulation sim;
+    TagSorter sorter(deep, sim);
+    Rng rng(97);
+    std::uint64_t base = 0;
+    for (int i = 0; i < 400; ++i) {
+        if (!sorter.full() && (sorter.empty() || rng.next_bool(0.6))) {
+            // Scatter inserts across the live window so the matched
+            // predecessor is a cold value — each one stalls on the bulk tier.
+            const std::uint64_t min = sorter.empty() ? base : sorter.peek_min()->tag;
+            sorter.insert(min + rng.next_below(std::uint64_t{1} << 27),
+                          static_cast<std::uint32_t>(i));
+        } else if (const auto popped = sorter.pop_min()) {
+            base = popped->tag;
+        }
+    }
+    // Every op must land in a real bin; the clamped last bin stays empty.
+    EXPECT_LT(sorter.stats().worst_insert_cycles, bins - 1);
+    EXPECT_LT(sorter.stats().worst_pop_cycles, bins - 1);
+    EXPECT_EQ(sorter.insert_cycles().bins().bin(bins - 1), 0u);
+    EXPECT_EQ(sorter.pop_cycles().bins().bin(bins - 1), 0u);
+    // The whole point of the wider range: some op was slower than the old
+    // 32-cycle ceiling would have been able to represent.
+    EXPECT_GT(sorter.stats().worst_insert_cycles, 31u);
+}
+
 TEST(TagSorterGeometry, NetlistMatcherEndToEnd) {
     hw::Simulation sim;
     matcher::NetlistMatcher engine(matcher::MatcherKind::SelectLookahead);

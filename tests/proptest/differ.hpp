@@ -956,6 +956,29 @@ inline std::vector<NamedTagConfig> standard_tag_configs() {
     core::TagSorter::Config deep;  // 2-bit literals, 5 levels
     deep.geometry = {5, 2};
     v.push_back({"deep-5x2", deep});
+
+    // --- wide tag spaces (beyond the paper's 12-15 bits) -----------------
+
+    core::TagSorter::Config wide20;  // 20-bit, heterogeneous {5,4,...}
+    wide20.geometry = tree::TreeGeometry::heterogeneous({5, 4, 5, 6});
+    v.push_back({"wide-20het", wide20});
+
+    core::TagSorter::Config wide24;  // 24-bit, narrow root sectors
+    wide24.geometry = tree::TreeGeometry::heterogeneous({2, 4, 6, 6, 6});
+    v.push_back({"wide-24het", wide24});
+
+    core::TagSorter::Config wide32;  // full 32-bit space, tiered table
+    wide32.geometry = tree::TreeGeometry::wide32();
+    v.push_back({"wide-32", wide32});
+
+    // Paper geometry with the tiered table forced on and a tiny hot
+    // cache: hammers the miss/install/invalidate paths at a size where
+    // every op still cross-checks against the flat-table reference row.
+    core::TagSorter::Config tiered12;
+    tiered12.tiered_table = true;
+    tiered12.table_hot_bits = 4;
+    tiered12.table_miss_penalty_cycles = 5;
+    v.push_back({"tiered-12", tiered12});
     return v;
 }
 

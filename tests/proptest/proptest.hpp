@@ -147,6 +147,25 @@ inline GenProfile boundary_profile(std::uint64_t span) {
     return p;
 }
 
+/// Rides the physical wrap seam: near-window jumps with a small backlog,
+/// so the live window crosses the 2^W seam every few dozen ops even at
+/// 32-bit widths (a plain wrap-heavy mix at a wide geometry can take
+/// thousands of ops to reach the seam once). Exercises the fallback
+/// search and stale-range invalidation where wide geometries are most
+/// fragile.
+inline GenProfile seam_rider_profile(std::uint64_t span) {
+    GenProfile p;
+    p.name = "seam-rider";
+    p.max_delta = std::max<std::uint64_t>(1, (span * 3) / 8);
+    p.boundary_prob = 0.25;
+    p.window_span = span;
+    p.undercut_prob = 0.05;
+    p.max_undercut = std::max<std::uint64_t>(1, span / 16);
+    p.min_backlog = 1;
+    p.max_backlog = 40;
+    return p;
+}
+
 /// Migration churn riding a wrap-heavy mix: bank add/fence/pump ops race
 /// the moving-window seam. Only meaningful for targets that install a
 /// reshard hook, so it is *not* part of all_profiles() — the sharded
@@ -159,9 +178,9 @@ inline GenProfile reshard_churn_profile(std::uint64_t span) {
 }
 
 inline std::vector<GenProfile> all_profiles(std::uint64_t span) {
-    return {uniform_profile(span), wrap_heavy_profile(span),
+    return {uniform_profile(span),   wrap_heavy_profile(span),
             duplicate_heavy_profile(span), drain_cycle_profile(span),
-            boundary_profile(span)};
+            boundary_profile(span),  seam_rider_profile(span)};
 }
 
 /// Generate `n` ops from `profile` using `rng`. Deterministic for a given

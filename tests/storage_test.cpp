@@ -129,8 +129,37 @@ TEST(TagStore, RejectsBadConfigs) {
     EXPECT_THROW(LinkedTagStore({1, 12, 24}, sim), std::invalid_argument);
     EXPECT_THROW(LinkedTagStore({16, 0, 24}, sim), std::invalid_argument);
     EXPECT_THROW(LinkedTagStore({16, 33, 24}, sim), std::invalid_argument);
-    // 32 + 32 + next bits cannot pack into 64.
-    EXPECT_THROW(LinkedTagStore({1 << 20, 32, 32}, sim), std::invalid_argument);
+    EXPECT_THROW(LinkedTagStore({16, 12, 0}, sim), std::invalid_argument);
+    EXPECT_THROW(LinkedTagStore({16, 12, 33}, sim), std::invalid_argument);
+    EXPECT_THROW(LinkedTagStore({std::size_t{1} << 31, 12, 24}, sim),
+                 std::invalid_argument);
+}
+
+TEST(TagStore, WideSlotsStripeAcrossTwoSrams) {
+    // 32 + 32 + next bits exceed one 64-bit word: the store must go wide
+    // (payload in "tag-store-hi") with identical semantics and cycles.
+    hw::Simulation sim;
+    LinkedTagStore wide({64, 32, 32}, sim);
+    ASSERT_TRUE(wide.wide());
+    ASSERT_NE(wide.hi_memory(), nullptr);
+
+    hw::Simulation narrow_sim;
+    LinkedTagStore narrow({64, 12, 20}, narrow_sim);
+    EXPECT_FALSE(narrow.wide());
+    EXPECT_EQ(narrow.hi_memory(), nullptr);
+
+    const std::uint64_t big_tag = 0xFFFF'FFFFull;
+    const std::uint32_t big_payload = 0xFFFF'FFFFu;
+    const std::uint64_t t0 = sim.clock().now();
+    Addr a = wide.insert_at_head({1, 10});
+    EXPECT_EQ(sim.clock().now() - t0, 4u);  // 4-cycle FSM unchanged
+    a = wide.insert_after(a, {big_tag, big_payload});
+    (void)a;
+    EXPECT_EQ(wide.pop_head()->payload, 10u);
+    const auto max_entry = wide.pop_head();
+    ASSERT_TRUE(max_entry.has_value());
+    EXPECT_EQ(max_entry->tag, big_tag);       // no truncation in the lo stripe
+    EXPECT_EQ(max_entry->payload, big_payload);  // nor in the hi stripe
 }
 
 TEST(TagStore, InsertAfterRequiresValidPredecessor) {
@@ -328,8 +357,80 @@ TEST(TranslationTable, SizeMatchesTreeGranularity) {
 TEST(TranslationTable, RejectsBadConfig) {
     hw::Simulation sim;
     EXPECT_THROW(TranslationTable({0, 20}, sim), std::invalid_argument);
-    EXPECT_THROW(TranslationTable({29, 20}, sim), std::invalid_argument);
     EXPECT_THROW(TranslationTable({12, 0}, sim), std::invalid_argument);
+    EXPECT_THROW(TranslationTable({33, 20}, sim), std::invalid_argument);
+    // The flat one-entry-per-value layout stays capped at 2^28 entries.
+    EXPECT_THROW(TranslationTable({29, 20, /*tiered=*/false}, sim),
+                 std::invalid_argument);
+    // Tiered mode: hot index must be narrower than the tag, line <= 64 bits.
+    EXPECT_THROW(TranslationTable({12, 20, true, /*hot_bits=*/12}, sim),
+                 std::invalid_argument);
+    EXPECT_THROW(TranslationTable({32, 44, true, /*hot_bits=*/10}, sim),
+                 std::invalid_argument);
+}
+
+TEST(TranslationTable, WideTagsDefaultToTieredNarrowStayFlat) {
+    hw::Simulation sim;
+    const TranslationTable flat({12, 20}, sim);
+    EXPECT_FALSE(flat.tiered());
+    const TranslationTable wide({32, 20}, sim);
+    EXPECT_TRUE(wide.tiered());
+    EXPECT_EQ(wide.entries(), std::uint64_t{1} << 32);
+    // The only on-chip memory is the hot cache, not 2^32 entries.
+    EXPECT_EQ(wide.memory().num_words(), std::size_t{1} << 14);
+}
+
+TEST(TranslationTable, TieredLookupSetInvalidate) {
+    hw::Simulation sim;
+    TranslationTable t({32, 20, true, /*hot_bits=*/4, /*miss_penalty=*/7}, sim);
+    ASSERT_TRUE(t.tiered());
+
+    t.set(0xDEADBEEF, 42);
+    std::uint64_t c0 = sim.clock().now();
+    EXPECT_EQ(t.lookup(0xDEADBEEF), std::optional<Addr>(42));  // hot hit
+    EXPECT_EQ(sim.clock().now(), c0);
+    EXPECT_EQ(t.stats().hot_hits, 1u);
+
+    // A colliding value (same hot line, different key) evicts the line on
+    // install; looking the first value up again must pay the miss penalty
+    // and still return the right address from the bulk tier.
+    const std::uint64_t collider = 0xDEADBEEF ^ (std::uint64_t{1} << 4);
+    c0 = sim.clock().now();
+    EXPECT_EQ(t.lookup(collider), std::nullopt);  // miss, absent in bulk
+    EXPECT_EQ(sim.clock().now() - c0, 7u);
+    t.set(collider, 99);
+    c0 = sim.clock().now();
+    EXPECT_EQ(t.lookup(0xDEADBEEF), std::optional<Addr>(42));
+    EXPECT_EQ(sim.clock().now() - c0, 7u);  // bulk fetch
+    EXPECT_EQ(t.stats().bulk_misses, 2u);
+
+    t.invalidate(0xDEADBEEF);
+    EXPECT_EQ(t.peek(0xDEADBEEF), std::nullopt);
+    EXPECT_EQ(t.peek(collider), std::optional<Addr>(99));
+    EXPECT_EQ(t.resident(), 1u);
+}
+
+TEST(TranslationTable, TieredHoldsAMillionResidentTags) {
+    // 2^32 representable values, >=1M live entries, no flat allocation:
+    // the hot cache stays at 2^hot_bits lines while the bulk tier holds
+    // everything.
+    hw::Simulation sim;
+    TranslationTable t({32, 21, true, /*hot_bits=*/10}, sim);
+    constexpr std::uint64_t kN = 1'100'000;
+    constexpr std::uint64_t kStride = 3901;  // spread over the 32-bit space
+    for (std::uint64_t i = 0; i < kN; ++i) {
+        t.set((i * kStride) & 0xFFFF'FFFFull, static_cast<Addr>(i & 0x1F'FFFF));
+        sim.clock().advance();  // stay inside the per-cycle port budget
+    }
+    EXPECT_EQ(t.resident(), kN);
+    EXPECT_EQ(t.memory().num_words(), std::size_t{1} << 10);
+    EXPECT_EQ(t.peek((123456 * kStride) & 0xFFFF'FFFFull),
+              std::optional<Addr>(123456 & 0x1F'FFFF));
+    std::uint64_t visited = 0;
+    t.for_each_valid([&](std::uint64_t, Addr) { ++visited; });
+    EXPECT_EQ(visited, kN);
+    t.clear();
+    EXPECT_EQ(t.resident(), 0u);
 }
 
 }  // namespace

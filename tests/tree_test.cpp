@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/rng.hpp"
+#include "fault/errors.hpp"
 #include "hw/simulation.hpp"
 #include "matcher/matcher.hpp"
 #include "tree/geometry.hpp"
@@ -58,9 +59,48 @@ TEST(TreeGeometry, ValidateRejectsBadShapes) {
     EXPECT_THROW((TreeGeometry{0, 4}).validate(), std::invalid_argument);
     EXPECT_THROW((TreeGeometry{3, 0}).validate(), std::invalid_argument);
     EXPECT_THROW((TreeGeometry{3, 7}).validate(), std::invalid_argument);
-    EXPECT_THROW((TreeGeometry{8, 4}).validate(), std::invalid_argument);  // 32-bit tags
+    EXPECT_THROW((TreeGeometry{9, 4}).validate(), std::invalid_argument);  // 36 > 32 bits
+    EXPECT_THROW(TreeGeometry::heterogeneous({4, 0, 4}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(TreeGeometry::heterogeneous({6, 6, 6, 6, 6, 6}).validate(),
+                 std::invalid_argument);  // 36 > 32 bits
+    EXPECT_NO_THROW((TreeGeometry{8, 4}).validate());  // full 32-bit tag space
     EXPECT_NO_THROW(TreeGeometry::paper().validate());
     EXPECT_NO_THROW(TreeGeometry::binary(12).validate());
+    EXPECT_NO_THROW(TreeGeometry::wide32().validate());
+}
+
+TEST(TreeGeometry, HeterogeneousLevelMath) {
+    const TreeGeometry g = TreeGeometry::wide32();  // {2, 6, 6, 6, 6, 6}
+    EXPECT_FALSE(g.uniform());
+    EXPECT_EQ(g.tag_bits(), 32u);
+    EXPECT_EQ(g.capacity(), std::uint64_t{1} << 32);
+    EXPECT_EQ(g.branching(), 4u);  // root sector count = 2^2
+    EXPECT_EQ(g.branching(1), 64u);
+    EXPECT_EQ(g.prefix_bits(0), 0u);
+    EXPECT_EQ(g.prefix_bits(5), 26u);
+    EXPECT_EQ(g.suffix_bits(0), 32u);
+    EXPECT_EQ(g.suffix_bits(5), 6u);
+    EXPECT_EQ(g.nodes_at_level(0), 1u);
+    EXPECT_EQ(g.nodes_at_level(5), std::uint64_t{1} << 26);
+    const std::uint64_t v = 0xDEADBEEFull;
+    EXPECT_EQ(g.node_index(v, 0), 0u);
+    EXPECT_EQ(g.node_index(v, 5), v >> 6);
+    // Reassembling the literals must reproduce the value.
+    std::uint64_t rebuilt = 0;
+    for (unsigned l = 0; l < g.levels; ++l)
+        rebuilt = (rebuilt << g.level_bits(l)) | g.literal(v, l);
+    EXPECT_EQ(rebuilt, v);
+}
+
+TEST(TreeGeometry, OversizedLevelThrowsTypedInventoryError) {
+    // binary(32) wants a 2^31-node leaf level — beyond the simulated SRAM
+    // inventory; must surface as the typed fault, not an allocation blowup.
+    hw::Simulation sim;
+    matcher::BehavioralMatcher m;
+    EXPECT_THROW(
+        MultibitTree(MultibitTree::Config{TreeGeometry::binary(32), 2}, sim, m),
+        fault::SramInventoryError);
 }
 
 // --------------------------------------------------------- fixture
@@ -194,6 +234,30 @@ TEST(TreeSearch, EraseStopsAtSharedAncestor) {
     EXPECT_NE(f.tree.node_word(1, 0x5), 0u);
     EXPECT_NE(f.tree.node_word(0, 0), 0u);
     EXPECT_TRUE(f.tree.contains(0x510));
+}
+
+TEST(TreeSearch, InsertThroughFullSixtyFourWayNodeKeepsSiblings) {
+    // Regression: a completely full 64-way node reads as the all-ones word,
+    // which used to collide with the insert write-back's in-band "level not
+    // visited" sentinel — one insert whose walk deviated *below* the full
+    // node rewrote it as a single fresh bit, orphaning the other 63
+    // subtrees. Only reachable at branching 64 (the paper's 16-way words
+    // top out at 0xFFFF), so drive the wide-32 geometry directly.
+    TreeFixture f(TreeGeometry::wide32());
+    // Fill level-3 node [0,0,0]: 64 markers, one per child, leaf value 5.
+    for (std::uint64_t k = 0; k < 64; ++k)
+        f.tree.insert((k << 12) | 5);
+    ASSERT_EQ(f.tree.node_word(3, 0), ~std::uint64_t{0});
+    // This walk stays exact through the full node (literal 63 is present)
+    // and deviates at level 4 (literal 1 vs the stored 0), so levels 4-5
+    // get fresh words while level 3 must be left intact.
+    f.tree.insert((std::uint64_t{63} << 12) | (1u << 6) | 9);
+    EXPECT_EQ(f.tree.node_word(3, 0), ~std::uint64_t{0});
+    for (std::uint64_t k = 0; k < 64; ++k)
+        EXPECT_TRUE(f.tree.contains((k << 12) | 5)) << "k=" << k;
+    EXPECT_EQ(f.tree.closest_leq((std::uint64_t{63} << 12) | 8),
+              std::optional<std::uint64_t>((std::uint64_t{63} << 12) | 5));
+    EXPECT_EQ(f.tree.marker_count(), 65u);
 }
 
 // ------------------------------------------------------- cycle accounting

@@ -56,7 +56,7 @@ struct Options {
     std::size_t cases = 0;         ///< 0 = unbounded (budget-limited)
     double minutes = 1.0;          ///< wall-clock budget; 0 = unbounded
     unsigned threads = 1;          ///< soak workers
-    std::string target = "all";    ///< tag|ffs|sharded|baseline|matcher|scheduler|policy|pipeline|all
+    std::string target = "all";    ///< tag|ffs|geometry|sharded|baseline|matcher|scheduler|policy|pipeline|all
     std::string artifact_dir = ".";
     std::string replay;            ///< replay one .ops file instead of fuzzing
     std::string flight;            ///< flight-recorder dump path ("" = off)
@@ -70,8 +70,8 @@ struct Options {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--ops N] [--cases N] [--minutes F]\n"
                  "          [--threads N]\n"
-                 "          [--target tag|ffs|sharded|baseline|matcher|scheduler|"
-                 "policy|pipeline|all]\n"
+                 "          [--target tag|ffs|geometry|sharded|baseline|matcher|"
+                 "scheduler|policy|pipeline|all]\n"
                  "          [--backend model|ffs]  (pipeline queue; env WFQS_BACKEND)\n"
                  "          [--artifact-dir DIR] [--replay FILE.ops]\n"
                  "          [--flight DUMP.ops]\n",
@@ -103,9 +103,10 @@ Options parse_args(int argc, char** argv) {
         else usage(argv[0]);
     }
     if (opt.target != "all" && opt.target != "tag" && opt.target != "ffs" &&
-        opt.target != "sharded" && opt.target != "baseline" &&
-        opt.target != "matcher" && opt.target != "scheduler" &&
-        opt.target != "policy" && opt.target != "pipeline")
+        opt.target != "geometry" && opt.target != "sharded" &&
+        opt.target != "baseline" && opt.target != "matcher" &&
+        opt.target != "scheduler" && opt.target != "policy" &&
+        opt.target != "pipeline")
         usage(argv[0]);
     if (!backend.empty()) {
         const auto parsed = baselines::backend_from_name(backend);
@@ -247,6 +248,36 @@ bool fuzz_ffs(const Options& opt, std::uint64_t round) {
             return diff_ffs_sorter(ops, entry.config);
         };
         if (!fuzz_sorter_config("ffs-" + entry.name, check, span, opt, round))
+            return false;
+    }
+    return true;
+}
+
+/// Geometry soak: only the wide/tiered rows of the standard matrix (tag
+/// spaces beyond the paper's 12 bits), through both the cycle-level model
+/// and the host-native backend. The standard profiles already scale to
+/// each row's window span; seam-rider runs twice per round because the
+/// physical wrap seam is the whole point of this target.
+bool fuzz_geometry(const Options& opt, std::uint64_t round) {
+    for (const auto& entry : standard_tag_configs()) {
+        const bool wide = entry.config.geometry.tag_bits() >
+                              tree::TreeGeometry::paper().tag_bits() ||
+                          entry.config.tiered_table.value_or(false);
+        if (!wide) continue;
+        hw::Simulation probe_sim;
+        const std::uint64_t span =
+            core::TagSorter(entry.config, probe_sim).window_span();
+        const CheckFn model_check = [&](const OpSeq& ops) {
+            return diff_tag_sorter(ops, entry.config);
+        };
+        if (!fuzz_sorter_config("geometry-tag-" + entry.name, model_check, span,
+                                opt, round, {seam_rider_profile(span)}))
+            return false;
+        const CheckFn ffs_check = [&](const OpSeq& ops) {
+            return diff_ffs_sorter(ops, entry.config);
+        };
+        if (!fuzz_sorter_config("geometry-ffs-" + entry.name, ffs_check, span,
+                                opt, round, {seam_rider_profile(span)}))
             return false;
     }
     return true;
@@ -462,6 +493,9 @@ int main(int argc, char** argv) {
     const Budget budget{std::chrono::steady_clock::now(), opt.minutes};
     const bool do_tag = opt.target == "all" || opt.target == "tag";
     const bool do_ffs = opt.target == "all" || opt.target == "ffs";
+    // Not in "all": the wide rows already soak there via tag/ffs; the
+    // dedicated target exists to concentrate a whole budget on them.
+    const bool do_geometry = opt.target == "geometry";
     const bool do_sharded = opt.target == "all" || opt.target == "sharded";
     const bool do_baseline = opt.target == "all" || opt.target == "baseline";
     const bool do_matcher = opt.target == "all" || opt.target == "matcher";
@@ -474,6 +508,7 @@ int main(int argc, char** argv) {
         bool ok = true;
         if (do_tag) ok = ok && fuzz_tag(opt, round);
         if (ok && do_ffs) ok = ok && fuzz_ffs(opt, round);
+        if (ok && do_geometry) ok = ok && fuzz_geometry(opt, round);
         if (ok && do_sharded) ok = ok && fuzz_sharded(opt, round);
         if (ok && do_baseline) ok = ok && fuzz_baseline(opt, round);
         if (ok && do_matcher) ok = ok && fuzz_matcher(opt, round);
